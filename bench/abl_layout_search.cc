@@ -1,0 +1,72 @@
+// Ablation: how much the layout *choice* matters and what it takes to find
+// a good one — message counts of lexicographic, random, Figure-2-style,
+// hill-climbed (several budgets) and the constructed-optimal orders, for
+// D = 2 and D = 3, against the Eq. 1 bound.
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/layout.h"
+#include "core/region.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+
+namespace {
+
+double random_average(int dims, int samples) {
+  Rng rng(42);
+  Stats st;
+  for (int i = 0; i < samples; ++i) {
+    LayoutSpec s{all_surface_signatures(dims)};
+    for (std::size_t j = s.order.size(); j > 1; --j)
+      std::swap(s.order[j - 1], s.order[rng.below(j)]);
+    st.add(static_cast<double>(message_count(s, dims)));
+  }
+  return st.avg();
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: layout search",
+         "Messages needed by different surface orders (send side, canonical "
+         "nonempty regions).");
+
+  Table t({"order", "D=2", "D=3"});
+  t.row()
+      .cell("Eq.1 lower bound")
+      .cell(layout_message_lower_bound(2))
+      .cell(layout_message_lower_bound(3));
+  t.row()
+      .cell("library constant (surface2d/3d)")
+      .cell(message_count(surface2d(), 2))
+      .cell(message_count(surface3d(), 3));
+  t.row()
+      .cell("hill climb, 2k evals")
+      .cell(message_count(optimize_layout(2, 2000, 3), 2))
+      .cell(message_count(optimize_layout(3, 2000, 3), 3));
+  t.row()
+      .cell("hill climb, 60k evals")
+      .cell(message_count(optimize_layout(2, 60000, 3), 2))
+      .cell(message_count(optimize_layout(3, 60000, 3), 3));
+  t.row()
+      .cell("lexicographic")
+      .cell(message_count(lexicographic_layout(2), 2))
+      .cell(message_count(lexicographic_layout(3), 3));
+  t.row()
+      .cell("random (avg of 200)")
+      .cell(random_average(2, 200), 1)
+      .cell(random_average(3, 200), 1);
+  t.row()
+      .cell("Basic (no merging, Eq.3)")
+      .cell(basic_message_count(2))
+      .cell(basic_message_count(3));
+  t.print(std::cout);
+  std::printf(
+      "\nTakeaways: arbitrary orders land near the Basic ceiling; cheap "
+      "local search recovers most of the gap; the constructed constants "
+      "reach the Eq. 1 bound exactly, which is why the library ships them "
+      "as constants rather than searching at runtime.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: communication/computation overlap on top of the pack-free
+// exchanges. The paper's position: prior work *hides* communication costs
+// (overlap) while Layout/MemMap *eliminate* the on-node share of them —
+// this ablation measures how much overlap still buys once packing is gone.
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("abl_overlap", "ablation: overlap on pack-free exchanges");
+  ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  ap.parse(argc, argv);
+
+  banner("Ablation: overlap",
+         "Per-timestep total (ms) on 8 KNL nodes with and without interior/"
+         "shell overlap for the Layout and MemMap methods.");
+
+  Table t({"dim", "Layout", "Layout+OL", "MemMap", "MemMap+OL",
+           "OL.gain(Layout)"});
+  for (std::int64_t s : ap.get_int_list("-s")) {
+    auto total = [&](Method m, bool ol) {
+      auto cfg = k1_config(s, m);
+      cfg.overlap = ol;
+      const auto r = run(cfg);
+      return r.total_seconds / cfg.timesteps;
+    };
+    const double l0 = total(Method::Layout, false);
+    const double l1 = total(Method::Layout, true);
+    const double m0 = total(Method::MemMap, false);
+    const double m1 = total(Method::MemMap, true);
+    t.row()
+        .cell(s)
+        .cell(ms(l0))
+        .cell(ms(l1))
+        .cell(ms(m0))
+        .cell(ms(m1))
+        .cell(l0 / l1, 2);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected: modest gains where compute is big enough to hide the "
+      "remaining network time (>=64^3); at small subdomains the extra "
+      "per-slab sweeps erase the benefit — after eliminating packing there "
+      "is simply little left to hide.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#pragma once
+
+// Shared scaffolding for the paper-reproduction bench binaries. Each bench
+// regenerates one table or figure of the paper; see EXPERIMENTS.md for the
+// per-experiment mapping and the scaled-down parameter choices.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/argparse.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "simmpi/cart.h"
+
+namespace brickx::bench {
+
+/// Paper experiments K1/V1 run 8 nodes (1 rank each) as a periodic 2^3
+/// cube and sweep the per-rank subdomain. The paper sweeps 512..16; the
+/// default here is 128..16 (pass -s 256,... for more — a 512^3
+/// double-buffered subdomain does not fit in 16 GB eight times over, and
+/// the shape statements all live in the small-subdomain half anyway).
+inline std::vector<std::int64_t> default_k1_sizes() {
+  return {128, 64, 32, 16};
+}
+
+inline harness::Config k1_config(std::int64_t subdomain, harness::Method m,
+                                 bool use125 = false) {
+  harness::Config cfg;
+  cfg.machine = model::theta();
+  cfg.rank_dims = {2, 2, 2};
+  cfg.subdomain = Vec3::fill(subdomain);
+  cfg.brick = 8;
+  cfg.ghost = 8;
+  cfg.use125 = use125;
+  cfg.method = m;
+  cfg.timesteps = use125 ? 4 : 8;  // exactly one exchange batch
+  cfg.warmup_exchanges = 1;
+  cfg.execute_kernels = false;  // benches time the model; tests validate math
+  return cfg;
+}
+
+inline harness::Config v1_config(std::int64_t subdomain, harness::Method m,
+                                 harness::GpuMode gpu, bool use125 = false) {
+  harness::Config cfg = k1_config(subdomain, m, use125);
+  cfg.machine = model::summit();
+  cfg.gpu = gpu;
+  return cfg;
+}
+
+/// Strong-scaling config: a fixed global domain split across `ranks`
+/// processes (dims from dims_create). Per-rank extents must stay brick
+/// aligned — the caller picks a global size that divides evenly.
+inline harness::Config strong_config(const model::Machine& machine,
+                                     const Vec3& global, int ranks,
+                                     harness::Method m, harness::GpuMode gpu,
+                                     bool use125) {
+  harness::Config cfg;
+  cfg.machine = machine;
+  cfg.rank_dims = mpi::dims_create<3>(ranks);
+  cfg.subdomain = global / cfg.rank_dims;
+  BX_CHECK(cfg.subdomain * cfg.rank_dims == global,
+           "global domain does not divide across this rank count");
+  cfg.brick = 8;
+  cfg.ghost = 8;
+  cfg.use125 = use125;
+  cfg.method = m;
+  cfg.gpu = gpu;
+  cfg.timesteps = use125 ? 4 : 8;
+  cfg.warmup_exchanges = 1;
+  cfg.execute_kernels = false;
+  // One in-process rank per "MPI rank": keep live mmap segments under
+  // vm.max_map_count by switching MemMap to its byte-exact floor proxy at
+  // high rank counts (see DESIGN.md).
+  if (m == harness::Method::MemMap && ranks * 200 > 60000)
+    cfg.memmap_floor_proxy = true;
+  return cfg;
+}
+
+inline std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", seconds * 1e3);
+  return buf;
+}
+
+inline std::string gsps(double gstencils) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", gstencils);
+  return buf;
+}
+
+/// Standard bench banner: figure id, what the paper shows, what we print.
+inline void banner(const char* id, const char* paper_claim) {
+  std::printf("=== %s ===\n%s\n\n", id, paper_claim);
+}
+
+}  // namespace brickx::bench

@@ -1,0 +1,52 @@
+// Figure 1: per-timestep time breakdown (Compute / MPI / Packing) of the
+// packing baseline (YASK stand-in) vs the proposed pack-free exchange
+// (MemMap), on 8 KNL nodes as the subdomain shrinks 256^3 -> 16^3.
+// The paper's claim: packing dominates for all but the largest subdomains,
+// and eliminating it yields up to 14.4x faster communication.
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("fig01_breakdown", "Fig 1: time breakdown YASK vs proposed");
+  ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  ap.parse(argc, argv);
+
+  banner("Figure 1",
+         "Time breakdown per timestep on 8 KNL nodes (model: theta). YASK = "
+         "array layout with explicit packing; Proposed = MemMap pack-free "
+         "exchange. Percentages are relative to the YASK total, matching the "
+         "figure's y-axis.");
+
+  Table t({"dim", "yask.comp(ms)", "yask.mpi(ms)", "yask.pack(ms)",
+           "yask.total(ms)", "prop.comp(ms)", "prop.mpi(ms)",
+           "prop.total(%ofYASK)", "pack(%ofYASK)", "comm.speedup"});
+  for (std::int64_t s : ap.get_int_list("-s")) {
+    const harness::Result yask = run(k1_config(s, Method::Yask));
+    const harness::Result prop = run(k1_config(s, Method::MemMap));
+    const double y_mpi = yask.call.avg() + yask.wait.avg();
+    const double y_total = yask.calc.avg() + y_mpi + yask.pack.avg();
+    const double p_mpi = prop.call.avg() + prop.wait.avg();
+    const double p_total = prop.calc.avg() + p_mpi;
+    t.row()
+        .cell(s)
+        .cell(ms(yask.calc.avg()))
+        .cell(ms(y_mpi))
+        .cell(ms(yask.pack.avg()))
+        .cell(ms(y_total))
+        .cell(ms(prop.calc.avg()))
+        .cell(ms(p_mpi))
+        .cell(100.0 * p_total / y_total, 1)
+        .cell(100.0 * yask.pack.avg() / y_total, 1)
+        .cell(yask.comm_per_step / prop.comm_per_step, 2);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nShape checks vs paper: pack%% grows as the subdomain shrinks and "
+      "dominates below ~128^3; comm speedup grows toward the small end "
+      "(paper: up to 14.4x).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 4: communication time per 3D stencil loop on 8 KNL nodes —
+// sending every region independently (Basic, 98 messages) vs the optimized
+// layout (Layout, 42 messages), with the packing baseline for reference.
+// Paper claim: Layout is up to 2.3x faster than Basic on small subdomains.
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("fig04_basic_vs_layout", "Fig 4: Basic vs Layout comm time");
+  ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  ap.parse(argc, argv);
+
+  banner("Figure 4",
+         "Communication time for one stencil loop on 8 KNL nodes. Basic "
+         "sends each surface region separately; Layout merges regions "
+         "consecutive in the optimized storage order.");
+
+  Table t({"dim", "yask(ms)", "basic(ms)", "layout(ms)", "basic.msgs",
+           "layout.msgs", "layout.speedup"});
+  for (std::int64_t s : ap.get_int_list("-s")) {
+    const auto yask = run(k1_config(s, Method::Yask));
+    const auto basic = run(k1_config(s, Method::Basic));
+    const auto layout = run(k1_config(s, Method::Layout));
+    t.row()
+        .cell(s)
+        .cell(ms(yask.comm_per_step))
+        .cell(ms(basic.comm_per_step))
+        .cell(ms(layout.comm_per_step))
+        .cell(basic.msgs_per_rank)
+        .cell(layout.msgs_per_rank)
+        .cell(basic.comm_per_step / layout.comm_per_step, 2);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nShape checks vs paper: 98 vs 42 messages at full region counts; "
+      "Layout's advantage grows for small (latency-bound) subdomains toward "
+      "~2.3x.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8 (K1): 7-point stencil throughput on 8 KNL nodes vs subdomain
+// size, for MemMap, Layout, YASK, YASK with communication overlap
+// (YASK-OL), and MPI_Types. Paper claim: Layout and MemMap attain the best
+// performance by minimizing on-node data movement; overlap barely helps
+// YASK on small subdomains.
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("fig08_k1_scaling", "Fig 8: K1 7-point throughput");
+  ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  ap.parse(argc, argv);
+
+  banner("Figure 8",
+         "(K1) 7-point stencil GStencil/s on 8 KNL nodes, one rank per "
+         "node, periodic 2^3 cube. YASK-OL models overlapped communication "
+         "and computation: time = max(comp, mpi) + pack.");
+
+  Table t({"dim", "MemMap", "Layout", "YASK", "YASK-OL", "MPI_Types"});
+  for (std::int64_t s : ap.get_int_list("-s")) {
+    const auto memmap = run(k1_config(s, Method::MemMap));
+    const auto layout = run(k1_config(s, Method::Layout));
+    const auto yask = run(k1_config(s, Method::Yask));
+    const auto types = run(k1_config(s, Method::MpiTypes));
+    // Derived overlap variant: MPI hides under compute, packing cannot.
+    const double y_step = std::max(yask.calc.avg(),
+                                   yask.call.avg() + yask.wait.avg()) +
+                          yask.pack.avg();
+    const double cells = static_cast<double>(s * s * s) * 8;
+    t.row()
+        .cell(s)
+        .cell(gsps(memmap.gstencils))
+        .cell(gsps(layout.gstencils))
+        .cell(gsps(yask.gstencils))
+        .cell(gsps(cells / y_step / 1e9))
+        .cell(gsps(types.gstencils));
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nShape checks vs paper: MemMap ~ Layout > YASK-OL >= YASK >> "
+      "MPI_Types; the gap to YASK widens as subdomains shrink (paper peaks "
+      "at 14.4x comm speedup at 16^3); overlap hardly moves YASK at small "
+      "sizes.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9 (K1): per-timestep communication time on 8 KNL nodes for
+// MPI_Types, YASK, Layout, MemMap, the Network floor, and the MemMap
+// compute time for reference. Paper claim: Layout and MemMap nearly reach
+// the Network floor; MemMap is up to 14.4x faster than YASK and 460x
+// faster than MPI_Types.
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("fig09_k1_comm_time", "Fig 9: K1 communication time");
+  ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  ap.parse(argc, argv);
+
+  banner("Figure 9",
+         "(K1) Communication time (ms per timestep) on 8 KNL nodes. "
+         "Network = minimum time moving the same bytes in per-neighbor "
+         "contiguous messages; Comp = MemMap compute time for scale.");
+
+  Table t({"dim", "MPI_Types", "YASK", "Layout", "MemMap", "Network",
+           "Comp", "MemMap.vs.YASK", "MemMap.vs.Types"});
+  for (std::int64_t s : ap.get_int_list("-s")) {
+    const auto types = run(k1_config(s, Method::MpiTypes));
+    const auto yask = run(k1_config(s, Method::Yask));
+    const auto layout = run(k1_config(s, Method::Layout));
+    const auto memmap = run(k1_config(s, Method::MemMap));
+    const auto net = run(k1_config(s, Method::Network));
+    t.row()
+        .cell(s)
+        .cell(ms(types.comm_per_step))
+        .cell(ms(yask.comm_per_step))
+        .cell(ms(layout.comm_per_step))
+        .cell(ms(memmap.comm_per_step))
+        .cell(ms(net.comm_per_step))
+        .cell(ms(memmap.calc.avg()))
+        .cell(yask.comm_per_step / memmap.comm_per_step, 1)
+        .cell(types.comm_per_step / memmap.comm_per_step, 1);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nShape checks vs paper: MemMap tracks the Network floor across the "
+      "sweep; Layout sits slightly above it; the YASK gap grows toward "
+      "small subdomains (paper: 14.4x) and MPI_Types is orders of magnitude "
+      "slower (paper: 460x); Comp << Comm for small subdomains.\n");
+  return 0;
+}

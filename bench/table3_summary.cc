@@ -1,0 +1,65 @@
+// Table 3: the paper's closing comparison of standard array communication
+// against Layout and MemMap, reprinted with measured quantities from the
+// K1 (CPU) and V1 (GPU) experiments at a representative 64^3 subdomain.
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::GpuMode;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("table3_summary", "Table 3: cost-type comparison");
+  ap.add("-s", "representative subdomain dim", "64");
+  ap.parse(argc, argv);
+  const std::int64_t s = ap.get_int("-s");
+
+  banner("Table 3",
+         "Cost types of standard array communication vs the paper's "
+         "methods, quantified at the representative subdomain size.");
+
+  const auto yask = run(k1_config(s, Method::Yask));
+  const auto layout = run(k1_config(s, Method::Layout));
+  const auto memmap = run(k1_config(s, Method::MemMap));
+  const auto lca = run(v1_config(s, Method::Layout, GpuMode::CudaAware));
+  const auto lum = run(v1_config(s, Method::Layout, GpuMode::Unified));
+  const auto mum = run(v1_config(s, Method::MemMap, GpuMode::Unified));
+  auto big = k1_config(s, Method::MemMap);
+  big.page_size = 64 * 1024;
+  const auto memmap64 = run(big);
+
+  Table t({"cost type", "Array", "Layout", "MemMap"});
+  t.row()
+      .cell("strided packing (ms/step)")
+      .cell(ms(yask.pack.avg()) + "  [High]")
+      .cell("0  [none]")
+      .cell("0  [none]");
+  t.row()
+      .cell("extra msgs (vs 26 neighbors)")
+      .cell("0")
+      .cell(std::to_string(layout.msgs_per_rank - 26) + "  [Low*]")
+      .cell("0");
+  t.row()
+      .cell("manual CPU-GPU staging")
+      .cell("High [explicit cudaMemcpy]")
+      .cell("none [CA/UM: " + ms(lca.comm_per_step) + "/" +
+            ms(lum.comm_per_step) + " ms comm]")
+      .cell("none [UM: " + ms(mum.comm_per_step) + " ms comm]");
+  t.row()
+      .cell("large-page padding (64KiB)")
+      .cell("0")
+      .cell("0")
+      .cell(ms(memmap64.comm_per_step) + " ms, +" +
+            std::to_string(static_cast<int>(memmap64.padding_percent)) +
+            "%  [Low**]");
+  t.print(std::cout);
+  std::printf(
+      "\n(*) Section 3.3: bounded by ~3x neighbors, negligible time. "
+      "(**) Section 7.3: padding cost stays small vs eliminating packing.\n"
+      "Reference comm times at %lld^3: YASK %.3f ms, Layout %.3f ms, "
+      "MemMap %.3f ms per step.\n",
+      static_cast<long long>(s), yask.comm_per_step * 1e3,
+      layout.comm_per_step * 1e3, memmap.comm_per_step * 1e3);
+  return 0;
+}

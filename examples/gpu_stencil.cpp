@@ -1,0 +1,67 @@
+// gpu_stencil: the Section-5 data-movement story on the simulated Summit
+// node — compare the three GPU communication modes on one subdomain size:
+//
+//   LayoutCA  — storage in (simulated) cudaMalloc memory; CUDA-Aware MPI
+//               with GPUDirect RDMA, no host staging at all;
+//   LayoutUM  — unified memory; pages fault between host and device as MPI
+//               and the kernel touch them (unaligned regions fragment);
+//   MemMapUM  — unified memory + mmap views; page-aligned chunks, one
+//               message per neighbor.
+//
+// Validates each mode's arithmetic against the exact reference, then prints
+// the per-phase breakdown and the padding / migration accounting.
+
+#include <cstdio>
+
+#include "common/argparse.h"
+#include "harness/experiment.h"
+
+using namespace brickx;
+using harness::GpuMode;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("gpu_stencil", "GPU data-movement modes on simulated Summit");
+  ap.add("-d", "per-rank subdomain dimension", "32");
+  ap.add("-t", "timesteps", "16");
+  ap.parse(argc, argv);
+
+  struct ModeSpec {
+    const char* name;
+    Method method;
+    GpuMode gpu;
+  };
+  const ModeSpec modes[] = {
+      {"LayoutCA", Method::Layout, GpuMode::CudaAware},
+      {"LayoutUM", Method::Layout, GpuMode::Unified},
+      {"MemMapUM", Method::MemMap, GpuMode::Unified},
+  };
+
+  std::printf("gpu_stencil: %lld^3 cells/rank, 8 ranks (one V100 each), "
+              "7-point stencil on the summit model\n\n",
+              static_cast<long long>(ap.get_int("-d")));
+  std::printf("%-9s %10s %10s %10s %12s %8s %10s\n", "mode", "calc(ms)",
+              "call(ms)", "wait(ms)", "GStencil/s", "pad(%)", "validated");
+  for (const ModeSpec& m : modes) {
+    harness::Config cfg;
+    cfg.machine = model::summit();
+    cfg.rank_dims = {2, 2, 2};
+    cfg.subdomain = Vec3::fill(ap.get_int("-d"));
+    cfg.brick = 8;
+    cfg.ghost = 8;
+    cfg.method = m.method;
+    cfg.gpu = m.gpu;
+    cfg.timesteps = static_cast<int>(ap.get_int("-t"));
+    cfg.validate = true;
+    const harness::Result r = run(cfg);
+    std::printf("%-9s %10.4f %10.4f %10.4f %12.3f %8.1f %10s\n", m.name,
+                r.calc.avg() * 1e3, r.call.avg() * 1e3, r.wait.avg() * 1e3,
+                r.gstencils, r.padding_percent,
+                r.validated ? "exact" : "MISMATCH");
+  }
+  std::printf(
+      "\nExpected: LayoutCA leads (no staging, no faults); LayoutUM pays "
+      "fault backwash in calc; MemMapUM trades padded bytes for one "
+      "message per neighbor. All three compute identical values.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// stencil2d: the paper's expository scenario (Figures 2 and 3) run for
+// real — a 2D 5-point stencil on 32x32 subdomains of 4x4 blocks with an
+// 8-wide ghost zone.
+//
+// A 5-point stencil only *needs* a 1-cell ghost, which is thinner than a
+// 4x4 block; following Section 2, the ghost zone is expanded to 8 = 2
+// blocks and ghost cell expansion trades redundant computation for one
+// exchange every 8 steps. The exchange uses the optimal surface2d order:
+// 9 messages to 8 neighbors (vs 16 Basic, 12 for the Figure-2 numbering).
+
+#include <cstdio>
+
+#include "core/brick.h"
+#include "core/cell_array.h"
+#include "core/decomp.h"
+#include "core/exchange.h"
+#include "model/machine.h"
+#include "simmpi/cart.h"
+#include "stencil/stencils.h"
+
+using namespace brickx;
+
+namespace {
+
+// 5-point diffusion with weights summing to 1.
+void apply5(const CellArray<2>& in, CellArray<2>& out, const Box<2>& cells) {
+  for_each(cells, [&](const Vec2& p) {
+    out.at(p) = 0.6 * in.at(p) + 0.1 * in.at(p - Vec2{1, 0}) +
+                0.1 * in.at(p + Vec2{1, 0}) + 0.1 * in.at(p - Vec2{0, 1}) +
+                0.1 * in.at(p + Vec2{0, 1});
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int steps = 16;
+  if (argc > 1) steps = std::atoi(argv[1]);
+  const Vec2 N{32, 32};
+  const std::int64_t g = 8;
+
+  std::printf("stencil2d: the Figure-2 setup — 32x32 subdomains, 4x4 "
+              "blocks, 8-wide expanded ghost, 4 ranks, surface2d order\n");
+
+  mpi::Runtime rt(4, model::theta().net);
+  rt.run([&](mpi::Comm& comm) {
+    mpi::Cart<2> cart(comm, {2, 2});
+    BrickDecomp<2> dec(N, g, {4, 4}, surface2d());
+    BrickStorage storage = dec.allocate(1);
+    Exchanger<2> ex(dec, storage, populate(cart, dec),
+                    Exchanger<2>::Mode::Layout);
+    Exchanger<2> basic(dec, storage, populate(cart, dec),
+                       Exchanger<2>::Mode::Basic);
+    if (comm.rank() == 0) {
+      std::printf("  messages per exchange: %lld (Layout) vs %lld (Basic); "
+                  "paper: 9 vs 16\n",
+                  static_cast<long long>(ex.send_message_count()),
+                  static_cast<long long>(basic.send_message_count()));
+    }
+
+    // Seed: a hot square in rank 0's interior; elsewhere cold.
+    const Vec2 off = cart.coords() * N;
+    CellArray<2> f(Box<2>{Vec2{0, 0} - Vec2::fill(g), N + Vec2::fill(g)});
+    for_each(Box<2>{{0, 0}, N}, [&](const Vec2& p) {
+      const Vec2 q = p + off;
+      f.at(p) = (q[0] >= 12 && q[0] < 20 && q[1] >= 12 && q[1] < 20) ? 1.0
+                                                                      : 0.0;
+    });
+    CellArray<2> tmp(f.box());
+
+    // Ghost-cell expansion: radius 1, ghost 8 -> exchange every 8 steps,
+    // with the compute region shrinking by one cell per step.
+    const std::int64_t kk = stencil::steps_per_exchange(g, 1);
+    for (int s = 0; s < steps; ++s) {
+      if (s % kk == 0) {
+        cells_to_bricks(dec, f, storage, 0);
+        ex.exchange(comm);
+        bricks_to_cells(dec, storage, 0, f);
+      }
+      apply5(f, tmp, stencil::expansion_output_box<2>(N, g, 1, s % kk));
+      std::swap(f.raw(), tmp.raw());
+    }
+
+    double mass = 0;
+    for_each(Box<2>{{0, 0}, N}, [&](const Vec2& p) { mass += f.at(p); });
+    const double total = comm.allreduce_sum(mass);
+    if (comm.rank() == 0)
+      std::printf("  after %d steps: global mass %.12f (expected 64.0 — "
+                  "8x8 hot cells, conserved by the periodic diffusion)\n",
+                  steps, total);
+  });
+  return 0;
+}

@@ -1,0 +1,101 @@
+// timeline: record and print the message schedule of one ghost-zone
+// exchange for each method — who sends what to whom, when it departs the
+// NIC and when it lands. Makes the latency/serialization structure the
+// paper reasons about directly visible.
+
+#include <cstdio>
+
+#include "common/argparse.h"
+#include "core/cell_array.h"
+#include "core/exchange.h"
+#include "core/exchange_view.h"
+#include "core/shift.h"
+#include "model/machine.h"
+#include "simmpi/cart.h"
+
+using namespace brickx;
+
+namespace {
+
+void show(const char* name, const std::vector<mpi::MsgEvent>& trace,
+          int max_rows) {
+  double last = 0, bytes = 0;
+  for (const auto& e : trace) {
+    last = std::max(last, e.arrival);
+    bytes += static_cast<double>(e.bytes);
+  }
+  std::printf("\n%s: %zu messages, %.1f KiB total, last arrival %.2f us\n",
+              name, trace.size(), bytes / 1024, last * 1e6);
+  std::printf("  %-4s %-4s %-6s %-10s %-12s %-12s\n", "src", "dst", "tag",
+              "bytes", "depart(us)", "arrive(us)");
+  int from_zero = 0;
+  for (const auto& e : trace)
+    if (e.src == 0) ++from_zero;
+  int shown = 0;
+  for (const auto& e : trace) {
+    if (e.src != 0) continue;  // rank 0's sends keep the listing short
+    if (++shown > max_rows) {
+      std::printf("  ... (%d more from rank 0)\n", from_zero - max_rows);
+      break;
+    }
+    std::printf("  %-4d %-4d %-6d %-10zu %-12.2f %-12.2f\n", e.src, e.dst,
+                e.tag, e.bytes, e.departure * 1e6, e.arrival * 1e6);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser ap("timeline", "message timeline of one exchange per method");
+  ap.add("-d", "per-rank subdomain dimension", "32");
+  ap.add("-n", "max rows to print per method", "12");
+  ap.parse(argc, argv);
+  const std::int64_t dim = ap.get_int("-d");
+  const int max_rows = static_cast<int>(ap.get_int("-n"));
+
+  std::printf("timeline: one exchange on 8 ranks, %lld^3 cells each "
+              "(theta model)\n",
+              static_cast<long long>(dim));
+
+  auto record = [&](auto&& body) {
+    mpi::Runtime rt(8, model::theta().net);
+    rt.enable_trace();
+    rt.run([&](mpi::Comm& comm) {
+      mpi::Cart<3> cart(comm, {2, 2, 2});
+      BrickDecomp<3> dec(Vec3::fill(dim), 8, {8, 8, 8}, surface3d());
+      body(comm, cart, dec);
+    });
+    return rt.trace();
+  };
+
+  show("Layout (42 msgs/rank)",
+       record([](mpi::Comm& comm, mpi::Cart<3>& cart, BrickDecomp<3>& dec) {
+         BrickStorage s = dec.allocate(1);
+         Exchanger<3> ex(dec, s, populate(cart, dec),
+                         Exchanger<3>::Mode::Layout);
+         ex.exchange(comm);
+       }),
+       max_rows);
+
+  show("MemMap (26 msgs/rank)",
+       record([](mpi::Comm& comm, mpi::Cart<3>& cart, BrickDecomp<3>& dec) {
+         BrickStorage s = dec.mmap_alloc(1);
+         ExchangeView<3> ev(dec, s, populate(cart, dec));
+         ev.exchange(comm);
+       }),
+       max_rows);
+
+  show("Shift (3 dependent phases)",
+       record([](mpi::Comm& comm, mpi::Cart<3>& cart, BrickDecomp<3>& dec) {
+         BrickStorage s = dec.allocate(1);
+         ShiftExchanger<3> sh(dec, s, shift_neighbors(cart));
+         sh.exchange(comm);
+       }),
+       max_rows);
+
+  std::printf(
+      "\nReading guide: MemMap's few large messages depart back-to-back "
+      "(NIC serialization); Shift's later phases cannot depart before the "
+      "prior phase arrives — visible as gaps in the departure column.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// wave125: a high-order (5^3, 125-point) stencil sweep — the paper's
+// high-arithmetic-intensity proxy, the kind of wide-halo kernel that makes
+// fine-grained data blocking and ghost-cell expansion pay off.
+//
+// Demonstrates the multi-field interleaving of Section 6: pressure and
+// velocity-potential fields share one BrickStorage (array-of-structure-of-
+// array), so a single pack-free Layout exchange communicates both at once.
+
+#include <cstdio>
+
+#include "core/brick.h"
+#include "core/cell_array.h"
+#include "core/decomp.h"
+#include "core/exchange.h"
+#include "model/machine.h"
+#include "simmpi/cart.h"
+#include "stencil/stencils.h"
+
+using namespace brickx;
+
+int main(int argc, char** argv) {
+  std::int64_t dim = 32;
+  int steps = 8;
+  if (argc > 1) dim = std::atoll(argv[1]);
+  if (argc > 2) steps = std::atoi(argv[2]);
+
+  std::printf("wave125: %lld^3 cells/rank, 8 ranks, 125-point stencil, "
+              "2 fields interleaved in one storage, Layout exchange\n",
+              static_cast<long long>(dim));
+
+  mpi::Runtime rt(8, model::theta().net);
+  rt.run([&](mpi::Comm& comm) {
+    mpi::Cart<3> cart(comm, {2, 2, 2});
+    BrickDecomp<3> dec(Vec3::fill(dim), 8, {8, 8, 8}, surface3d());
+    BrickInfo<3> info = dec.brick_info();
+    // Two interleaved fields: p (offset 0) and q (offset 8^3). One
+    // exchange moves both — "communicating them all at once in a single
+    // BrickStorage exchange" (paper Section 6).
+    BrickStorage storage = dec.allocate(/*fields=*/2);
+    Brick<8, 8, 8> p(&info, &storage, 0);
+    Brick<8, 8, 8> q(&info, &storage, 512);
+
+    const Vec3 off = cart.coords() * Vec3::fill(dim);
+    CellArray3 seed(Box<3>{{0, 0, 0}, Vec3::fill(dim)});
+    for_each(seed.box(), [&](const Vec3& c) {
+      const Vec3 g = c + off;
+      seed.at(c) = (g[0] == 16 && g[1] == 16 && g[2] == 16) ? 1.0 : 0.0;
+    });
+    cells_to_bricks(dec, seed, storage, 0);
+
+    Exchanger<3> ex(dec, storage, populate(cart, dec),
+                    Exchanger<3>::Mode::Layout);
+
+    // Radius-2 stencil with an 8-wide ghost: exchange every 4 steps; both
+    // fields ride the same messages.
+    const std::int64_t k = stencil::steps_per_exchange(8, 2);
+    int from = 0;
+    for (int s = 0; s < steps; ++s) {
+      if (s % k == 0) ex.exchange(comm);
+      const Box<3> out_box =
+          stencil::expansion_output_box<3>(Vec3::fill(dim), 8, 2, s % k);
+      if (from == 0) {
+        stencil::apply125_bricks<8, 8, 8>(dec, q, p, out_box);
+      } else {
+        stencil::apply125_bricks<8, 8, 8>(dec, p, q, out_box);
+      }
+      from = 1 - from;
+    }
+
+    // Diffused pulse: total mass is conserved by the normalized weights.
+    CellArray3 out(Box<3>{{0, 0, 0}, Vec3::fill(dim)});
+    bricks_to_cells(dec, storage, from, out);
+    double mass = 0;
+    for (double v : out.raw()) mass += v;
+    const double total = comm.allreduce_sum(mass);
+    if (comm.rank() == 0) {
+      std::printf("after %d steps: global mass = %.12f (expected 1.0), "
+                  "exchange = %lld msgs x %lld bytes for BOTH fields\n",
+                  steps, total,
+                  static_cast<long long>(ex.send_message_count()),
+                  static_cast<long long>(ex.send_byte_count()));
+    }
+  });
+  return 0;
+}

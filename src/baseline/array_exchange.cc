@@ -1,0 +1,177 @@
+#include "baseline/array_exchange.h"
+
+#include "common/error.h"
+
+namespace brickx::baseline {
+
+Box<3> send_box(const BitSet& nu, const Vec3& domain, std::int64_t g) {
+  Box<3> b;
+  for (int a = 0; a < 3; ++a) {
+    switch (nu.dir_of(a + 1)) {
+      case 1:
+        b.lo[a] = domain[a] - g;
+        b.hi[a] = domain[a];
+        break;
+      case -1:
+        b.lo[a] = 0;
+        b.hi[a] = g;
+        break;
+      default:
+        b.lo[a] = 0;
+        b.hi[a] = domain[a];
+    }
+  }
+  return b;
+}
+
+Box<3> recv_box(const BitSet& nu, const Vec3& domain, std::int64_t g) {
+  Box<3> b;
+  for (int a = 0; a < 3; ++a) {
+    switch (nu.dir_of(a + 1)) {
+      case 1:
+        b.lo[a] = domain[a];
+        b.hi[a] = domain[a] + g;
+        break;
+      case -1:
+        b.lo[a] = -g;
+        b.hi[a] = 0;
+        break;
+      default:
+        b.lo[a] = 0;
+        b.hi[a] = domain[a];
+    }
+  }
+  return b;
+}
+
+namespace {
+int ordinal_of(const std::vector<BitSet>& dirs, const BitSet& d) {
+  for (std::size_t i = 0; i < dirs.size(); ++i)
+    if (dirs[i] == d) return static_cast<int>(i);
+  brickx::fail("direction missing from enumeration");
+}
+}  // namespace
+
+PackExchanger::PackExchanger(const Vec3& domain, std::int64_t ghost,
+                             const std::vector<BitSet>& dirs,
+                             const std::vector<int>& neighbor_ranks) {
+  BX_CHECK(dirs.size() == neighbor_ranks.size(),
+           "direction and rank tables disagree");
+  for (std::size_t v = 0; v < dirs.size(); ++v) {
+    NMsg m;
+    m.rank = neighbor_ranks[v];
+    m.send_tag = static_cast<int>(v);
+    m.recv_tag = ordinal_of(dirs, dirs[v].flipped());
+    m.sbox = send_box(dirs[v], domain, ghost);
+    m.rbox = recv_box(dirs[v], domain, ghost);
+    BX_CHECK(m.sbox.volume() == m.rbox.volume(),
+             "send/recv volumes must match");
+    m.sbuf.resize(static_cast<std::size_t>(m.sbox.volume()));
+    m.rbuf.resize(static_cast<std::size_t>(m.rbox.volume()));
+    msgs_.push_back(std::move(m));
+  }
+}
+
+std::size_t PackExchanger::pack(const CellArray3& field) {
+  std::size_t bytes = 0;
+  for (NMsg& m : msgs_) {
+    std::size_t at = 0;
+    for_each(m.sbox, [&](const Vec3& p) { m.sbuf[at++] = field.at(p); });
+    bytes += at * sizeof(double);
+  }
+  return bytes;
+}
+
+void PackExchanger::start(mpi::Comm& comm) {
+  BX_CHECK(pending_.empty(), "previous exchange still in flight");
+  for (NMsg& m : msgs_)
+    pending_.push_back(comm.irecv(m.rbuf.data(),
+                                  m.rbuf.size() * sizeof(double), m.rank,
+                                  m.recv_tag));
+  for (NMsg& m : msgs_)
+    pending_.push_back(comm.isend(m.sbuf.data(),
+                                  m.sbuf.size() * sizeof(double), m.rank,
+                                  m.send_tag));
+}
+
+void PackExchanger::finish(mpi::Comm& comm) { comm.waitall(pending_); }
+
+std::size_t PackExchanger::unpack(CellArray3& field) {
+  std::size_t bytes = 0;
+  for (NMsg& m : msgs_) {
+    std::size_t at = 0;
+    for_each(m.rbox, [&](const Vec3& p) { field.at(p) = m.rbuf[at++]; });
+    bytes += at * sizeof(double);
+  }
+  return bytes;
+}
+
+void PackExchanger::exchange(mpi::Comm& comm, CellArray3& field) {
+  pack(field);
+  start(comm);
+  finish(comm);
+  unpack(field);
+}
+
+std::int64_t PackExchanger::send_byte_count() const {
+  std::int64_t n = 0;
+  for (const NMsg& m : msgs_)
+    n += static_cast<std::int64_t>(m.sbuf.size() * sizeof(double));
+  return n;
+}
+
+MpiTypesExchanger::MpiTypesExchanger(const Vec3& domain, std::int64_t ghost,
+                                     const std::vector<BitSet>& dirs,
+                                     const std::vector<int>& neighbor_ranks,
+                                     const CellArray3& field_shape) {
+  BX_CHECK(dirs.size() == neighbor_ranks.size(),
+           "direction and rank tables disagree");
+  const Box<3>& fb = field_shape.box();
+  const Vec3 sizes = fb.extent();
+  for (std::size_t v = 0; v < dirs.size(); ++v) {
+    NMsg m;
+    m.rank = neighbor_ranks[v];
+    m.send_tag = static_cast<int>(v);
+    m.recv_tag = ordinal_of(dirs, dirs[v].flipped());
+    const Box<3> sb = send_box(dirs[v], domain, ghost);
+    const Box<3> rb = recv_box(dirs[v], domain, ghost);
+    m.stype = mpi::Datatype::subarray<3>(sizes, sb.extent(), sb.lo - fb.lo,
+                                         sizeof(double));
+    m.rtype = mpi::Datatype::subarray<3>(sizes, rb.extent(), rb.lo - fb.lo,
+                                         sizeof(double));
+    msgs_.push_back(std::move(m));
+  }
+}
+
+void MpiTypesExchanger::start(mpi::Comm& comm, CellArray3& field) {
+  BX_CHECK(pending_.empty(), "previous exchange still in flight");
+  for (NMsg& m : msgs_)
+    pending_.push_back(
+        comm.irecv(field.raw().data(), m.rtype, m.rank, m.recv_tag));
+  for (NMsg& m : msgs_)
+    pending_.push_back(
+        comm.isend(field.raw().data(), m.stype, m.rank, m.send_tag));
+}
+
+void MpiTypesExchanger::finish(mpi::Comm& comm) { comm.waitall(pending_); }
+
+void MpiTypesExchanger::exchange(mpi::Comm& comm, CellArray3& field) {
+  start(comm, field);
+  finish(comm);
+}
+
+std::int64_t MpiTypesExchanger::send_byte_count() const {
+  std::int64_t n = 0;
+  for (const NMsg& m : msgs_) n += static_cast<std::int64_t>(m.stype.size());
+  return n;
+}
+
+std::int64_t MpiTypesExchanger::datatype_block_count() const {
+  std::int64_t n = 0;
+  for (const NMsg& m : msgs_)
+    n += static_cast<std::int64_t>(m.stype.block_count() +
+                                   m.rtype.block_count());
+  return n;
+}
+
+}  // namespace brickx::baseline

@@ -1,0 +1,90 @@
+#include "common/argparse.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace brickx {
+
+ArgParser::ArgParser(std::string prog, std::string description)
+    : prog_(std::move(prog)), description_(std::move(description)) {}
+
+void ArgParser::add(const std::string& name, const std::string& help,
+                    const std::string& default_value) {
+  BX_CHECK(!opts_.count(name), "duplicate option");
+  opts_[name] = Opt{help, default_value, false, false};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  BX_CHECK(!opts_.count(name), "duplicate option");
+  opts_[name] = Opt{help, "", true, false};
+  order_.push_back(name);
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-h" || a == "--help") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    auto it = opts_.find(a);
+    if (it == opts_.end()) fail("unknown option: " + a + "\n" + usage());
+    if (it->second.is_flag) {
+      it->second.seen = true;
+    } else {
+      if (i + 1 >= argc) fail("option " + a + " requires a value");
+      it->second.value = argv[++i];
+      it->second.seen = true;
+    }
+  }
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto it = opts_.find(name);
+  if (it == opts_.end()) fail("option not registered: " + name);
+  return it->second.value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  auto it = opts_.find(name);
+  if (it == opts_.end()) fail("flag not registered: " + name);
+  return it->second.seen;
+}
+
+std::vector<std::int64_t> ArgParser::get_int_list(
+    const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get(name));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+  }
+  return out;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << prog_ << " -- " << description_ << "\noptions:\n";
+  for (const auto& name : order_) {
+    const Opt& o = opts_.at(name);
+    os << "  " << name;
+    if (!o.is_flag) os << " <v=" << o.value << ">";
+    os << "  " << o.help << "\n";
+  }
+  os << "  -h, --help  show this message\n";
+  return os.str();
+}
+
+}  // namespace brickx

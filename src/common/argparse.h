@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace brickx {
+
+/// Minimal GNU-style option parser for examples and benches.
+///
+///   ArgParser ap("fig08", "K1 scaling sweep");
+///   ap.add("-d", "subdomain dimension", "64");
+///   ap.add_flag("-v", "validate against reference");
+///   ap.parse(argc, argv);        // prints help and exits on -h/--help
+///   int d = ap.get_int("-d");
+class ArgParser {
+ public:
+  ArgParser(std::string prog, std::string description);
+
+  /// Register an option taking a value, with a default.
+  void add(const std::string& name, const std::string& help,
+           const std::string& default_value);
+  /// Register a boolean flag (present/absent).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Unknown options or missing values throw brickx::Error.
+  /// `-h`/`--help` prints usage and std::exit(0)s.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. "-s 128,64,32".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  std::string prog_, description_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace brickx

@@ -1,0 +1,29 @@
+#include "common/bitset.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace brickx {
+
+std::string BitSet::str() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int a = 1; a <= kMaxAxis; ++a) {
+    for (int s : {a, -a}) {
+      if (has(s)) {
+        if (!first) os << ",";
+        os << s;
+        first = false;
+      }
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const BitSet& s) {
+  return os << s.str();
+}
+
+}  // namespace brickx

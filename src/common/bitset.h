@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+
+#include "common/error.h"
+
+namespace brickx {
+
+/// A set of *signed axis directions*, the notation system of the paper's
+/// Figure 3. Elements are nonzero integers in [-kMaxAxis, kMaxAxis]:
+/// `+i` denotes the positive direction of axis i (A_i^+), `-i` the negative
+/// (A_i^-). A BitSet identifies a neighbor N(S) and a surface/ghost region
+/// r(S): e.g. `BitSet{1, -2}` is the neighbor one step up in axis 1 and one
+/// step down in axis 2.
+///
+/// The empty set denotes the subdomain itself (interior); it is not a valid
+/// neighbor.
+class BitSet {
+ public:
+  static constexpr int kMaxAxis = 16;
+
+  constexpr BitSet() = default;
+
+  /// Construct from a list of signed axes, e.g. `BitSet{-1, -2}`.
+  /// Inserting both +i and -i is allowed (used transiently by region
+  /// enumeration helpers) but such a set never names a single neighbor.
+  BitSet(std::initializer_list<int> elems) {
+    for (int e : elems) set(e);
+  }
+
+  /// Insert signed axis `e` (nonzero, |e| <= kMaxAxis).
+  void set(int e) { bits_ |= bit(e); }
+
+  /// Remove signed axis `e` if present.
+  void clear(int e) { bits_ &= ~bit(e); }
+
+  /// True iff signed axis `e` is in the set.
+  [[nodiscard]] bool has(int e) const { return (bits_ & bit(e)) != 0; }
+
+  /// Number of elements.
+  [[nodiscard]] int size() const { return __builtin_popcountll(bits_); }
+
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+
+  /// Signed subset relation: every element of *this is an element of `o`.
+  [[nodiscard]] bool subset_of(const BitSet& o) const {
+    return (bits_ & o.bits_) == bits_;
+  }
+
+  /// Set with every element's direction flipped (+i <-> -i). A region σ of
+  /// this rank maps onto the ghost region -σ of the neighbor it is sent to.
+  [[nodiscard]] BitSet flipped() const {
+    BitSet r;
+    r.bits_ = ((bits_ & kNegMask) >> kMaxAxis) | ((bits_ & kPosMask) << kMaxAxis);
+    return r;
+  }
+
+  [[nodiscard]] BitSet operator&(const BitSet& o) const {
+    BitSet r;
+    r.bits_ = bits_ & o.bits_;
+    return r;
+  }
+  [[nodiscard]] BitSet operator|(const BitSet& o) const {
+    BitSet r;
+    r.bits_ = bits_ | o.bits_;
+    return r;
+  }
+  bool operator==(const BitSet& o) const = default;
+
+  /// The direction of axis `axis` (1-based, unsigned) in this set:
+  /// -1, 0, or +1. Sets holding both +axis and -axis are rejected.
+  [[nodiscard]] int dir_of(int axis) const {
+    const bool pos = has(axis), neg = has(-axis);
+    BX_CHECK(!(pos && neg), "BitSet holds both directions of axis");
+    return pos ? 1 : (neg ? -1 : 0);
+  }
+
+  /// Raw bit pattern; stable across runs, usable as a hash/map key.
+  [[nodiscard]] std::uint64_t raw() const { return bits_; }
+
+  /// Render as e.g. "{1,-2}"; empty set renders "{}".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static constexpr std::uint64_t kPosMask = (1ull << kMaxAxis) - 1;
+  static constexpr std::uint64_t kNegMask = kPosMask << kMaxAxis;
+
+  static std::uint64_t bit(int e) {
+    BX_CHECK(e != 0 && e >= -kMaxAxis && e <= kMaxAxis,
+             "BitSet element out of range");
+    return e > 0 ? (1ull << (e - 1)) : (1ull << (kMaxAxis - e - 1));
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const BitSet& s);
+
+}  // namespace brickx

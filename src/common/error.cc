@@ -1,0 +1,13 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace brickx {
+
+void fail(const std::string& msg, std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace brickx

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace brickx {
+
+/// Deterministic splitmix64 generator; used to fill domains with
+/// reproducible data and by the layout search. Independent of std::rand so
+/// results are identical across platforms and runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace brickx

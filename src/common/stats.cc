@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace brickx {
+
+std::string Stats::str() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "[%.3e, %.3e, %.3e] (sigma: %.2e)", min(),
+                avg(), max(), sigma());
+  return buf;
+}
+
+void Stats::merge(const Stats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+  const double d = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += d * nb / nt;
+  m2_ += o.m2_ + d * d * na * nb / nt;
+  n_ += o.n_;
+  if (o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
+}  // namespace brickx

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace brickx {
+
+/// Streaming accumulator reporting `[minimum, average, maximum] (σ)` — the
+/// exact format the paper's artifact prints for calc/pack/call/wait/perf.
+/// Uses Welford's algorithm for a numerically stable variance.
+class Stats {
+ public:
+  void add(double x) {
+    ++n_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double avg() const { return mean_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Population standard deviation.
+  [[nodiscard]] double sigma() const {
+    return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_)) : 0.0;
+  }
+
+  /// "[1.2e-03, 1.3e-03, 1.5e-03] (σ: 8.1e-05)"
+  [[nodiscard]] std::string str() const;
+
+  /// Merge another accumulator into this one (Chan's parallel update).
+  void merge(const Stats& o);
+
+ private:
+  std::int64_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace brickx

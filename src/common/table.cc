@@ -1,0 +1,76 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace brickx {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& s) {
+  BX_CHECK(!rows_.empty(), "cell() before row()");
+  rows_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell_sci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", prec, v);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::ostream& os) const { os << str(); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+      w[c] = std::max(w[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < r.size() ? r[c] : std::string();
+      os << (c ? "  " : "") << s
+         << std::string(w[c] > s.size() ? w[c] - s.size() : 0, ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto x : w) total += x + 2;
+  os << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) os << (c ? "," : "") << r[c];
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace brickx

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace brickx {
+
+/// Column-aligned plain-text table used by the bench binaries to print
+/// paper-figure series. Cells are strings; convenience setters format
+/// numbers consistently (engineering precision for times/rates).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& s);
+  Table& cell(std::int64_t v);
+  /// Fixed-notation double with `prec` digits after the point.
+  Table& cell(double v, int prec = 4);
+  /// Scientific notation (for spans of several decades, e.g. ms series).
+  Table& cell_sci(double v, int prec = 3);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+  /// Comma-separated variant for machine consumption.
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace brickx

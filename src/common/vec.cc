@@ -1,0 +1,20 @@
+#include "common/vec.h"
+
+#include <ostream>
+
+namespace brickx {
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const Vec<D>& v) {
+  os << "(";
+  for (int i = 0; i < D; ++i) os << (i ? "," : "") << v[i];
+  return os << ")";
+}
+
+template std::ostream& operator<<(std::ostream&, const Vec<1>&);
+template std::ostream& operator<<(std::ostream&, const Vec<2>&);
+template std::ostream& operator<<(std::ostream&, const Vec<3>&);
+template std::ostream& operator<<(std::ostream&, const Vec<4>&);
+template std::ostream& operator<<(std::ostream&, const Vec<5>&);
+
+}  // namespace brickx

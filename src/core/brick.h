@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "core/brick_info.h"
+#include "core/brick_storage.h"
+
+namespace brickx {
+
+/// Element accessor over bricked 3D storage, mirroring the paper's Figure 6
+/// interface:
+///
+///   Brick<8, 8, 8> a(&info, &storage, 0);       // field 0
+///   Brick<8, 8, 8> b(&info, &storage, 512);     // field 1 (8^3 offset)
+///   a[brickIndex][k][j][i] = c0 * b[brickIndex][k][j][i]
+///                          + c1 * b[brickIndex][k - 1][j][i] + ...;
+///
+/// Template parameters are the brick extents in k/j/i order (BK slowest,
+/// BI contiguous). Indices one brick outside the current brick
+/// ([-B, 2B) per axis) resolve automatically through BrickInfo adjacency —
+/// the library's logical-to-physical indirection.
+template <int BK, int BJ, int BI>
+class Brick {
+ public:
+  static constexpr std::int64_t kElems =
+      static_cast<std::int64_t>(BK) * BJ * BI;
+
+  /// `elem_offset`: element offset of this field inside a brick chunk
+  /// (field f of an interleaved storage passes f * BK*BJ*BI).
+  Brick(const BrickInfo<3>* info, BrickStorage* storage,
+        std::int64_t elem_offset = 0)
+      : info_(info), storage_(storage), elem_offset_(elem_offset) {
+    BX_CHECK(info->brick_count() == storage->brick_count(),
+             "BrickInfo and BrickStorage disagree on brick count");
+    BX_CHECK(storage->elements_per_brick() == kElems,
+             "storage bricks do not match Brick template extents");
+    BX_CHECK(elem_offset + kElems <=
+                 storage->elements_per_brick() * storage->fields(),
+             "field offset outside brick chunk");
+  }
+
+  /// Direct accessor; k/j/i may each lie in [-B, 2B) and are resolved to
+  /// the right neighboring brick through the adjacency list.
+  [[nodiscard]] double& at(std::int64_t b, int k, int j, int i) const {
+    const int dk = k < 0 ? -1 : (k >= BK ? 1 : 0);
+    const int dj = j < 0 ? -1 : (j >= BJ ? 1 : 0);
+    const int di = i < 0 ? -1 : (i >= BI ? 1 : 0);
+    std::int64_t target = b;
+    if (dk | dj | di) {
+      const int code = (di + 1) + 3 * (dj + 1) + 9 * (dk + 1);
+      target = info_->adj[static_cast<std::size_t>(b)][code];
+      BX_CHECK(target != BrickInfo<3>::kNoBrick,
+               "stencil reached past the allocated ghost zone");
+      k -= dk * BK;
+      j -= dj * BJ;
+      i -= di * BI;
+    }
+    return storage_->brick(target)[elem_offset_ +
+                                   (static_cast<std::int64_t>(k) * BJ + j) *
+                                       BI +
+                                   i];
+  }
+
+  // Proxy chain enabling the a[b][k][j][i] syntax of the paper.
+  class Proxy2 {
+   public:
+    Proxy2(const Brick* br, std::int64_t b, int k, int j)
+        : br_(br), b_(b), k_(k), j_(j) {}
+    double& operator[](int i) const { return br_->at(b_, k_, j_, i); }
+
+   private:
+    const Brick* br_;
+    std::int64_t b_;
+    int k_, j_;
+  };
+  class Proxy1 {
+   public:
+    Proxy1(const Brick* br, std::int64_t b, int k) : br_(br), b_(b), k_(k) {}
+    Proxy2 operator[](int j) const { return Proxy2(br_, b_, k_, j); }
+
+   private:
+    const Brick* br_;
+    std::int64_t b_;
+    int k_;
+  };
+  class Proxy0 {
+   public:
+    Proxy0(const Brick* br, std::int64_t b) : br_(br), b_(b) {}
+    Proxy1 operator[](int k) const { return Proxy1(br_, b_, k); }
+
+   private:
+    const Brick* br_;
+    std::int64_t b_;
+  };
+  Proxy0 operator[](std::int64_t b) const { return Proxy0(this, b); }
+
+  [[nodiscard]] const BrickInfo<3>& info() const { return *info_; }
+  [[nodiscard]] BrickStorage& storage() const { return *storage_; }
+
+ private:
+  const BrickInfo<3>* info_;
+  BrickStorage* storage_;
+  std::int64_t elem_offset_;
+};
+
+}  // namespace brickx

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace brickx {
+
+constexpr int pow3(int d) { return d == 0 ? 1 : 3 * pow3(d - 1); }
+
+/// The logical organization of bricks: an adjacency list giving, for every
+/// brick, the storage index of each of its 3^D neighbors (including itself
+/// at the center slot). This is the indirection layer that lets the physical
+/// brick order be rearranged freely — layout optimization — while stencil
+/// code keeps addressing logical neighbors.
+template <int D>
+struct BrickInfo {
+  static constexpr int kNeighbors = pow3(D);
+  static constexpr std::int32_t kNoBrick = -1;
+
+  /// adj[b][code]: neighbor of brick b in direction code, where code is the
+  /// mixed-radix encoding of (d0+1, d1+1, ..), axis 0 fastest:
+  /// code = (d0+1) + 3*(d1+1) + 9*(d2+1) ... Center (all zero) is b itself.
+  std::vector<std::array<std::int32_t, kNeighbors>> adj;
+
+  [[nodiscard]] std::int64_t brick_count() const {
+    return static_cast<std::int64_t>(adj.size());
+  }
+
+  /// Direction code from per-axis offsets in {-1, 0, +1}.
+  static constexpr int dir_code(const std::array<int, D>& d) {
+    int code = 0;
+    for (int i = D - 1; i >= 0; --i) code = code * 3 + (d[i] + 1);
+    return code;
+  }
+};
+
+}  // namespace brickx

@@ -1,0 +1,64 @@
+#include "core/cell_array.h"
+
+#include "common/error.h"
+
+namespace brickx {
+
+namespace {
+// Floor division/modulo for possibly-negative cell coordinates.
+inline std::int64_t fdiv(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+}  // namespace
+
+template <int D>
+void cells_to_bricks(const BrickDecomp<D>& dec, const CellArray<D>& src,
+                     BrickStorage& storage, int field) {
+  const Vec<D>& B = dec.brick_dims();
+  const std::int64_t elems = dec.elements_per_brick();
+  BX_CHECK(field >= 0 && field < storage.fields(), "field out of range");
+  for_each(src.box(), [&](const Vec<D>& c) {
+    Vec<D> g, w;
+    for (int a = 0; a < D; ++a) {
+      g[a] = fdiv(c[a], B[a]);
+      w[a] = c[a] - g[a] * B[a];
+    }
+    const std::int32_t b = dec.brick_at(g);
+    if (b == BrickInfo<D>::kNoBrick) return;
+    storage.brick(b)[field * elems + linearize(w, B)] = src.at(c);
+  });
+}
+
+template <int D>
+void bricks_to_cells(const BrickDecomp<D>& dec, const BrickStorage& storage,
+                     int field, CellArray<D>& dst) {
+  const Vec<D>& B = dec.brick_dims();
+  const std::int64_t elems = dec.elements_per_brick();
+  BX_CHECK(field >= 0 && field < storage.fields(), "field out of range");
+  for_each(dst.box(), [&](const Vec<D>& c) {
+    Vec<D> g, w;
+    for (int a = 0; a < D; ++a) {
+      g[a] = fdiv(c[a], B[a]);
+      w[a] = c[a] - g[a] * B[a];
+    }
+    const std::int32_t b = dec.brick_at(g);
+    BX_CHECK(b != BrickInfo<D>::kNoBrick,
+             "destination box reaches outside the allocated bricks");
+    dst.at(c) = storage.brick(b)[field * elems + linearize(w, B)];
+  });
+}
+
+template void cells_to_bricks<2>(const BrickDecomp<2>&, const CellArray<2>&,
+                                 BrickStorage&, int);
+template void cells_to_bricks<3>(const BrickDecomp<3>&, const CellArray<3>&,
+                                 BrickStorage&, int);
+template void cells_to_bricks<4>(const BrickDecomp<4>&, const CellArray<4>&,
+                                 BrickStorage&, int);
+template void bricks_to_cells<2>(const BrickDecomp<2>&, const BrickStorage&,
+                                 int, CellArray<2>&);
+template void bricks_to_cells<3>(const BrickDecomp<3>&, const BrickStorage&,
+                                 int, CellArray<3>&);
+template void bricks_to_cells<4>(const BrickDecomp<4>&, const BrickStorage&,
+                                 int, CellArray<4>&);
+
+}  // namespace brickx

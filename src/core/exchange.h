@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decomp.h"
+#include "simmpi/cart.h"
+#include "simmpi/comm.h"
+
+namespace brickx {
+
+/// Neighbor ranks indexed like BrickDecomp::neighbor_order() — the paper's
+/// `populate(cart, bDecomp, ...)` step.
+template <int D>
+std::vector<int> populate(const mpi::Cart<D>& cart, const BrickDecomp<D>& dec);
+
+/// Pack-free ghost-zone exchange operating directly on brick storage:
+/// every message is a plain (pointer, length) range of storage — no staging
+/// buffers, no pack/unpack.
+///
+///  * Mode::Layout merges regions consecutive in storage that share a
+///    destination (42 messages in 3D with surface3d()).
+///  * Mode::Basic sends each (region, neighbor) instance separately
+///    (98 messages in 3D) — the unoptimized reference from Section 3.2.
+///
+/// Messages are planned once at construction and replayed each timestep
+/// (the pattern is Static).
+template <int D>
+class Exchanger {
+ public:
+  enum class Mode { Layout, Basic };
+
+  /// `neighbor_ranks` comes from populate(). The storage must have been
+  /// allocated from `dec` (chunk geometry must match).
+  Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
+            const std::vector<int>& neighbor_ranks, Mode mode);
+
+  /// Post receives then sends (paper's communication start).
+  void start(mpi::Comm& comm);
+  /// Complete all pending requests.
+  void finish(mpi::Comm& comm);
+  /// start + finish.
+  void exchange(mpi::Comm& comm) {
+    start(comm);
+    finish(comm);
+  }
+
+  /// Messages sent per exchange by this rank (Fig. 4 / Table 1 accounting).
+  [[nodiscard]] std::int64_t send_message_count() const {
+    return static_cast<std::int64_t>(sends_.size());
+  }
+  [[nodiscard]] std::int64_t send_byte_count() const;
+
+ private:
+  struct Wire {
+    int rank;            ///< peer
+    int tag;
+    std::size_t offset;  ///< into storage
+    std::size_t bytes;
+  };
+  BrickStorage* storage_;
+  std::vector<Wire> sends_, recvs_;
+  std::vector<mpi::Request> pending_;
+};
+
+/// The empirical minimum-communication reference ("Network" in Figs. 9/14):
+/// per neighbor, one message of the same total payload, sent from a
+/// contiguous scratch buffer with no packing cost. Timing-only — it moves
+/// scratch bytes, not the domain data.
+template <int D>
+class NetworkFloorExchanger {
+ public:
+  /// With `padded` set, per-neighbor volumes use the storage's page-padded
+  /// chunk sizes — making the floor byte-identical to a MemMap view
+  /// exchange. This doubles as a MemMap timing proxy when per-view mmap
+  /// segments would exceed vm.max_map_count (large in-process rank counts;
+  /// see DESIGN.md).
+  NetworkFloorExchanger(const BrickDecomp<D>& dec, const BrickStorage& storage,
+                        const std::vector<int>& neighbor_ranks,
+                        bool padded = false);
+
+  void start(mpi::Comm& comm);
+  void finish(mpi::Comm& comm);
+  void exchange(mpi::Comm& comm) {
+    start(comm);
+    finish(comm);
+  }
+
+  [[nodiscard]] std::int64_t send_message_count() const {
+    return static_cast<std::int64_t>(sends_.size());
+  }
+  [[nodiscard]] std::int64_t send_byte_count() const;
+
+ private:
+  struct Wire {
+    int rank;
+    int tag;
+    std::size_t offset;
+    std::size_t bytes;
+  };
+  std::vector<std::byte> scratch_;
+  std::vector<Wire> sends_, recvs_;
+  std::vector<mpi::Request> pending_;
+};
+
+/// Internal helper shared by the exchangers and tests: the per-message
+/// grouping of surface-region ordinals sent toward `dir`, as maximal runs
+/// of byte-contiguous chunks in `storage` ((merge == false) disables run
+/// merging, yielding the Basic grouping).
+template <int D>
+std::vector<std::vector<int>> plan_send_groups(const BrickDecomp<D>& dec,
+                                               const BrickStorage& storage,
+                                               const BitSet& dir, bool merge);
+
+}  // namespace brickx

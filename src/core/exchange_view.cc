@@ -1,0 +1,100 @@
+#include "core/exchange_view.h"
+
+#include "common/error.h"
+#include "core/exchange.h"
+#include "memmap/pagesize.h"
+
+namespace brickx {
+
+template <int D>
+ExchangeView<D>::ExchangeView(const BrickDecomp<D>& dec, BrickStorage& storage,
+                              const std::vector<int>& neighbor_ranks) {
+  BX_CHECK(storage.file() != nullptr,
+           "MemMap exchange requires mmap_alloc'd (memfd) storage");
+  BX_CHECK(storage.page_size() % mm::host_page_size() == 0,
+           "storage page size must be host-page aligned");
+  const auto& nbrs = dec.neighbor_order();
+  BX_CHECK(neighbor_ranks.size() == nbrs.size(),
+           "neighbor rank table does not match the decomposition");
+  const auto& chunks = storage.chunks();
+
+  for (std::size_t v = 0; v < nbrs.size(); ++v) {
+    const BitSet& nu = nbrs[v];
+
+    // Send view: this neighbor's surface regions, stitched consecutively in
+    // layout order (Figure 5).
+    mm::ViewBuilder sb(*storage.file());
+    for (int o = 0; o < dec.surface_region_count(); ++o) {
+      const auto& r = dec.regions()[static_cast<std::size_t>(o)];
+      if (!region_sent_to(r.sigma, nu)) continue;
+      const auto& c = chunks[static_cast<std::size_t>(o)];
+      sb.add(c.offset, c.padded_bytes);
+      payload_bytes_ += static_cast<std::int64_t>(c.bytes);
+    }
+    if (sb.total() > 0)
+      sends_.push_back(VWire{neighbor_ranks[v], static_cast<int>(v),
+                             sb.build()});
+
+    // Receive view: the ghost chunks sourced from ν, in the same (sender's
+    // layout) order, so one incoming message scatters itself via the page
+    // tables.
+    mm::ViewBuilder rb(*storage.file());
+    for (std::size_t o = static_cast<std::size_t>(dec.ghost_first_ordinal());
+         o < dec.regions().size(); ++o) {
+      const auto& r = dec.regions()[o];
+      if (!(r.nu == nu)) continue;
+      const auto& c = chunks[o];
+      rb.add(c.offset, c.padded_bytes);
+    }
+    if (rb.total() > 0)
+      recvs_.push_back(VWire{neighbor_ranks[v],
+                             dec.neighbor_ordinal(nu.flipped()), rb.build()});
+    BX_CHECK(sb.total() == rb.total(),
+             "send and receive views disagree in size");
+  }
+}
+
+template <int D>
+void ExchangeView<D>::start(mpi::Comm& comm) {
+  BX_CHECK(pending_.empty(), "previous exchange still in flight");
+  for (VWire& w : recvs_)
+    pending_.push_back(
+        comm.irecv(w.view.data(), w.view.size(), w.rank, w.tag));
+  for (VWire& w : sends_)
+    pending_.push_back(
+        comm.isend(w.view.data(), w.view.size(), w.rank, w.tag));
+}
+
+template <int D>
+void ExchangeView<D>::finish(mpi::Comm& comm) {
+  comm.waitall(pending_);
+}
+
+template <int D>
+std::int64_t ExchangeView<D>::send_byte_count() const {
+  std::int64_t n = 0;
+  for (const VWire& w : sends_) n += static_cast<std::int64_t>(w.view.size());
+  return n;
+}
+
+template <int D>
+double ExchangeView<D>::padding_overhead_percent() const {
+  if (payload_bytes_ == 0) return 0.0;
+  return 100.0 *
+         static_cast<double>(send_byte_count() - payload_bytes_) /
+         static_cast<double>(payload_bytes_);
+}
+
+template <int D>
+std::int64_t ExchangeView<D>::view_segment_count() const {
+  std::int64_t n = 0;
+  for (const VWire& w : sends_) n += w.view.segments();
+  for (const VWire& w : recvs_) n += w.view.segments();
+  return n;
+}
+
+template class ExchangeView<1>;
+template class ExchangeView<2>;
+template class ExchangeView<3>;
+
+}  // namespace brickx

@@ -1,0 +1,117 @@
+#include "core/region.h"
+
+#include "common/error.h"
+
+namespace brickx {
+
+std::vector<BitSet> all_surface_signatures(int dims) {
+  BX_CHECK(dims >= 1 && dims <= 5, "supported dimensions are 1..5");
+  std::vector<BitSet> out;
+  std::int64_t total = 1;
+  for (int i = 0; i < dims; ++i) total *= 3;
+  for (std::int64_t code = 0; code < total; ++code) {
+    std::int64_t c = code;
+    BitSet s;
+    for (int a = 1; a <= dims; ++a) {
+      const int t = static_cast<int>(c % 3);
+      c /= 3;
+      if (t == 0) s.set(-a);
+      if (t == 2) s.set(a);
+    }
+    if (!s.empty()) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<BitSet> region_destinations(const BitSet& sigma, int dims) {
+  std::vector<BitSet> out;
+  for (const BitSet& nu : all_surface_signatures(dims))
+    if (region_sent_to(sigma, nu)) out.push_back(nu);
+  return out;
+}
+
+std::vector<GhostId> ghost_subregions(const std::vector<BitSet>& neighbor_order,
+                                      const std::vector<BitSet>& surface_order,
+                                      int dims) {
+  std::vector<GhostId> out;
+  for (const BitSet& nu : neighbor_order) {
+    const BitSet need = nu.flipped();
+    // The sender at direction ν sees us at direction -ν, so it sends us its
+    // regions {σ : σ ⊇ -ν}, in its own storage (= layout) order.
+    for (const BitSet& sigma : surface_order)
+      if (region_sent_to(sigma, need)) out.push_back(GhostId{nu, sigma});
+  }
+  // Invariant: every ghost subregion received exactly once — 5^D - 3^D.
+  std::int64_t expect = 1, three = 1;
+  for (int i = 0; i < dims; ++i) {
+    expect *= 5;
+    three *= 3;
+  }
+  BX_CHECK(static_cast<std::int64_t>(out.size()) == expect - three,
+           "ghost subregion enumeration does not match 5^D - 3^D");
+  return out;
+}
+
+namespace {
+
+/// Band interval per axis for a surface direction: -1 -> l, 0 -> m, +1 -> h.
+void surface_band(int dir, std::int64_t n, std::int64_t gb, std::int64_t& lo,
+                  std::int64_t& hi) {
+  switch (dir) {
+    case -1:
+      lo = 0;
+      hi = gb;
+      break;
+    case 0:
+      lo = gb;
+      hi = n - gb;
+      break;
+    default:
+      lo = n - gb;
+      hi = n;
+      break;
+  }
+}
+
+}  // namespace
+
+template <int D>
+Box<D> surface_box(const BitSet& sigma, const Vec<D>& n, const Vec<D>& gb) {
+  Box<D> b;
+  for (int a = 0; a < D; ++a) {
+    BX_CHECK(n[a] >= 2 * gb[a], "subdomain must be at least two ghost widths");
+    surface_band(sigma.dir_of(a + 1), n[a], gb[a], b.lo[a], b.hi[a]);
+    if (b.hi[a] < b.lo[a]) b.hi[a] = b.lo[a];  // empty middle band
+  }
+  return b;
+}
+
+template <int D>
+Box<D> ghost_box(const GhostId& id, const Vec<D>& n, const Vec<D>& gb) {
+  Box<D> b;
+  for (int a = 0; a < D; ++a) {
+    const int nd = id.nu.dir_of(a + 1);
+    if (nd == 1) {
+      b.lo[a] = n[a];
+      b.hi[a] = n[a] + gb[a];
+    } else if (nd == -1) {
+      b.lo[a] = -gb[a];
+      b.hi[a] = 0;
+    } else {
+      surface_band(id.sigma.dir_of(a + 1), n[a], gb[a], b.lo[a], b.hi[a]);
+      if (b.hi[a] < b.lo[a]) b.hi[a] = b.lo[a];
+    }
+  }
+  return b;
+}
+
+template Box<1> surface_box<1>(const BitSet&, const Vec<1>&, const Vec<1>&);
+template Box<2> surface_box<2>(const BitSet&, const Vec<2>&, const Vec<2>&);
+template Box<3> surface_box<3>(const BitSet&, const Vec<3>&, const Vec<3>&);
+template Box<4> surface_box<4>(const BitSet&, const Vec<4>&, const Vec<4>&);
+template Box<1> ghost_box<1>(const GhostId&, const Vec<1>&, const Vec<1>&);
+template Box<2> ghost_box<2>(const GhostId&, const Vec<2>&, const Vec<2>&);
+template Box<3> ghost_box<3>(const GhostId&, const Vec<3>&, const Vec<3>&);
+template Box<4> ghost_box<4>(const GhostId&, const Vec<4>&, const Vec<4>&);
+
+}  // namespace brickx

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/vec.h"
+
+namespace brickx {
+
+/// Region algebra for ghost-zone exchange (DESIGN.md §5.1).
+///
+/// Per axis, the brick layers of a subdomain-with-ghost classify into five
+/// bands of layer indices (gb = ghost width in brick layers, n = interior
+/// layers):
+///
+///    L = [-gb, 0)      ghost, low side
+///    l = [0, gb)       surface, low side
+///    m = [gb, n-gb)    interior middle (may be empty when n == 2*gb)
+///    h = [n-gb, n)     surface, high side
+///    H = [n, n+gb)     ghost, high side
+///
+/// A *surface region* is a product of {l,m,h} bands, identified by its
+/// direction set σ (BitSet): axis a carries -a for band l, +a for band h,
+/// nothing for m. The all-m product is the interior, not a surface region.
+///
+/// A *ghost subregion* is a product with at least one L/H band; it is owned
+/// by exactly one neighbor and received exactly once per exchange.
+
+/// Surface region σ is needed by neighbor ν iff ∅ ≠ ν ⊆ σ (signed subset).
+inline bool region_sent_to(const BitSet& sigma, const BitSet& nu) {
+  return !nu.empty() && nu.subset_of(sigma);
+}
+
+/// All 3^D-1 surface signatures in a fixed (lexicographic) enumeration.
+std::vector<BitSet> all_surface_signatures(int dims);
+
+/// Destination neighbors of region σ: all nonempty signed subsets of σ.
+/// |result| == 2^|σ| - 1.
+std::vector<BitSet> region_destinations(const BitSet& sigma, int dims);
+
+/// Identity of one ghost subregion: the owning neighbor direction ν and the
+/// *sender-local* surface signature σ it is a copy of (ν ⊆ -σ ... precisely
+/// σ ⊇ flip(ν), see ghost_subregions()).
+struct GhostId {
+  BitSet nu;     ///< which neighbor the data comes from
+  BitSet sigma;  ///< the sender's surface region signature
+  bool operator==(const GhostId&) const = default;
+};
+
+/// All ghost subregions of a D-dimensional subdomain, grouped by source
+/// neighbor ν (outer order = the given neighbor order) and, within a group,
+/// by the given surface order restricted to {σ : σ ⊇ flip(ν)} — i.e. the
+/// order the sender stores (and therefore sends) them in.
+/// Total count is 5^D - 3^D.
+std::vector<GhostId> ghost_subregions(const std::vector<BitSet>& neighbor_order,
+                                      const std::vector<BitSet>& surface_order,
+                                      int dims);
+
+/// Brick-grid box of surface region σ for a subdomain of `n` brick layers
+/// per axis with `gb[a]` ghost layers on axis a. Empty boxes are legal
+/// (n[a] == 2*gb[a] makes that m band empty).
+template <int D>
+Box<D> surface_box(const BitSet& sigma, const Vec<D>& n, const Vec<D>& gb);
+
+/// Brick-grid box (in *receiver-local* coordinates, which extend to
+/// [-gb, n+gb) per axis) of the ghost subregion owned by neighbor ν holding
+/// the sender's region σ.
+template <int D>
+Box<D> ghost_box(const GhostId& id, const Vec<D>& n, const Vec<D>& gb);
+
+}  // namespace brickx

@@ -1,0 +1,550 @@
+#include "harness/experiment.h"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "baseline/array_exchange.h"
+#include "common/error.h"
+#include "core/brick.h"
+#include "core/cell_array.h"
+#include "core/exchange.h"
+#include "core/exchange_view.h"
+#include "core/shift.h"
+#include "gpusim/device.h"
+#include "simmpi/cart.h"
+#include "stencil/stencils.h"
+
+namespace brickx::harness {
+
+namespace {
+
+using mpi::Cart;
+using mpi::Comm;
+
+/// Deterministic initial condition shared by every method and the
+/// reference, keyed on *global* cell coordinates.
+double init_val(const Vec3& g) {
+  const std::uint64_t h = static_cast<std::uint64_t>(g[0]) * 73856093u ^
+                          static_cast<std::uint64_t>(g[1]) * 19349663u ^
+                          static_cast<std::uint64_t>(g[2]) * 83492791u;
+  return static_cast<double>(h % 4096) / 4096.0;
+}
+
+/// RAII for ranges registered with the GPU simulator by one rank.
+class GpuRegs {
+ public:
+  explicit GpuRegs(gpu::Device* dev) : dev_(dev) {}
+  void range(const void* base, std::size_t bytes, mpi::MemSpace space) {
+    if (!dev_ || bytes == 0) return;
+    dev_->register_range(base, bytes, space);
+    bases_.push_back(base);
+  }
+  void alias(const void* base, std::size_t bytes, const void* canonical) {
+    if (!dev_ || bytes == 0) return;
+    dev_->register_alias(base, bytes, canonical);
+    bases_.push_back(base);
+  }
+  ~GpuRegs() {
+    for (auto it = bases_.rbegin(); it != bases_.rend(); ++it)
+      dev_->unregister_range(*it);
+  }
+
+ private:
+  gpu::Device* dev_;
+  std::vector<const void*> bases_;
+};
+
+struct RankOut {
+  double calc = 0, pack = 0, call = 0, wait = 0, span = 0;
+  std::int64_t msgs = 0, wire = 0, payload = 0;
+  double padding = 0;
+  bool validated = false;
+};
+
+void compute_bricks(const Config& cfg, const BrickDecomp<3>& dec,
+                    const BrickInfo<3>& info, BrickStorage& in,
+                    BrickStorage& out, const Box<3>& box) {
+  auto go = [&](auto tag) {
+    constexpr int B = decltype(tag)::value;
+    Brick<B, B, B> bin(&info, &in, 0);
+    Brick<B, B, B> bout(&info, &out, 0);
+    if (cfg.use125) {
+      stencil::apply125_bricks<B, B, B>(dec, bout, bin, box);
+    } else {
+      stencil::apply7_bricks<B, B, B>(dec, bout, bin, box);
+    }
+  };
+  if (cfg.brick == 8) {
+    go(std::integral_constant<int, 8>{});
+  } else if (cfg.brick == 4) {
+    go(std::integral_constant<int, 4>{});
+  } else {
+    brickx::fail("harness kernels support brick extents 4 and 8");
+  }
+}
+
+}  // namespace
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::Yask:
+      return "YASK";
+    case Method::MpiTypes:
+      return "MPI_Types";
+    case Method::Basic:
+      return "Basic";
+    case Method::Layout:
+      return "Layout";
+    case Method::MemMap:
+      return "MemMap";
+    case Method::Shift:
+      return "Shift";
+    case Method::Network:
+      return "Network";
+  }
+  return "?";
+}
+
+Result run(const Config& cfg) {
+  const int nranks = static_cast<int>(cfg.rank_dims.prod());
+  BX_CHECK(nranks >= 1, "empty rank grid");
+  const bool is_brick = cfg.method == Method::Basic ||
+                        cfg.method == Method::Layout ||
+                        cfg.method == Method::MemMap ||
+                        cfg.method == Method::Shift ||
+                        cfg.method == Method::Network;
+  BX_CHECK(cfg.gpu == GpuMode::None || cfg.machine.is_gpu,
+           "GPU modes require a GPU machine model");
+  BX_CHECK(!(cfg.method == Method::MemMap && cfg.gpu == GpuMode::CudaAware &&
+             !cfg.machine.gpu.supports_cumemmap),
+           "cudaMalloc memory does not support MemMap (paper Section 5; "
+           "use summit_future() for the cuMemMap ablation)");
+  BX_CHECK(!(cfg.method == Method::Yask && cfg.gpu != GpuMode::None &&
+             cfg.gpu != GpuMode::Staged),
+           "the packing baseline supports CPU runs and manual GPU staging");
+  BX_CHECK(!(cfg.gpu == GpuMode::Staged && cfg.method != Method::Yask),
+           "manual staging is the packing baseline's workflow");
+  BX_CHECK(!cfg.overlap ||
+               (is_brick && cfg.method != Method::Shift &&
+                cfg.method != Method::Network && !cfg.memmap_floor_proxy),
+           "overlap is supported for the Basic/Layout/MemMap brick methods");
+
+  mpi::Runtime rt(nranks, cfg.machine.net);
+  std::optional<gpu::Device> device;
+  if (cfg.gpu != GpuMode::None) {
+    device.emplace(cfg.machine.gpu);
+    rt.set_mem_hooks(device->hooks());
+  }
+
+  const bool execute = cfg.execute_kernels && cfg.method != Method::Network &&
+                       !cfg.memmap_floor_proxy;
+  const bool validate = cfg.validate && execute;
+
+  std::vector<RankOut> outs(static_cast<std::size_t>(nranks));
+
+  rt.run([&](Comm& comm) {
+    Cart<3> cart(comm, cfg.rank_dims);
+    const Vec3 N = cfg.subdomain;
+    const std::int64_t g = cfg.ghost;
+    const std::int64_t r = cfg.use125 ? 2 : 1;
+    const std::int64_t k = stencil::steps_per_exchange(g, r);
+    const double flops =
+        cfg.use125 ? stencil::Stencil125::kFlops : stencil::Stencil7::kFlops;
+    constexpr double kBytesPerCell = 16.0;  // one read + one write stream
+    const Vec3 offset = cart.coords() * N;
+    const Vec3 global_ext = cfg.rank_dims * N;
+    const mpi::MemSpace space = cfg.gpu == GpuMode::CudaAware
+                                    ? mpi::MemSpace::Device
+                                    : mpi::MemSpace::Unified;
+    const bool staged = cfg.gpu == GpuMode::Staged;
+
+    GpuRegs regs(device ? &*device : nullptr);
+    RankOut out;
+
+    // ---- storage, exchangers, compute closure per family ------------------
+    std::function<void()> pack_fn, start_fn, finish_fn, unpack_fn;
+    std::function<void(const Box<3>&)> compute_fn;
+    std::function<double()> host_pack_seconds;  // modeled on-node movement
+    std::function<bool()> validate_fn;
+    int input = 0;  // double-buffer selector
+
+    // Brick family state.
+    std::optional<BrickDecomp<3>> dec;
+    std::optional<BrickInfo<3>> info;
+    std::vector<BrickStorage> stores;
+    std::vector<Exchanger<3>> exs;
+    std::vector<ExchangeView<3>> evs;
+    std::vector<ShiftExchanger<3>> shs;
+    std::optional<NetworkFloorExchanger<3>> floor;
+    // Array family state.
+    std::vector<CellArray3> fields;
+    std::optional<baseline::PackExchanger> packer;
+    std::optional<baseline::MpiTypesExchanger> typer;
+
+    if (is_brick) {
+      dec.emplace(N, g, Vec3::fill(cfg.brick),
+                  cfg.lexicographic_layout ? lexicographic_layout(3)
+                                           : surface3d());
+      info.emplace(dec->brick_info());
+      // MemMap over unified memory must align chunks to the *UM* page size
+      // (64 KiB on Power9/ATS) — that alignment is what spares its compute
+      // from fault backwash (Figure 15).
+      std::size_t ps = cfg.page_size;
+      if (ps == 0 && cfg.gpu != GpuMode::None)
+        ps = cfg.machine.gpu.page_size;
+      for (int f = 0; f < 2; ++f)
+        stores.push_back(cfg.method == Method::MemMap
+                             ? dec->mmap_alloc(1, ps)
+                             : dec->allocate(1));
+      const auto ranks = populate(cart, *dec);
+      for (auto& s : stores) {
+        if (cfg.gpu != GpuMode::None)
+          regs.range(s.data(), s.bytes(), space);
+      }
+      if (cfg.method == Method::MemMap && cfg.memmap_floor_proxy) {
+        // Byte-identical MemMap stand-in without live mmap segments.
+        // Accounting comes straight from the chunk table (building real
+        // views here would defeat the proxy's purpose).
+        floor.emplace(*dec, stores[0], ranks, /*padded=*/true);
+        for (const BitSet& nu : dec->neighbor_order()) {
+          std::int64_t wire = 0, payload = 0;
+          for (int o = 0; o < dec->surface_region_count(); ++o) {
+            const auto& rg = dec->regions()[static_cast<std::size_t>(o)];
+            if (!region_sent_to(rg.sigma, nu)) continue;
+            const auto& c = stores[0].chunks()[static_cast<std::size_t>(o)];
+            wire += static_cast<std::int64_t>(c.padded_bytes);
+            payload += static_cast<std::int64_t>(c.bytes);
+          }
+          if (wire > 0) ++out.msgs;
+          out.wire += wire;
+          out.payload += payload;
+        }
+        out.padding = out.payload
+                          ? 100.0 * static_cast<double>(out.wire - out.payload) /
+                                static_cast<double>(out.payload)
+                          : 0.0;
+        BX_CHECK(out.wire == floor->send_byte_count(),
+                 "floor proxy volume does not match the view exchange");
+        // Under unified memory the real views would fault the canonical
+        // chunk pages host-ward on send/receive; the scratch-based floor
+        // bypasses the hooks, so charge those touches explicitly to keep
+        // the proxy timing-faithful (page-aligned spans, so no
+        // fragmentation — exactly like the views).
+        start_fn = [&] {
+          if (cfg.gpu == GpuMode::Unified) {
+            double secs = 0;
+            for (int o = 0; o < dec->surface_region_count(); ++o) {
+              const auto& c = stores[0].chunks()[static_cast<std::size_t>(o)];
+              secs += device->touch_host(stores[0].data() + c.offset,
+                                         c.padded_bytes);
+            }
+            comm.compute(secs);
+          }
+          floor->start(comm);
+        };
+        finish_fn = [&] {
+          floor->finish(comm);
+          if (cfg.gpu == GpuMode::Unified) {
+            double secs = 0;
+            for (std::size_t o =
+                     static_cast<std::size_t>(dec->ghost_first_ordinal());
+                 o < dec->regions().size(); ++o) {
+              const auto& c = stores[0].chunks()[o];
+              secs += device->touch_host(stores[0].data() + c.offset,
+                                         c.padded_bytes);
+            }
+            comm.compute(secs);
+          }
+        };
+      } else if (cfg.method == Method::MemMap) {
+        // Ghost-cell expansion gives an even steps-per-exchange, so only
+        // stores[0] is ever on the exchanging side; building views for it
+        // alone halves the live mmap-segment footprint.
+        BX_CHECK(stencil::steps_per_exchange(g, r) % 2 == 0,
+                 "MemMap double buffering expects an even exchange period");
+        evs.emplace_back(*dec, stores[0], ranks);
+        if (cfg.gpu == GpuMode::Unified) {
+          // Views alias the canonical unified pages.
+          evs.back().visit_views([&](const mm::View& v) {
+            for (const auto& seg : v.segment_map())
+              regs.alias(v.data() + seg.view_offset, seg.length,
+                         stores[0].data() + seg.file_offset);
+          });
+        } else if (cfg.gpu == GpuMode::CudaAware) {
+          // cuMemMap future-work mode: the views are device memory too, so
+          // the NIC reads them via GPUDirect with no faults.
+          evs.back().visit_views([&](const mm::View& v) {
+            regs.range(v.data(), v.size(), mpi::MemSpace::Device);
+          });
+        }
+        out.msgs = evs[0].send_message_count();
+        out.wire = evs[0].send_byte_count();
+        out.payload = evs[0].payload_byte_count();
+        out.padding = evs[0].padding_overhead_percent();
+        start_fn = [&] {
+          BX_CHECK(input == 0, "exchange landed on the view-less buffer");
+          evs[0].start(comm);
+        };
+        finish_fn = [&] { evs[0].finish(comm); };
+      } else if (cfg.method == Method::Shift) {
+        const auto axis_ranks = shift_neighbors(cart);
+        for (auto& st : stores) shs.emplace_back(*dec, st, axis_ranks);
+        out.msgs = shs[0].send_message_count();
+        out.wire = out.payload = shs[0].send_byte_count();
+        // Shift's phases wait internally; attribute the whole exchange to
+        // the wait phase via finish (start is a no-op).
+        start_fn = [] {};
+        finish_fn = [&] {
+          shs[static_cast<std::size_t>(input)].exchange(comm);
+        };
+      } else if (cfg.method == Method::Network) {
+        floor.emplace(*dec, stores[0], ranks);
+        out.msgs = floor->send_message_count();
+        out.wire = out.payload = floor->send_byte_count();
+        start_fn = [&] { floor->start(comm); };
+        finish_fn = [&] { floor->finish(comm); };
+      } else {
+        const auto mode = cfg.method == Method::Layout
+                              ? Exchanger<3>::Mode::Layout
+                              : Exchanger<3>::Mode::Basic;
+        for (auto& s : stores) exs.emplace_back(*dec, s, ranks, mode);
+        out.msgs = exs[0].send_message_count();
+        out.wire = out.payload = exs[0].send_byte_count();
+        start_fn = [&] { exs[static_cast<std::size_t>(input)].start(comm); };
+        finish_fn = [&] { exs[static_cast<std::size_t>(input)].finish(comm); };
+      }
+
+      // Initialize the input field from global coordinates.
+      CellArray3 seed(Box<3>{{0, 0, 0}, N});
+      for_each(seed.box(),
+               [&](const Vec3& p) { seed.at(p) = init_val(p + offset); });
+      cells_to_bricks(*dec, seed, stores[0], 0);
+
+      compute_fn = [&](const Box<3>& box) {
+        if (execute)
+          compute_bricks(cfg, *dec, *info,
+                         stores[static_cast<std::size_t>(input)],
+                         stores[static_cast<std::size_t>(1 - input)], box);
+        double secs;
+        if (cfg.gpu != GpuMode::None) {
+          secs = device->kernel_seconds(box.volume(), flops, kBytesPerCell);
+          // The kernel touches chunk *payloads* only: page-padding tails are
+          // never read by compute, so they stay wherever the exchange left
+          // them.
+          for (int f = 0; f < 2; ++f) {
+            BrickStorage& s = stores[static_cast<std::size_t>(f)];
+            for (const auto& c : s.chunks())
+              secs += device->touch_device(s.data() + c.offset, c.bytes);
+          }
+        } else {
+          secs = model::cpu_stencil_seconds(cfg.machine, box.volume(), flops,
+                                            kBytesPerCell,
+                                            cfg.method == Method::Yask);
+        }
+        comm.compute(secs);
+      };
+
+      validate_fn = [&]() -> bool {
+        CellArray3 got(Box<3>{{0, 0, 0}, N});
+        bricks_to_cells(*dec, stores[static_cast<std::size_t>(input)], 0, got);
+        CellArray3 ref(Box<3>{{0, 0, 0}, global_ext});
+        for_each(ref.box(), [&](const Vec3& p) { ref.at(p) = init_val(p); });
+        const int total_steps =
+            cfg.warmup_exchanges * static_cast<int>(k) + cfg.timesteps;
+        stencil::evolve_reference(ref, total_steps, cfg.use125);
+        std::int64_t bad = 0;
+        for_each(got.box(), [&](const Vec3& p) {
+          if (got.at(p) != ref.at(p + offset)) ++bad;
+        });
+        return bad == 0;
+      };
+    } else {
+      // Array family (YASK / MPI_Types baselines).
+      const Box<3> frame{Vec3{0, 0, 0} - Vec3::fill(g), N + Vec3::fill(g)};
+      fields.emplace_back(frame);
+      fields.emplace_back(frame);
+      if (cfg.gpu != GpuMode::None && !staged) {
+        for (auto& f : fields)
+          regs.range(f.raw().data(), f.raw().size() * sizeof(double), space);
+      }
+      const auto dirs = Cart<3>::all_directions();
+      std::vector<int> ranks;
+      for (const auto& d : dirs) ranks.push_back(cart.neighbor(d));
+      if (cfg.method == Method::Yask) {
+        packer.emplace(N, g, dirs, ranks);
+        out.msgs = packer->send_message_count();
+        out.wire = out.payload = packer->send_byte_count();
+        // On-node cost per half-exchange: CPU runs price the strided
+        // pack; manual GPU staging prices a bandwidth-bound pack kernel
+        // plus shuttling the 26 packed buffers across the CPU-GPU link
+        // (Section 5's motivating workflow).
+        auto onnode_seconds = [&, staged](std::size_t bytes) {
+          if (!staged)
+            return model::pack_seconds(cfg.machine,
+                                       static_cast<std::int64_t>(bytes), 26);
+          const auto& gm = cfg.machine.gpu;
+          const double b = static_cast<double>(bytes);
+          return b / gm.hbm_bw + gm.launch_overhead  // pack kernel
+                 + b / gm.link_bw + 26 * gm.launch_overhead;  // cudaMemcpy
+        };
+        // onnode_seconds is captured by value: it must outlive this block.
+        pack_fn = [&, onnode_seconds] {
+          comm.compute(onnode_seconds(
+              packer->pack(fields[static_cast<std::size_t>(input)])));
+        };
+        start_fn = [&] { packer->start(comm); };
+        finish_fn = [&] { packer->finish(comm); };
+        unpack_fn = [&, onnode_seconds] {
+          comm.compute(onnode_seconds(
+              packer->unpack(fields[static_cast<std::size_t>(input)])));
+        };
+      } else if (cfg.method == Method::MpiTypes) {
+        typer.emplace(N, g, dirs, ranks, fields[0]);
+        out.msgs = typer->send_message_count();
+        out.wire = out.payload = typer->send_byte_count();
+        start_fn = [&] {
+          typer->start(comm, fields[static_cast<std::size_t>(input)]);
+        };
+        finish_fn = [&] { typer->finish(comm); };
+      } else {
+        brickx::fail("unsupported array-family method");
+      }
+
+      for_each(fields[0].box(), [&](const Vec3& p) {
+        Vec3 q = p + offset;  // ghost seeds are overwritten by exchange
+        fields[0].at(p) = init_val(q);
+      });
+
+      compute_fn = [&](const Box<3>& box) {
+        if (execute) {
+          if (cfg.use125) {
+            stencil::apply125_array(fields[static_cast<std::size_t>(input)],
+                                    fields[static_cast<std::size_t>(1 - input)],
+                                    box);
+          } else {
+            stencil::apply7_array(fields[static_cast<std::size_t>(input)],
+                                  fields[static_cast<std::size_t>(1 - input)],
+                                  box);
+          }
+        }
+        double secs;
+        if (cfg.gpu != GpuMode::None) {
+          // Staged fields are unregistered (plain host memory standing in
+          // for device arrays), so touch_device is a no-op for them.
+          secs = device->kernel_seconds(box.volume(), flops, kBytesPerCell);
+          for (auto& f : fields)
+            secs += device->touch_device(f.raw().data(),
+                                         f.raw().size() * sizeof(double));
+        } else {
+          secs = model::cpu_stencil_seconds(cfg.machine, box.volume(), flops,
+                                            kBytesPerCell,
+                                            cfg.method == Method::Yask);
+        }
+        comm.compute(secs);
+      };
+
+      validate_fn = [&]() -> bool {
+        CellArray3 ref(Box<3>{{0, 0, 0}, global_ext});
+        for_each(ref.box(), [&](const Vec3& p) { ref.at(p) = init_val(p); });
+        const int total_steps =
+            cfg.warmup_exchanges * static_cast<int>(k) + cfg.timesteps;
+        stencil::evolve_reference(ref, total_steps, cfg.use125);
+        std::int64_t bad = 0;
+        const CellArray3& got = fields[static_cast<std::size_t>(input)];
+        for_each(Box<3>{{0, 0, 0}, N}, [&](const Vec3& p) {
+          if (got.at(p) != ref.at(p + offset)) ++bad;
+        });
+        return bad == 0;
+      };
+    }
+
+    // ---- the timestep loop -------------------------------------------------
+    auto now = [&] { return comm.clock().now(); };
+    auto one_step = [&](int step, bool measured) {
+      const std::int64_t s = step % k;
+      if (s == 0 && cfg.overlap) {
+        // Prior-work overlap: interior cells depend on no ghost data, so
+        // they compute while the exchange is in flight; the shell follows
+        // after completion. The virtual clock yields max(comp, comm)
+        // semantics naturally.
+        const double t0 = now();
+        start_fn();
+        const double t1 = now();
+        const Box<3> whole = stencil::expansion_output_box<3>(N, g, r, 0);
+        Box<3> interior{Vec3::fill(r), N - Vec3::fill(r)};
+        compute_fn(interior);
+        const double t2 = now();
+        finish_fn();
+        const double t3 = now();
+        for (const Box<3>& b : stencil::shell_boxes<3>(whole, interior))
+          compute_fn(b);
+        const double t4 = now();
+        if (measured) {
+          out.call += t1 - t0;
+          out.calc += (t2 - t1) + (t4 - t3);
+          out.wait += t3 - t2;
+        }
+        input = 1 - input;
+        return;
+      }
+      if (s == 0) {
+        const double t0 = now();
+        if (pack_fn) pack_fn();
+        const double t1 = now();
+        start_fn();
+        const double t2 = now();
+        finish_fn();
+        const double t3 = now();
+        if (unpack_fn) unpack_fn();
+        const double t4 = now();
+        if (measured) {
+          out.pack += (t1 - t0) + (t4 - t3);
+          out.call += t2 - t1;
+          out.wait += t3 - t2;
+        }
+      }
+      const double c0 = now();
+      compute_fn(stencil::expansion_output_box<3>(N, g, r, s));
+      if (measured) out.calc += now() - c0;
+      input = 1 - input;
+    };
+
+    for (int w = 0; w < cfg.warmup_exchanges; ++w)
+      for (int s = 0; s < static_cast<int>(k); ++s)
+        one_step(s, /*measured=*/false);
+    comm.barrier();
+    const double t_begin = now();
+    for (int step = 0; step < cfg.timesteps; ++step)
+      one_step(step, /*measured=*/true);
+    out.span = comm.allreduce_max(now() - t_begin);
+
+    if (validate) out.validated = validate_fn();
+    outs[static_cast<std::size_t>(comm.rank())] = out;
+  });
+
+  // ---- aggregate -----------------------------------------------------------
+  Result res;
+  const double steps = static_cast<double>(cfg.timesteps);
+  bool all_valid = true;
+  for (const RankOut& o : outs) {
+    res.calc.add(o.calc / steps);
+    res.pack.add(o.pack / steps);
+    res.call.add(o.call / steps);
+    res.wait.add(o.wait / steps);
+    all_valid = all_valid && o.validated;
+  }
+  res.total_seconds = outs[0].span;
+  res.calc_per_step = res.calc.avg();
+  res.comm_per_step = res.pack.avg() + res.call.avg() + res.wait.avg();
+  res.gstencils = static_cast<double>(cfg.subdomain.prod()) * nranks * steps /
+                  res.total_seconds / 1e9;
+  res.msgs_per_rank = outs[0].msgs;
+  res.wire_bytes_per_rank = outs[0].wire;
+  res.payload_bytes_per_rank = outs[0].payload;
+  res.padding_percent = outs[0].padding;
+  res.validated = validate && all_valid;
+  return res;
+}
+
+}  // namespace brickx::harness

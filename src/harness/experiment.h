@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/vec.h"
+#include "model/machine.h"
+
+namespace brickx::harness {
+
+/// The implementations the paper evaluates (Section 7), plus Shift — the
+/// dimension-by-dimension alternative the paper's Section 8 describes as a
+/// natural extension.
+enum class Method {
+  Yask,      ///< array layout + explicit packing, autotuned compute model
+  MpiTypes,  ///< array layout + MPI derived datatypes (packing inside MPI)
+  Basic,     ///< bricks, one message per (region, neighbor) instance
+  Layout,    ///< bricks, run-merged pack-free messages (Section 3)
+  MemMap,    ///< bricks, mmap views, one message per neighbor (Section 4)
+  Shift,     ///< bricks, D synchronized phases, face neighbors only
+  Network,   ///< timing floor: per-neighbor contiguous scratch messages
+};
+
+/// GPU data-movement mode (Section 5). None = CPU experiment.
+enum class GpuMode {
+  None,
+  CudaAware,  ///< storage in (simulated) cudaMalloc memory; GPUDirect RDMA
+  Unified,    ///< storage in unified memory; page-fault migration
+  /// The pre-CUDA-Aware manual workflow the paper's Section 5 describes
+  /// (and its reference [29] measured): pack on the GPU, cudaMemcpy the
+  /// packed buffers to the host, run MPI there, and shuttle the results
+  /// back. Only meaningful with the packing baseline (Method::Yask).
+  Staged,
+};
+
+const char* method_name(Method m);
+
+struct Config {
+  model::Machine machine = model::theta();
+  Vec3 rank_dims{2, 2, 2};   ///< process grid (prod == world size)
+  Vec3 subdomain{32, 32, 32};  ///< cells per rank
+  std::int64_t brick = 8;      ///< cubic brick extent (4 or 8)
+  std::int64_t ghost = 8;      ///< ghost width in cells (multiple of brick)
+  bool use125 = false;         ///< 125-point instead of 7-point stencil
+  Method method = Method::MemMap;
+  GpuMode gpu = GpuMode::None;
+  int timesteps = 8;           ///< measured timesteps
+  int warmup_exchanges = 1;    ///< unmeasured leading exchange batches
+  std::size_t page_size = 0;   ///< emulated page size for MemMap (0 = host)
+  bool execute_kernels = true; ///< actually run the math (not just model it)
+  bool validate = false;       ///< compare against the global reference
+  /// Fig. 10's "No-Layout": fine-grained blocking with lexicographic region
+  /// order instead of the optimized surface3d (compute is unaffected —
+  /// that is the point of the figure).
+  bool lexicographic_layout = false;
+  /// Replace MemMap's real mmap views with a byte-identical per-neighbor
+  /// scratch exchange. Needed when ranks*segments would exceed the
+  /// kernel's vm.max_map_count in a single-process simulation; timing- and
+  /// byte-exact, but ghosts are not actually delivered, so it implies
+  /// execute_kernels = false.
+  bool memmap_floor_proxy = false;
+  /// Overlap communication with computation (brick methods except Shift):
+  /// the interior — cells whose stencil inputs never touch the ghost
+  /// frame — is computed between posting and completing the exchange; the
+  /// dependent shell is computed after. The prior-work optimization the
+  /// paper contrasts with (its YASK-OL line); exact, not an approximation.
+  bool overlap = false;
+};
+
+/// Per-timestep phase decomposition, exactly the artifact's five metrics:
+/// calc / pack / call / wait in seconds-per-timestep (Stats across ranks),
+/// plus overall throughput.
+struct Result {
+  Stats calc, pack, call, wait;
+  double total_seconds = 0;     ///< max-rank virtual time for measured steps
+  double calc_per_step = 0;     ///< average over ranks
+  double comm_per_step = 0;     ///< pack + call + wait average
+  double gstencils = 0;         ///< 1e9 stencil updates / second, all ranks
+  std::int64_t msgs_per_rank = 0;       ///< sends per exchange
+  std::int64_t wire_bytes_per_rank = 0; ///< bytes sent per exchange (with padding)
+  std::int64_t payload_bytes_per_rank = 0;
+  double padding_percent = 0;   ///< Table 2's extra transfer from padding
+  bool validated = false;       ///< set when cfg.validate passed
+};
+
+/// Run one experiment: spawns cfg.rank_dims.prod() ranks on a fresh
+/// simmpi Runtime, executes warmup + measured timesteps of
+/// exchange-and-compute with ghost-cell expansion, and aggregates phases.
+/// Deterministic: same Config => identical Result.
+Result run(const Config& cfg);
+
+}  // namespace brickx::harness

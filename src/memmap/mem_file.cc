@@ -1,0 +1,48 @@
+#include "memmap/mem_file.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "memmap/pagesize.h"
+
+namespace brickx::mm {
+
+std::size_t host_page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+MemFile::MemFile(std::size_t size, const std::string& name) {
+  size_ = round_up(size, host_page_size());
+  fd_ = static_cast<int>(memfd_create(name.c_str(), 0));
+  if (fd_ < 0) brickx::fail(std::string("memfd_create: ") + std::strerror(errno));
+  if (ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+    close(fd_);
+    brickx::fail(std::string("ftruncate: ") + std::strerror(errno));
+  }
+}
+
+MemFile::MemFile(MemFile&& o) noexcept : fd_(o.fd_), size_(o.size_) {
+  o.fd_ = -1;
+  o.size_ = 0;
+}
+
+MemFile& MemFile::operator=(MemFile&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(o.fd_, -1);
+    size_ = std::exchange(o.size_, 0);
+  }
+  return *this;
+}
+
+MemFile::~MemFile() {
+  if (fd_ >= 0) close(fd_);
+}
+
+}  // namespace brickx::mm

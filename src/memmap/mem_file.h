@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace brickx::mm {
+
+/// RAII wrapper over an anonymous in-memory file (memfd_create). The file
+/// stands for "a chunk of physical memory" (paper, Section 4): mapping
+/// segments of it multiple times creates aliased views of the same data.
+class MemFile {
+ public:
+  /// Create an in-memory file of `size` bytes (rounded up to page size).
+  explicit MemFile(std::size_t size, const std::string& name = "brickx");
+
+  MemFile(const MemFile&) = delete;
+  MemFile& operator=(const MemFile&) = delete;
+  MemFile(MemFile&& o) noexcept;
+  MemFile& operator=(MemFile&& o) noexcept;
+  ~MemFile();
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace brickx::mm

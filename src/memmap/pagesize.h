@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace brickx::mm {
+
+/// The host's base page size (sysconf(_SC_PAGESIZE)); 4 KiB on x86-64.
+std::size_t host_page_size();
+
+/// Round `n` up to a multiple of `page` (page must be a power of two or any
+/// positive value; generic modulo round-up is used).
+constexpr std::size_t round_up(std::size_t n, std::size_t page) {
+  return page == 0 ? n : ((n + page - 1) / page) * page;
+}
+
+/// Bytes wasted when padding `n` to page granularity.
+constexpr std::size_t pad_waste(std::size_t n, std::size_t page) {
+  return round_up(n, page) - n;
+}
+
+}  // namespace brickx::mm

@@ -1,0 +1,102 @@
+#include "model/machine.h"
+
+#include <algorithm>
+
+namespace brickx::model {
+
+Machine theta() {
+  Machine m;
+  m.name = "theta-knl";
+  // KNL 7230: 467 GB/s MCDRAM STREAM; 2.2 TF/s sustained DP. Stencil
+  // streaming reaches roughly a third of STREAM once write-allocate and
+  // short-loop effects are in — consistent with the ~8 GStencil/s per node
+  // the paper's Figure 8 peaks at.
+  m.stream_bw = 170e9;
+  m.flops = 1.1e12;
+  m.sweep_overhead = 12e-6;        // one-level OpenMP over 64 cores
+  m.yask_bw_factor = 1.10;         // autotuned cache blocking wins at scale
+  m.yask_sweep_overhead = 120e-6;  // two-level nested parallelism
+  // Strided pack on KNL: slow scalar gathers, one parallel region per
+  // surface piece.
+  m.pack_bw = 6e9;
+  m.pack_overhead = 28e-6;
+  // Aries + Cray-MPICH.
+  m.net.send_overhead = 3.0e-6;
+  m.net.recv_overhead = 1.0e-6;
+  m.net.inter_node = {3.5e-6, 9.0e9};
+  m.net.intra_node = {1.0e-6, 30.0e9};
+  m.net.ranks_per_node = 1;
+  // Datatype engine on a 1.3 GHz serial core: microseconds per contiguous
+  // block of a deep subarray tree (calibrated so the MemMap advantage
+  // lands near the paper's measured 460x at the sweep's small end).
+  m.net.dt_block_overhead = 4e-6;
+  m.net.dt_copy_bw = 2.0e9;
+  m.net.barrier_alpha = 2.0e-6;
+  return m;
+}
+
+Machine summit() {
+  Machine m;
+  m.name = "summit-v100";
+  // Host-side constants are mostly idle (compute runs on the GPU); they
+  // still price the MPI_TypesUM staging engine on the Power9.
+  m.stream_bw = 135e9;
+  m.flops = 0.5e12;
+  m.sweep_overhead = 5e-6;
+  m.yask_bw_factor = 1.0;
+  m.yask_sweep_overhead = 5e-6;
+  m.pack_bw = 10e9;
+  m.pack_overhead = 20e-6;
+  // EDR InfiniBand fat tree; 6 ranks (GPUs) per node over NVLink.
+  m.net.send_overhead = 1.2e-6;
+  m.net.recv_overhead = 0.6e-6;
+  m.net.inter_node = {1.8e-6, 12.5e9};
+  m.net.intra_node = {1.2e-6, 50.0e9};
+  m.net.ranks_per_node = 6;
+  // Spectrum-MPI's datatype engine on Power9 is lighter-weight than the
+  // KNL one, but still collapses on strided rows relative to pack-free
+  // transfers (paper Figs. 13/14).
+  m.net.dt_block_overhead = 0.3e-6;
+  m.net.dt_copy_bw = 8.0e9;
+  m.net.barrier_alpha = 1.5e-6;
+  // GPUDirect RDMA adds a small per-message registration cost; UM adds
+  // fault handling per message and streams a little slower through the NIC.
+  m.net.device_alpha_extra = 0.5e-6;
+  m.net.device_bw_factor = 1.0;
+  m.net.um_alpha_extra = 5e-6;
+  m.net.um_bw_factor = 0.85;
+
+  m.is_gpu = true;
+  m.gpu.hbm_bw = 828.8e9;   // paper Section 2
+  m.gpu.flops = 7.8e12;
+  m.gpu.launch_overhead = 4e-6;
+  m.gpu.link_bw = 50e9;     // NVLink2 per direction
+  m.gpu.fault_per_page = 2.5e-6;
+  m.gpu.page_size = 64 * 1024;  // Power9 base pages
+  return m;
+}
+
+Machine summit_future() {
+  Machine m = summit();
+  m.name = "summit-v100-cumemmap";
+  m.gpu.supports_cumemmap = true;
+  return m;
+}
+
+double cpu_stencil_seconds(const Machine& m, std::int64_t cells,
+                           double flops_per_cell, double bytes_per_cell,
+                           bool yask_variant) {
+  const double bw =
+      m.stream_bw * (yask_variant ? m.yask_bw_factor : 1.0);
+  const double c = static_cast<double>(cells);
+  const double t = std::max(c * bytes_per_cell / bw, c * flops_per_cell / m.flops);
+  return t + (yask_variant ? m.yask_sweep_overhead : m.sweep_overhead);
+}
+
+double pack_seconds(const Machine& m, std::int64_t bytes,
+                    std::int64_t pieces) {
+  return static_cast<double>(bytes) / m.pack_bw +
+         static_cast<double>(pieces) * m.pack_overhead;
+}
+
+}  // namespace brickx::model

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device.h"
+#include "simmpi/netmodel.h"
+
+namespace brickx::model {
+
+/// Virtual-clock cost constants for one platform. Instances for the
+/// paper's two machines are provided by theta() and summit(); every bench
+/// reads its timing model from here, so the calibration is in one place.
+///
+/// Calibration notes (see DESIGN.md §2): absolute times are *modeled*; the
+/// constants are set from published hardware numbers where available
+/// (STREAM bandwidth, peak flops, link rates) and tuned so that the
+/// relative behaviour the paper reports (who wins, by what order of
+/// magnitude, where curves flatten) is reproduced.
+struct Machine {
+  std::string name;
+
+  // --- CPU compute ---------------------------------------------------------
+  double stream_bw;    ///< bytes/s effective stencil streaming
+  double flops;        ///< attainable double-precision flop/s
+  double sweep_overhead;  ///< s per kernel sweep (one-level OpenMP fork/join)
+  /// The autotuned array baseline (YASK): slightly better bandwidth at
+  /// scale, much higher two-level parallel overhead per sweep.
+  double yask_bw_factor;
+  double yask_sweep_overhead;
+
+  // --- on-node data movement ----------------------------------------------
+  double pack_bw;        ///< bytes/s for strided pack/unpack copies
+  double pack_overhead;  ///< s per packed region (loop setup, TLB, faults)
+
+  // --- network -------------------------------------------------------------
+  mpi::NetModel net;
+
+  // --- accelerator (V1/V2 experiments) --------------------------------------
+  bool is_gpu = false;
+  gpu::GpuModel gpu;
+};
+
+/// Theta: Cray XC40, one KNL 7230 per node, Aries dragonfly,
+/// Cray-MPICH (Section 2).
+Machine theta();
+
+/// Summit: IBM AC922, 6x V100 per node (one rank per GPU), EDR InfiniBand
+/// fat tree, Spectrum-MPI with CUDA-Aware support and ATS (Section 2).
+Machine summit();
+
+/// Summit with cuMemMap enabled — the paper's footnote-2 future work
+/// (CUDA >= 10.2 device-memory mapping), allowing MemMapCA. Used only by
+/// the ablation bench.
+Machine summit_future();
+
+/// Roofline CPU time for `cells` stencil outputs.
+/// `yask_variant` selects the autotuned-baseline compute constants.
+double cpu_stencil_seconds(const Machine& m, std::int64_t cells,
+                           double flops_per_cell, double bytes_per_cell,
+                           bool yask_variant);
+
+/// On-node pack/unpack time for copying `bytes` across `pieces` regions.
+double pack_seconds(const Machine& m, std::int64_t bytes,
+                    std::int64_t pieces);
+
+}  // namespace brickx::model

@@ -1,0 +1,69 @@
+#include "simmpi/cart.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace brickx::mpi {
+
+template <int D>
+Vec<D> dims_create(int nranks) {
+  BX_CHECK(nranks >= 1, "dims_create: nranks must be positive");
+  std::array<std::int64_t, D> dims;
+  dims.fill(1);
+  int n = nranks;
+  // Repeatedly assign the largest prime factor to the currently smallest
+  // dimension — produces the most cubic factorization.
+  std::vector<int> factors;
+  for (int f = 2; f * f <= n; ++f)
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  for (int f : factors) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= f;
+  }
+  // Axis 0 is the contiguous data axis; give it the largest factor so the
+  // per-rank subdomain keeps its longest extent on the strided axes.
+  std::sort(dims.begin(), dims.end(), std::greater<>());
+  Vec<D> r;
+  for (int i = 0; i < D; ++i) r[i] = dims[static_cast<std::size_t>(i)];
+  return r;
+}
+
+template Vec<1> dims_create<1>(int);
+template Vec<2> dims_create<2>(int);
+template Vec<3> dims_create<3>(int);
+template Vec<4> dims_create<4>(int);
+
+template <int D>
+Cart<D>::Cart(Comm& comm, const Vec<D>& dims) : comm_(&comm), dims_(dims) {
+  BX_CHECK(dims.prod() == comm.size(), "Cart dims do not match comm size");
+  coords_ = delinearize<D>(comm.rank(), dims_);
+}
+
+template <int D>
+std::vector<BitSet> Cart<D>::all_directions() {
+  std::vector<BitSet> out;
+  const Vec<D> ext = Vec<D>::fill(3);
+  for (std::int64_t i = 0; i < ext.prod(); ++i) {
+    const Vec<D> p = delinearize(i, ext);
+    BitSet s;
+    for (int a = 0; a < D; ++a) {
+      if (p[a] == 0) s.set(-(a + 1));
+      if (p[a] == 2) s.set(a + 1);
+    }
+    if (!s.empty()) out.push_back(s);
+  }
+  return out;
+}
+
+template class Cart<1>;
+template class Cart<2>;
+template class Cart<3>;
+template class Cart<4>;
+
+}  // namespace brickx::mpi

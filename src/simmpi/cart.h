@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/vec.h"
+#include "simmpi/comm.h"
+
+namespace brickx::mpi {
+
+/// Factor `nranks` into a D-dimensional grid as evenly as possible
+/// (MPI_Dims_create equivalent; dims sorted decreasing like MPICH, then
+/// reversed so axis 0 — the contiguous data axis — gets the largest factor).
+template <int D>
+Vec<D> dims_create(int nranks);
+
+/// A periodic Cartesian process grid laid over an existing communicator
+/// (MPI_Cart_create equivalent, always fully periodic as in the paper's
+/// experiments). Rank r has coordinates delinearize(r, dims).
+template <int D>
+class Cart {
+ public:
+  Cart(Comm& comm, const Vec<D>& dims);
+
+  [[nodiscard]] const Vec<D>& dims() const { return dims_; }
+  [[nodiscard]] Vec<D> coords() const { return coords_; }
+  [[nodiscard]] Comm& comm() const { return *comm_; }
+
+  /// Rank at coordinates `c` (periodic wrap applied).
+  [[nodiscard]] int rank_of(Vec<D> c) const {
+    for (int i = 0; i < D; ++i)
+      c[i] = ((c[i] % dims_[i]) + dims_[i]) % dims_[i];
+    return static_cast<int>(linearize(c, dims_));
+  }
+
+  /// Rank of the neighbor in direction set `dir` (e.g. {1,-2} = +1 along
+  /// axis 1, -1 along axis 2, axes 1-based as in the paper's notation).
+  [[nodiscard]] int neighbor(const BitSet& dir) const {
+    Vec<D> c = coords_;
+    for (int a = 1; a <= D; ++a) c[a - 1] += dir.dir_of(a);
+    return rank_of(c);
+  }
+
+  /// All 3^D - 1 neighbor direction sets in a fixed enumeration order.
+  [[nodiscard]] static std::vector<BitSet> all_directions();
+
+ private:
+  Comm* comm_;
+  Vec<D> dims_;
+  Vec<D> coords_;
+};
+
+}  // namespace brickx::mpi

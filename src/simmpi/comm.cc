@@ -1,0 +1,356 @@
+#include "simmpi/comm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/error.h"
+
+namespace brickx::mpi {
+
+namespace {
+// Job-wide abort flag: when one rank throws, waiting ranks must not block
+// forever on matches that will never arrive.
+std::atomic<bool> g_abort{false};
+}  // namespace
+
+struct Request::State {
+  enum class Kind { Send, Recv } kind;
+  // Send: virtual time at which the local NIC has injected the message.
+  double send_complete = 0.0;
+  // Recv: posted parameters; matching happens in wait().
+  void* buf = nullptr;
+  std::size_t bytes = 0;
+  std::shared_ptr<const FlatType> flat;  // null => contiguous receive
+  int peer = -1;
+  int tag = 0;
+  bool done = false;
+};
+
+const NetModel& Comm::net() const { return rt_->model_; }
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
+  return isend_impl(buf, bytes, nullptr, dest, tag);
+}
+
+Request Comm::isend(const void* buf, const Datatype& type, int dest,
+                    int tag) {
+  return isend_impl(buf, type.size(), &type, dest, tag);
+}
+
+Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
+  return irecv_impl(buf, bytes, nullptr, src, tag);
+}
+
+Request Comm::irecv(void* buf, const Datatype& type, int src, int tag) {
+  return irecv_impl(buf, type.size(), &type, src, tag);
+}
+
+Request Comm::isend_impl(const void* buf, std::size_t bytes,
+                         const Datatype* type, int dest, int tag) {
+  BX_CHECK(dest >= 0 && dest < size_, "isend: bad destination rank");
+  const NetModel& m = rt_->model_;
+  clock_.advance(m.send_overhead);
+
+  Runtime::Envelope env;
+  env.src = rank_;
+  env.tag = tag;
+  env.data.resize(bytes);
+  if (type != nullptr) {
+    // The datatype engine packs internally: real copies, and the virtual
+    // clock is charged per block plus copy bandwidth — the MPI_Types cost
+    // profile the paper measures.
+    const FlatType& ft = type->flat();
+    ft.gather(static_cast<const std::byte*>(buf), env.data.data());
+    clock_.advance(static_cast<double>(ft.blocks.size()) *
+                       m.dt_block_overhead +
+                   static_cast<double>(bytes) / m.dt_copy_bw);
+    counters_.dt_blocks += static_cast<std::int64_t>(ft.blocks.size());
+    counters_.dt_pack_bytes += static_cast<std::int64_t>(bytes);
+  } else if (bytes > 0) {
+    std::memcpy(env.data.data(), buf, bytes);
+  }
+  // Unified-memory buffers may need page migration to be readable by the
+  // NIC/host; the gpusim hook charges it. Datatype sends touch each
+  // contiguous block at its real offset (not the packed size).
+  if (type != nullptr) {
+    for (const auto& blk : type->flat().blocks)
+      clock_.advance(rt_->touch(rank_,
+                                static_cast<const std::byte*>(buf) + blk.offset,
+                                blk.length, /*write=*/false));
+  } else {
+    clock_.advance(rt_->touch(rank_, buf, bytes, /*write=*/false));
+  }
+
+  // Sender-side NIC serialization. The receiver-side memory space adds its
+  // latency at wait(); bandwidth is modeled once, here (our experiments use
+  // symmetric spaces on both endpoints).
+  const MemSpace sspace = rt_->classify(buf);
+  const LinkParams lp = m.link(rank_, dest, sspace, MemSpace::Host);
+  const double dep = std::max(clock_.now(), nic_free_);
+  nic_free_ = dep + static_cast<double>(bytes) / lp.bw;
+  env.arrival = nic_free_ + lp.alpha;
+
+  counters_.msgs_sent += 1;
+  counters_.bytes_sent += static_cast<std::int64_t>(bytes);
+  rt_->record(MsgEvent{rank_, dest, tag, bytes, nic_free_, env.arrival});
+
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->kind = Request::State::Kind::Send;
+  req.state_->send_complete = nic_free_;
+
+  rt_->deliver(dest, std::move(env));
+  return req;
+}
+
+Request Comm::irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
+                         int src, int tag) {
+  BX_CHECK(src >= 0 && src < size_, "irecv: bad source rank");
+  clock_.advance(rt_->model_.recv_overhead);
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  auto& st = *req.state_;
+  st.kind = Request::State::Kind::Recv;
+  st.buf = buf;
+  st.bytes = bytes;
+  if (type != nullptr) st.flat = type->flat_ptr();
+  st.peer = src;
+  st.tag = tag;
+  return req;
+}
+
+void Comm::wait(Request& req) {
+  BX_CHECK(req.valid(), "wait on an empty Request");
+  auto& st = *req.state_;
+  BX_CHECK(!st.done, "Request already completed");
+  st.done = true;
+  if (st.kind == Request::State::Kind::Send) {
+    clock_.advance_to(st.send_complete);
+    req.state_.reset();
+    return;
+  }
+  Runtime::Envelope env = rt_->match(rank_, st.peer, st.tag);
+  BX_CHECK(env.data.size() == st.bytes, "receive size mismatch");
+
+  const NetModel& m = rt_->model_;
+  const MemSpace dspace = rt_->classify(st.buf);
+  double arrival = env.arrival;
+  if (dspace == MemSpace::Device) arrival += m.device_alpha_extra;
+  if (dspace == MemSpace::Unified) arrival += m.um_alpha_extra;
+  clock_.advance_to(arrival);
+
+  if (st.flat) {
+    st.flat->scatter(env.data.data(), static_cast<std::byte*>(st.buf));
+    clock_.advance(static_cast<double>(st.flat->blocks.size()) *
+                       m.dt_block_overhead +
+                   static_cast<double>(st.bytes) / m.dt_copy_bw);
+    counters_.dt_blocks += static_cast<std::int64_t>(st.flat->blocks.size());
+    counters_.dt_pack_bytes += static_cast<std::int64_t>(st.bytes);
+    for (const auto& blk : st.flat->blocks)
+      clock_.advance(rt_->touch(rank_,
+                                static_cast<std::byte*>(st.buf) + blk.offset,
+                                blk.length, /*write=*/true));
+  } else if (st.bytes > 0) {
+    std::memcpy(st.buf, env.data.data(), st.bytes);
+    clock_.advance(rt_->touch(rank_, st.buf, st.bytes, /*write=*/true));
+  }
+  req.state_.reset();
+}
+
+void Comm::waitall(std::vector<Request>& reqs) {
+  for (auto& r : reqs)
+    if (r.valid()) wait(r);
+  reqs.clear();
+}
+
+void Comm::send(const void* buf, std::size_t bytes, int dest, int tag) {
+  Request r = isend(buf, bytes, dest, tag);
+  wait(r);
+}
+
+void Comm::recv(void* buf, std::size_t bytes, int src, int tag) {
+  Request r = irecv(buf, bytes, src, tag);
+  wait(r);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives: a generation-counted rendezvous that snapshots all ranks'
+// contributions. The last arriver copies the slots so late wakers are immune
+// to the next collective overwriting them.
+// ---------------------------------------------------------------------------
+
+namespace {
+struct CollResult {
+  std::vector<double> snapshot;
+};
+}  // namespace
+
+std::vector<double> Comm::allgather(double v) {
+  // First round: gather values. Second round: synchronize clocks.
+  auto gather = [this](double x) {
+    std::unique_lock lk(rt_->coll_mu_);
+    const std::int64_t gen = rt_->coll_generation_;
+    rt_->coll_slots_[static_cast<std::size_t>(rank_)] = x;
+    if (++rt_->coll_arrived_ == rt_->nranks_) {
+      rt_->coll_snapshot_ = rt_->coll_slots_;
+      rt_->coll_arrived_ = 0;
+      ++rt_->coll_generation_;
+      rt_->coll_cv_.notify_all();
+    } else {
+      rt_->coll_cv_.wait(lk, [&] {
+        return rt_->coll_generation_ != gen || g_abort.load();
+      });
+      if (g_abort.load() && rt_->coll_generation_ == gen)
+        brickx::fail("collective aborted: another rank failed");
+    }
+    return rt_->coll_snapshot_;
+  };
+
+  std::vector<double> values = gather(v);
+  std::vector<double> times = gather(clock_.now());
+  double tmax = 0.0;
+  for (double t : times) tmax = std::max(tmax, t);
+  const double stages =
+      std::ceil(std::log2(static_cast<double>(std::max(2, size_))));
+  clock_.advance_to(tmax + rt_->model_.barrier_alpha * stages);
+  return values;
+}
+
+void Comm::barrier() { (void)allgather(0.0); }
+
+double Comm::allreduce_max(double v) {
+  auto vs = allgather(v);
+  double r = vs[0];
+  for (double x : vs) r = std::max(r, x);
+  return r;
+}
+
+double Comm::allreduce_sum(double v) {
+  auto vs = allgather(v);
+  double r = 0.0;
+  for (double x : vs) r += x;
+  return r;
+}
+
+std::int64_t Comm::allreduce_sum(std::int64_t v) {
+  // Exact for |v| < 2^53, far beyond any counter in this codebase.
+  return static_cast<std::int64_t>(allreduce_sum(static_cast<double>(v)));
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(int nranks, NetModel model)
+    : nranks_(nranks), model_(model) {
+  BX_CHECK(nranks >= 1, "Runtime needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  coll_slots_.resize(static_cast<std::size_t>(nranks));
+  final_vtimes_.resize(static_cast<std::size_t>(nranks), 0.0);
+  final_counters_.resize(static_cast<std::size_t>(nranks));
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(Comm&)>& body) {
+  g_abort.store(false);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      Comm comm(this, r, nranks_);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        g_abort.store(true);
+        for (auto& mb : mailboxes_) {
+          std::lock_guard lk(mb->mu);
+          mb->cv.notify_all();
+        }
+        {
+          std::lock_guard lk(coll_mu_);
+          coll_cv_.notify_all();
+        }
+      }
+      final_vtimes_[static_cast<std::size_t>(r)] = comm.clock().now();
+      final_counters_[static_cast<std::size_t>(r)] = comm.counters();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Leftover state from an aborted job must not leak into the next run().
+  if (g_abort.load()) {
+    for (auto& mb : mailboxes_) {
+      std::lock_guard lk(mb->mu);
+      mb->queue.clear();
+    }
+    std::lock_guard lk(coll_mu_);
+    coll_arrived_ = 0;
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void Runtime::deliver(int dest, Envelope env) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+  std::lock_guard lk(mb.mu);
+  mb.queue.push_back(std::move(env));
+  mb.cv.notify_all();
+}
+
+Runtime::Envelope Runtime::match(int self, int src, int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock lk(mb.mu);
+  while (true) {
+    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Envelope env = std::move(*it);
+        mb.queue.erase(it);
+        return env;
+      }
+    }
+    if (g_abort.load())
+      brickx::fail("receive aborted: another rank failed");
+    mb.cv.wait(lk);
+  }
+}
+
+void Runtime::record(const MsgEvent& ev) {
+  if (!trace_enabled_) return;
+  std::lock_guard lk(trace_mu_);
+  trace_.push_back(ev);
+}
+
+std::vector<MsgEvent> Runtime::trace() const {
+  std::lock_guard lk(trace_mu_);
+  std::vector<MsgEvent> t = trace_;
+  std::sort(t.begin(), t.end(), [](const MsgEvent& a, const MsgEvent& b) {
+    if (a.departure != b.departure) return a.departure < b.departure;
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.tag < b.tag;
+  });
+  return t;
+}
+
+void Runtime::clear_trace() {
+  std::lock_guard lk(trace_mu_);
+  trace_.clear();
+}
+
+double Runtime::final_vtime(int rank) const {
+  return final_vtimes_[static_cast<std::size_t>(rank)];
+}
+
+const CommCounters& Runtime::final_counters(int rank) const {
+  return final_counters_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace brickx::mpi

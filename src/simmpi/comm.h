@@ -1,0 +1,223 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/datatype.h"
+#include "simmpi/netmodel.h"
+
+namespace brickx::mpi {
+
+class Runtime;
+class Comm;
+
+/// Per-rank virtual clock, in seconds. Compute and communication both
+/// advance it; the harness reads phase deltas from it. Wall time never
+/// enters, so runs are deterministic.
+class VClock {
+ public:
+  [[nodiscard]] double now() const { return t_; }
+  void advance(double dt) { t_ += dt; }
+  void advance_to(double t) {
+    if (t > t_) t_ = t;
+  }
+
+ private:
+  double t_ = 0.0;
+};
+
+/// Handle for a pending nonblocking operation. Obtained from Comm::isend /
+/// Comm::irecv; completed by Comm::wait / Comm::waitall. Movable,
+/// single-use.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Communication statistics counted per rank; benches use them to report
+/// message counts, byte volumes and pack traffic (Table 2, Figs. 4/18).
+struct CommCounters {
+  std::int64_t msgs_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t dt_blocks = 0;      ///< datatype blocks processed (both sides)
+  std::int64_t dt_pack_bytes = 0;  ///< bytes internally packed by datatypes
+  void reset() { *this = CommCounters{}; }
+};
+
+/// An MPI_Comm-like communicator bound to the calling rank. Each rank
+/// thread receives its own Comm& from Runtime::run and must not share it
+/// with other threads.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// --- point to point (eager; buffer is reusable on return) -------------
+
+  Request isend(const void* buf, std::size_t bytes, int dest, int tag);
+  Request irecv(void* buf, std::size_t bytes, int src, int tag);
+
+  /// Derived-datatype variants: the datatype engine really gathers/
+  /// scatters, and the virtual clock is charged per-block overhead + copy
+  /// time — the cost profile of MPI_Types the paper measures.
+  Request isend(const void* buf, const Datatype& type, int dest, int tag);
+  Request irecv(void* buf, const Datatype& type, int src, int tag);
+
+  void wait(Request& req);
+  void waitall(std::vector<Request>& reqs);
+
+  /// Blocking convenience wrappers.
+  void send(const void* buf, std::size_t bytes, int dest, int tag);
+  void recv(void* buf, std::size_t bytes, int src, int tag);
+
+  /// --- collectives -------------------------------------------------------
+
+  void barrier();
+  [[nodiscard]] double allreduce_max(double v);
+  [[nodiscard]] double allreduce_sum(double v);
+  [[nodiscard]] std::int64_t allreduce_sum(std::int64_t v);
+  /// Gather one double per rank; result valid on every rank.
+  [[nodiscard]] std::vector<double> allgather(double v);
+
+  /// --- clock & accounting -------------------------------------------------
+
+  [[nodiscard]] VClock& clock() { return clock_; }
+  [[nodiscard]] const NetModel& net() const;
+  [[nodiscard]] CommCounters& counters() { return counters_; }
+
+  /// Advance this rank's clock by modeled compute seconds.
+  void compute(double seconds) { clock_.advance(seconds); }
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* rt, int rank, int size) : rt_(rt), rank_(rank), size_(size) {}
+
+  Request isend_impl(const void* buf, std::size_t bytes, const Datatype* type,
+                     int dest, int tag);
+  Request irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
+                     int src, int tag);
+
+  Runtime* rt_;
+  int rank_;
+  int size_;
+  VClock clock_;
+  CommCounters counters_;
+  double nic_free_ = 0.0;  ///< sender-side NIC serialization horizon
+};
+
+/// Hooks the GPU simulator installs so message buffers in device/unified
+/// memory are classified and page migrations are charged (DESIGN.md §2).
+struct MemHooks {
+  /// Classify a pointer (default: everything is Host).
+  std::function<MemSpace(const void*)> classify;
+  /// Called when rank-side CPU/NIC code touches [p, p+bytes); returns extra
+  /// seconds to charge to that rank's clock (e.g. UM fault migration).
+  std::function<double(int rank, const void* p, std::size_t bytes, bool write)>
+      touch;
+};
+
+/// One recorded point-to-point message (optional tracing; see
+/// Runtime::enable_trace). Times are virtual seconds.
+struct MsgEvent {
+  int src;
+  int dst;
+  int tag;
+  std::size_t bytes;
+  double departure;  ///< sender NIC finished injecting
+  double arrival;    ///< receiver-visible arrival of the last byte
+};
+
+/// Owns the rank threads, mailboxes and shared model. One Runtime per
+/// simulated job.
+class Runtime {
+ public:
+  /// `model`: cost constants; `nranks`: world size.
+  Runtime(int nranks, NetModel model);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute `body(comm)` once on every rank (threads are spawned and
+  /// joined inside). Exceptions from any rank are rethrown on the caller
+  /// after all ranks finish or abort.
+  void run(const std::function<void(Comm&)>& body);
+
+  [[nodiscard]] const NetModel& net() const { return model_; }
+  [[nodiscard]] int size() const { return nranks_; }
+
+  void set_mem_hooks(MemHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Record every message sent during subsequent run() calls. Costs a
+  /// mutex per send; off by default.
+  void enable_trace(bool on = true) { trace_enabled_ = on; }
+  /// Recorded messages in sender-departure order (stable across runs —
+  /// the virtual clock is deterministic).
+  [[nodiscard]] std::vector<MsgEvent> trace() const;
+  void clear_trace();
+
+  /// Per-rank results collected after run(): final virtual time and
+  /// counters of rank r.
+  [[nodiscard]] double final_vtime(int rank) const;
+  [[nodiscard]] const CommCounters& final_counters(int rank) const;
+
+ private:
+  friend class Comm;
+
+  struct Envelope {
+    int src;
+    int tag;
+    std::vector<std::byte> data;
+    double arrival;  ///< receiver-visible virtual arrival time
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+  };
+
+  void deliver(int dest, Envelope env);
+  Envelope match(int self, int src, int tag);
+
+  MemSpace classify(const void* p) const {
+    return hooks_.classify ? hooks_.classify(p) : MemSpace::Host;
+  }
+  double touch(int rank, const void* p, std::size_t bytes, bool write) const {
+    return hooks_.touch ? hooks_.touch(rank, p, bytes, write) : 0.0;
+  }
+
+  int nranks_;
+  NetModel model_;
+  MemHooks hooks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Collective scratch (barrier generation protocol in comm.cc).
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  std::int64_t coll_generation_ = 0;
+  int coll_arrived_ = 0;
+  std::vector<double> coll_slots_;
+  std::vector<double> coll_snapshot_;
+
+  void record(const MsgEvent& ev);
+
+  std::vector<double> final_vtimes_;
+  std::vector<CommCounters> final_counters_;
+
+  bool trace_enabled_ = false;
+  mutable std::mutex trace_mu_;
+  std::vector<MsgEvent> trace_;
+};
+
+}  // namespace brickx::mpi

@@ -1,0 +1,122 @@
+#include "simmpi/datatype.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace brickx::mpi {
+
+void FlatType::gather(const std::byte* base, std::byte* out) const {
+  std::size_t at = 0;
+  for (const auto& b : blocks) {
+    std::memcpy(out + at, base + b.offset, b.length);
+    at += b.length;
+  }
+}
+
+void FlatType::scatter(const std::byte* in, std::byte* base) const {
+  std::size_t at = 0;
+  for (const auto& b : blocks) {
+    std::memcpy(base + b.offset, in + at, b.length);
+    at += b.length;
+  }
+}
+
+Datatype Datatype::contiguous(std::size_t count, std::size_t elem_size) {
+  Datatype t;
+  if (count > 0) t.flat_->blocks.push_back({0, count * elem_size});
+  t.flat_->total_bytes = count * elem_size;
+  return t;
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t blocklen,
+                          std::size_t stride, std::size_t elem_size) {
+  BX_CHECK(blocklen <= stride || count <= 1, "vector blocks overlap");
+  Datatype t;
+  for (std::size_t i = 0; i < count; ++i)
+    t.flat_->blocks.push_back({i * stride * elem_size, blocklen * elem_size});
+  t.flat_->total_bytes = count * blocklen * elem_size;
+  // Merge adjacent blocks (blocklen == stride) into one, as real MPI
+  // datatype engines normalize.
+  std::vector<FlatType::Block> merged;
+  for (const auto& b : t.flat_->blocks) {
+    if (!merged.empty() &&
+        merged.back().offset + merged.back().length == b.offset) {
+      merged.back().length += b.length;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  t.flat_->blocks = std::move(merged);
+  return t;
+}
+
+template <int D>
+Datatype Datatype::subarray(const Vec<D>& sizes, const Vec<D>& sub,
+                            const Vec<D>& start, std::size_t elem_size) {
+  for (int i = 0; i < D; ++i) {
+    BX_CHECK(start[i] >= 0 && start[i] + sub[i] <= sizes[i],
+             "subarray out of bounds");
+  }
+  Datatype t;
+  if (sub.prod() == 0) return t;
+  // Walk all positions with axis 0 collapsed into contiguous runs, merging
+  // adjacent runs (covers the "subarray spans full lower axes" case where a
+  // run extends across axis-0 row boundaries).
+  Box<D> upper;  // iterate axes 1..D-1; axis 0 collapsed
+  for (int i = 0; i < D; ++i) {
+    upper.lo[i] = i == 0 ? 0 : start[i];
+    upper.hi[i] = i == 0 ? 1 : start[i] + sub[i];
+  }
+  for_each(upper, [&](const Vec<D>& p) {
+    Vec<D> q = p;
+    q[0] = start[0];
+    const std::size_t off =
+        static_cast<std::size_t>(linearize(q, sizes)) * elem_size;
+    const std::size_t len = static_cast<std::size_t>(sub[0]) * elem_size;
+    if (!t.flat_->blocks.empty() &&
+        t.flat_->blocks.back().offset + t.flat_->blocks.back().length == off) {
+      t.flat_->blocks.back().length += len;
+    } else {
+      t.flat_->blocks.push_back({off, len});
+    }
+  });
+  t.flat_->total_bytes = static_cast<std::size_t>(sub.prod()) * elem_size;
+  return t;
+}
+
+template Datatype Datatype::subarray<1>(const Vec<1>&, const Vec<1>&,
+                                        const Vec<1>&, std::size_t);
+template Datatype Datatype::subarray<2>(const Vec<2>&, const Vec<2>&,
+                                        const Vec<2>&, std::size_t);
+template Datatype Datatype::subarray<3>(const Vec<3>&, const Vec<3>&,
+                                        const Vec<3>&, std::size_t);
+template Datatype Datatype::subarray<4>(const Vec<4>&, const Vec<4>&,
+                                        const Vec<4>&, std::size_t);
+
+Datatype Datatype::concat(
+    const std::vector<std::pair<std::size_t, Datatype>>& parts) {
+  Datatype t;
+  for (const auto& [disp, part] : parts) {
+    for (const auto& b : part.flat().blocks) {
+      const std::size_t off = disp + b.offset;
+      if (!t.flat_->blocks.empty() &&
+          t.flat_->blocks.back().offset + t.flat_->blocks.back().length ==
+              off) {
+        t.flat_->blocks.back().length += b.length;
+      } else {
+        t.flat_->blocks.push_back({off, b.length});
+      }
+    }
+    t.flat_->total_bytes += part.size();
+  }
+  return t;
+}
+
+std::size_t Datatype::extent() const {
+  std::size_t e = 0;
+  for (const auto& b : flat_->blocks) e = std::max(e, b.offset + b.length);
+  return e;
+}
+
+}  // namespace brickx::mpi

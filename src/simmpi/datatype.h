@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace brickx::mpi {
+
+/// A flattened derived datatype: the list of (byte offset, byte length)
+/// contiguous blocks it touches relative to the buffer base, in canonical
+/// (send) order. This is the "type map" an MPI implementation internally
+/// walks when packing a non-contiguous send.
+struct FlatType {
+  struct Block {
+    std::size_t offset;
+    std::size_t length;
+  };
+  std::vector<Block> blocks;
+  std::size_t total_bytes = 0;
+
+  /// Gather the described bytes from `base` into `out` (internal packing).
+  void gather(const std::byte* base, std::byte* out) const;
+  /// Scatter `in` back into `base` (internal unpacking).
+  void scatter(const std::byte* in, std::byte* base) const;
+};
+
+/// Derived datatype constructors mirroring the MPI calls the paper's
+/// MPI_Types baseline uses. All sizes are in bytes via `elem_size`.
+class Datatype {
+ public:
+  /// An empty (zero-byte) datatype; assign a real one before use.
+  Datatype() : flat_(std::make_shared<FlatType>()) {}
+
+  /// `count` contiguous elements.
+  static Datatype contiguous(std::size_t count, std::size_t elem_size);
+
+  /// MPI_Type_vector: `count` blocks of `blocklen` elements, consecutive
+  /// block starts `stride` elements apart.
+  static Datatype vector(std::size_t count, std::size_t blocklen,
+                         std::size_t stride, std::size_t elem_size);
+
+  /// MPI_Type_create_subarray (order = C with axis 0 fastest, matching
+  /// brickx::Vec conventions): the sub-box `sub` at `start` of an array
+  /// with extents `sizes`.
+  template <int D>
+  static Datatype subarray(const Vec<D>& sizes, const Vec<D>& sub,
+                           const Vec<D>& start, std::size_t elem_size);
+
+  /// Concatenate several datatypes (MPI_Type_create_struct with byte
+  /// displacements): each element of `parts` is (displacement, type).
+  static Datatype concat(
+      const std::vector<std::pair<std::size_t, Datatype>>& parts);
+
+  /// The flattened block list (computed at construction, i.e. "committed").
+  [[nodiscard]] const FlatType& flat() const { return *flat_; }
+
+  /// Shared ownership of the flattened form; pending receives hold this so
+  /// the datatype may be destroyed before the request completes.
+  [[nodiscard]] std::shared_ptr<const FlatType> flat_ptr() const {
+    return flat_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return flat_->total_bytes; }
+  [[nodiscard]] std::size_t block_count() const {
+    return flat_->blocks.size();
+  }
+
+  /// Maximum offset+length touched; buffers must be at least this large.
+  [[nodiscard]] std::size_t extent() const;
+
+ private:
+  std::shared_ptr<FlatType> flat_;  // immutable after construction
+};
+
+}  // namespace brickx::mpi

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+
+namespace brickx::mpi {
+
+/// Classification of the memory a message buffer lives in. Host is ordinary
+/// memory; Device models cudaMalloc (reachable by the NIC only via
+/// GPUDirect/CUDA-Aware MPI); Unified models UM/ATS memory (reachable from
+/// both sides, with page-fault migration charged by the gpusim touch hooks).
+enum class MemSpace : std::uint8_t { Host, Device, Unified };
+
+/// One directional link: alpha-beta cost `alpha + bytes/bw`.
+struct LinkParams {
+  double alpha = 1.5e-6;  ///< per-message latency, seconds
+  double bw = 8.0e9;      ///< bandwidth, bytes/second
+};
+
+/// Cost constants for the virtual-clock communication model. The defaults
+/// approximate a Cray Aries-class fabric; src/model provides calibrated
+/// Theta and Summit instances.
+///
+/// Timing rules (see DESIGN.md §5.4):
+///  * Isend advances the sender clock by `send_overhead` (+ datatype pack
+///    cost if a derived datatype is used), then serializes the message on
+///    the sender NIC: departure = max(clock, nic_free); nic_free =
+///    departure + bytes/bw. Arrival at the receiver = nic_free + alpha.
+///  * Wait on a receive advances the receiver clock to max(clock, arrival)
+///    (+ datatype unpack cost).
+///  * Barrier is a max-reduction plus `barrier_alpha * ceil(log2 P)`.
+struct NetModel {
+  double send_overhead = 0.5e-6;  ///< CPU time to post a send
+  double recv_overhead = 0.2e-6;  ///< CPU time to post/complete a receive
+
+  LinkParams inter_node{};                  ///< network fabric
+  LinkParams intra_node{0.6e-6, 5.0e10};    ///< same-node ranks (shmem/NVLink)
+
+  /// Derived-datatype processing: per contiguous block touched (both sides)
+  /// and the internal pack/unpack copy bandwidth. These are what make
+  /// MPI_Types collapse for many tiny strided blocks, as in the paper.
+  double dt_block_overhead = 2.5e-7;  ///< seconds per block, each side
+  double dt_copy_bw = 5.0e9;          ///< bytes/second internal copy
+
+  double barrier_alpha = 2.0e-6;  ///< per log2(P) stage
+
+  /// How many consecutive ranks share a node (V2 uses 6 GPUs/ranks a node).
+  int ranks_per_node = 1;
+
+  /// Memory-space adjustments, applied on top of the link cost when either
+  /// endpoint buffer is not plain host memory.
+  double device_alpha_extra = 0.4e-6;  ///< GPUDirect RDMA setup per message
+  double device_bw_factor = 1.0;       ///< relative link bandwidth from HBM
+  double um_alpha_extra = 3.0e-6;      ///< UM fault/pinning per message
+  double um_bw_factor = 0.8;           ///< UM streams slower through the NIC
+
+  [[nodiscard]] int node_of(int rank) const { return rank / ranks_per_node; }
+
+  /// Effective link for a message between `src` and `dst` ranks whose
+  /// buffers live in `s` (sender side) and `d` (receiver side).
+  [[nodiscard]] LinkParams link(int src, int dst, MemSpace s,
+                                MemSpace d) const {
+    LinkParams lp =
+        node_of(src) == node_of(dst) ? intra_node : inter_node;
+    auto apply = [&lp](MemSpace m, double a_dev, double f_dev, double a_um,
+                       double f_um) {
+      if (m == MemSpace::Device) {
+        lp.alpha += a_dev;
+        lp.bw *= f_dev;
+      } else if (m == MemSpace::Unified) {
+        lp.alpha += a_um;
+        lp.bw *= f_um;
+      }
+    };
+    apply(s, device_alpha_extra, device_bw_factor, um_alpha_extra,
+          um_bw_factor);
+    apply(d, device_alpha_extra, device_bw_factor, um_alpha_extra,
+          um_bw_factor);
+    return lp;
+  }
+};
+
+}  // namespace brickx::mpi

@@ -1,0 +1,76 @@
+#include "common/argparse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace brickx {
+namespace {
+
+ArgParser make() {
+  ArgParser ap("prog", "test parser");
+  ap.add("-d", "dimension", "64");
+  ap.add("-s", "sizes", "128,64,32");
+  ap.add("-x", "factor", "1.5");
+  ap.add_flag("-v", "verbose");
+  return ap;
+}
+
+TEST(ArgParser, Defaults) {
+  ArgParser ap = make();
+  const char* argv[] = {"prog"};
+  ap.parse(1, argv);
+  EXPECT_EQ(ap.get_int("-d"), 64);
+  EXPECT_DOUBLE_EQ(ap.get_double("-x"), 1.5);
+  EXPECT_FALSE(ap.get_flag("-v"));
+  const auto list = ap.get_int_list("-s");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 128);
+  EXPECT_EQ(list[2], 32);
+}
+
+TEST(ArgParser, ParseOverrides) {
+  ArgParser ap = make();
+  const char* argv[] = {"prog", "-d", "16", "-v", "-s", "8,4"};
+  ap.parse(6, argv);
+  EXPECT_EQ(ap.get_int("-d"), 16);
+  EXPECT_TRUE(ap.get_flag("-v"));
+  EXPECT_EQ(ap.get_int_list("-s").size(), 2u);
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  ArgParser ap = make();
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(ap.parse(2, argv), Error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser ap = make();
+  const char* argv[] = {"prog", "-d"};
+  EXPECT_THROW(ap.parse(2, argv), Error);
+}
+
+TEST(ArgParser, UnregisteredLookupThrows) {
+  ArgParser ap = make();
+  const char* argv[] = {"prog"};
+  ap.parse(1, argv);
+  EXPECT_THROW((void)ap.get("-z"), Error);
+  EXPECT_THROW((void)ap.get_flag("-z"), Error);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser ap("p", "d");
+  ap.add("-a", "x", "1");
+  EXPECT_THROW(ap.add("-a", "again", "2"), Error);
+}
+
+TEST(ArgParser, UsageListsOptions) {
+  ArgParser ap = make();
+  const std::string u = ap.usage();
+  EXPECT_NE(u.find("-d"), std::string::npos);
+  EXPECT_NE(u.find("dimension"), std::string::npos);
+  EXPECT_NE(u.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brickx

@@ -1,0 +1,127 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace brickx {
+namespace {
+
+TEST(BitSet, EmptyByDefault) {
+  BitSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.str(), "{}");
+}
+
+TEST(BitSet, InitializerListMatchesPaperNotation) {
+  // Figure 3's surface2d entries, e.g. r({A1-, A2-}) == {-1,-2}.
+  BitSet s{-1, -2};
+  EXPECT_TRUE(s.has(-1));
+  EXPECT_TRUE(s.has(-2));
+  EXPECT_FALSE(s.has(1));
+  EXPECT_FALSE(s.has(2));
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(BitSet, SetClearRoundtrip) {
+  BitSet s;
+  for (int a = 1; a <= BitSet::kMaxAxis; ++a) {
+    s.set(a);
+    s.set(-a);
+  }
+  EXPECT_EQ(s.size(), 2 * BitSet::kMaxAxis);
+  for (int a = 1; a <= BitSet::kMaxAxis; ++a) {
+    EXPECT_TRUE(s.has(a));
+    EXPECT_TRUE(s.has(-a));
+    s.clear(a);
+    EXPECT_FALSE(s.has(a));
+    EXPECT_TRUE(s.has(-a));
+  }
+  EXPECT_EQ(s.size(), BitSet::kMaxAxis);
+}
+
+TEST(BitSet, OutOfRangeElementsThrow) {
+  BitSet s;
+  EXPECT_THROW(s.set(0), Error);
+  EXPECT_THROW(s.set(BitSet::kMaxAxis + 1), Error);
+  EXPECT_THROW(s.set(-BitSet::kMaxAxis - 1), Error);
+}
+
+TEST(BitSet, SubsetRelation) {
+  BitSet region{1, -2, 3};
+  // Destinations of a surface region are its nonempty signed subsets.
+  EXPECT_TRUE(BitSet{1}.subset_of(region));
+  EXPECT_TRUE((BitSet{1, -2}).subset_of(region));
+  EXPECT_TRUE(region.subset_of(region));
+  EXPECT_TRUE(BitSet{}.subset_of(region));
+  EXPECT_FALSE(BitSet{2}.subset_of(region));     // wrong direction
+  EXPECT_FALSE((BitSet{1, 2}).subset_of(region));
+}
+
+TEST(BitSet, FlippedMirrorsEveryDirection) {
+  BitSet s{1, -2, 3};
+  BitSet f = s.flipped();
+  EXPECT_TRUE(f.has(-1));
+  EXPECT_TRUE(f.has(2));
+  EXPECT_TRUE(f.has(-3));
+  EXPECT_EQ(f.size(), 3);
+  EXPECT_EQ(f.flipped(), s);
+}
+
+TEST(BitSet, FlippedIsInvolutionPropertySweep) {
+  // Every direction set over 3 axes.
+  for (int z = -1; z <= 1; ++z)
+    for (int y = -1; y <= 1; ++y)
+      for (int x = -1; x <= 1; ++x) {
+        BitSet s;
+        if (x) s.set(x > 0 ? 1 : -1);
+        if (y) s.set(y > 0 ? 2 : -2);
+        if (z) s.set(z > 0 ? 3 : -3);
+        EXPECT_EQ(s.flipped().flipped(), s);
+        EXPECT_EQ(s.flipped().size(), s.size());
+      }
+}
+
+TEST(BitSet, DirOf) {
+  BitSet s{1, -3};
+  EXPECT_EQ(s.dir_of(1), 1);
+  EXPECT_EQ(s.dir_of(2), 0);
+  EXPECT_EQ(s.dir_of(3), -1);
+}
+
+TEST(BitSet, DirOfBothDirectionsThrows) {
+  BitSet s{2, -2};
+  EXPECT_THROW((void)s.dir_of(2), Error);
+}
+
+TEST(BitSet, SetOperations) {
+  BitSet a{1, 2}, b{2, 3};
+  EXPECT_EQ((a & b), BitSet{2});
+  EXPECT_EQ((a | b), (BitSet{1, 2, 3}));
+}
+
+TEST(BitSet, RawIsUniquePerSet) {
+  std::map<std::uint64_t, BitSet> seen;
+  for (int z = -1; z <= 1; ++z)
+    for (int y = -1; y <= 1; ++y)
+      for (int x = -1; x <= 1; ++x) {
+        BitSet s;
+        if (x) s.set(x > 0 ? 1 : -1);
+        if (y) s.set(y > 0 ? 2 : -2);
+        if (z) s.set(z > 0 ? 3 : -3);
+        auto [it, inserted] = seen.emplace(s.raw(), s);
+        EXPECT_TRUE(inserted || it->second == s);
+      }
+  EXPECT_EQ(seen.size(), 27u);
+}
+
+TEST(BitSet, StrFormat) {
+  EXPECT_EQ((BitSet{-1, -2}).str(), "{-1,-2}");
+  EXPECT_EQ((BitSet{1, 2}).str(), "{1,2}");
+  EXPECT_EQ((BitSet{2}).str(), "{2}");
+}
+
+}  // namespace
+}  // namespace brickx

@@ -1,0 +1,79 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace brickx {
+namespace {
+
+TEST(Stats, EmptyIsZero) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.avg(), 0.0);
+  EXPECT_EQ(s.sigma(), 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  Stats s;
+  s.add(3.5);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.avg(), 3.5);
+  EXPECT_EQ(s.sigma(), 0.0);
+}
+
+TEST(Stats, KnownSeries) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.avg(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sigma(), 2.0);  // classic population-sigma example
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  Rng rng(7);
+  Stats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10 - 5;
+    all.add(x);
+    (i % 3 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.avg(), all.avg(), 1e-12);
+  EXPECT_NEAR(a.sigma(), all.sigma(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmpty) {
+  Stats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  Stats orig = a;
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.avg(), orig.avg());
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.avg(), 1.5);
+}
+
+TEST(Stats, StrFormatIncludesAllFields) {
+  Stats s;
+  s.add(1e-3);
+  s.add(2e-3);
+  const std::string out = s.str();
+  EXPECT_NE(out.find("["), std::string::npos);
+  EXPECT_NE(out.find("sigma"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brickx

@@ -1,0 +1,49 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace brickx {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{10});
+  t.row().cell("b").cell(std::int64_t{123456});
+  const std::string s = t.str();
+  // Both data lines start their second column at the same offset.
+  const auto l1 = s.find("alpha");
+  ASSERT_NE(l1, std::string::npos);
+  EXPECT_NE(s.find("123456"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"a", "b"});
+  t.row().cell(1.23456, 2).cell_sci(0.000123, 2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("1.23e-04"), std::string::npos);
+}
+
+TEST(Table, CsvRoundtrip) {
+  Table t({"x", "y"});
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  t.row().cell(std::int64_t{3}).cell(std::int64_t{4});
+  EXPECT_EQ(t.csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("oops"), Error);
+}
+
+TEST(Table, RaggedRowsTolerated) {
+  Table t({"a", "b", "c"});
+  t.row().cell("only-one");
+  EXPECT_NO_THROW((void)t.str());
+}
+
+}  // namespace
+}  // namespace brickx

@@ -1,0 +1,160 @@
+#include "core/brick.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/cell_array.h"
+#include "core/decomp.h"
+
+namespace brickx {
+namespace {
+
+// Unique per-cell value from subdomain-local coordinates (may be negative
+// in the ghost frame).
+double tagval(std::int64_t i, std::int64_t j, std::int64_t k, int field = 0) {
+  return static_cast<double>((k + 16) * 1000000 + (j + 16) * 1000 + (i + 16)) +
+         field * 0.25;
+}
+
+TEST(Brick, AccessorMatchesCellCoordinates) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickInfo<3> info = dec.brick_info();
+  BrickStorage store = dec.allocate(1);
+  Brick<4, 4, 4> a(&info, &store, 0);
+
+  // Fill via cell array covering the whole frame, then read via accessor.
+  CellArray3 cells(Box<3>{{-4, -4, -4}, {20, 20, 20}});
+  for_each(cells.box(), [&](const Vec3& p) {
+    cells.at(p) = tagval(p[0], p[1], p[2]);
+  });
+  cells_to_bricks(dec, cells, store, 0);
+
+  for (std::int64_t b = 0; b < dec.own_brick_count(); ++b) {
+    const Vec3 base = dec.grid_of(b) * Vec3{4, 4, 4};
+    for (int k = 0; k < 4; ++k)
+      for (int j = 0; j < 4; ++j)
+        for (int i = 0; i < 4; ++i)
+          EXPECT_EQ(a[b][k][j][i], tagval(base[0] + i, base[1] + j, base[2] + k));
+  }
+}
+
+TEST(Brick, NeighborResolutionAcrossBrickBoundaries) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickInfo<3> info = dec.brick_info();
+  BrickStorage store = dec.allocate(1);
+  Brick<4, 4, 4> a(&info, &store, 0);
+  CellArray3 cells(Box<3>{{-4, -4, -4}, {20, 20, 20}});
+  for_each(cells.box(), [&](const Vec3& p) {
+    cells.at(p) = tagval(p[0], p[1], p[2]);
+  });
+  cells_to_bricks(dec, cells, store, 0);
+
+  // From every own brick, indices in [-4, 8) resolve through adjacency to
+  // the correct logical cell — including into the ghost frame.
+  for (std::int64_t b = 0; b < dec.own_brick_count(); ++b) {
+    const Vec3 base = dec.grid_of(b) * Vec3{4, 4, 4};
+    for (int k : {-1, 0, 3, 4})
+      for (int j : {-4, 0, 7})
+        for (int i : {-2, 2, 5}) {
+          EXPECT_EQ(a.at(b, k, j, i),
+                    tagval(base[0] + i, base[1] + j, base[2] + k))
+              << "b=" << b << " (" << i << "," << j << "," << k << ")";
+        }
+  }
+}
+
+TEST(Brick, ReachingPastGhostThrows) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickInfo<3> info = dec.brick_info();
+  BrickStorage store = dec.allocate(1);
+  Brick<4, 4, 4> a(&info, &store, 0);
+  // Brick at grid (-1,-1,-1) is a ghost corner; its (-1,-1,-1) neighbor is
+  // outside the allocation.
+  const std::int32_t ghost_corner = dec.brick_at(Vec3{-1, -1, -1});
+  ASSERT_NE(ghost_corner, BrickInfo<3>::kNoBrick);
+  EXPECT_THROW((void)a.at(ghost_corner, -1, 0, 0), Error);
+}
+
+TEST(Brick, InterleavedFieldsAreIndependent) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickInfo<3> info = dec.brick_info();
+  BrickStorage store = dec.allocate(2);
+  Brick<4, 4, 4> a(&info, &store, 0);
+  Brick<4, 4, 4> b(&info, &store, 64);  // field 1: offset = 4^3
+
+  CellArray3 c0(Box<3>{{0, 0, 0}, {16, 16, 16}});
+  CellArray3 c1(Box<3>{{0, 0, 0}, {16, 16, 16}});
+  for_each(c0.box(), [&](const Vec3& p) {
+    c0.at(p) = tagval(p[0], p[1], p[2], 0);
+    c1.at(p) = tagval(p[0], p[1], p[2], 1);
+  });
+  cells_to_bricks(dec, c0, store, 0);
+  cells_to_bricks(dec, c1, store, 1);
+
+  for (std::int64_t br = 0; br < dec.own_brick_count(); ++br) {
+    const Vec3 base = dec.grid_of(br) * Vec3{4, 4, 4};
+    EXPECT_EQ(a[br][1][2][3], tagval(base[0] + 3, base[1] + 2, base[2] + 1, 0));
+    EXPECT_EQ(b[br][1][2][3], tagval(base[0] + 3, base[1] + 2, base[2] + 1, 1));
+  }
+}
+
+TEST(Brick, GeometryMismatchesRejected) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickInfo<3> info = dec.brick_info();
+  BrickStorage store = dec.allocate(1);
+  // Wrong template extents.
+  EXPECT_THROW((Brick<8, 8, 8>(&info, &store, 0)), Error);
+  // Field offset beyond the brick chunk.
+  EXPECT_THROW((Brick<4, 4, 4>(&info, &store, 64)), Error);
+}
+
+TEST(CellArrayBridge, RoundtripThroughBricks) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickStorage store = dec.allocate(1);
+  CellArray3 src(Box<3>{{-4, -4, -4}, {20, 20, 20}});
+  for_each(src.box(), [&](const Vec3& p) {
+    src.at(p) = tagval(p[0], p[1], p[2]);
+  });
+  cells_to_bricks(dec, src, store, 0);
+  CellArray3 dst(Box<3>{{-4, -4, -4}, {20, 20, 20}});
+  bricks_to_cells(dec, store, 0, dst);
+  EXPECT_EQ(src.raw(), dst.raw());
+}
+
+TEST(CellArrayBridge, PartialBoxOnlyTouchesItsCells) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickStorage store = dec.allocate(1);
+  CellArray3 patch(Box<3>{{4, 4, 4}, {8, 8, 8}});
+  for_each(patch.box(), [&](const Vec3& p) { patch.at(p) = 7.0; });
+  cells_to_bricks(dec, patch, store, 0);
+  CellArray3 all(Box<3>{{0, 0, 0}, {16, 16, 16}});
+  bricks_to_cells(dec, store, 0, all);
+  for_each(all.box(), [&](const Vec3& p) {
+    EXPECT_EQ(all.at(p), patch.box().contains(p) ? 7.0 : 0.0);
+  });
+}
+
+TEST(CellArrayBridge, OutOfRangeDestinationThrows) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickStorage store = dec.allocate(1);
+  CellArray3 bad(Box<3>{{-8, 0, 0}, {0, 4, 4}});  // beyond the ghost frame
+  EXPECT_THROW(bricks_to_cells(dec, store, 0, bad), Error);
+}
+
+TEST(CellArrayBridge, MmapBackedStorageBehavesIdentically) {
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickStorage store = dec.mmap_alloc(1);
+  CellArray3 src(Box<3>{{0, 0, 0}, {16, 16, 16}});
+  for_each(src.box(), [&](const Vec3& p) {
+    src.at(p) = tagval(p[0], p[1], p[2]);
+  });
+  cells_to_bricks(dec, src, store, 0);
+  BrickInfo<3> info = dec.brick_info();
+  Brick<4, 4, 4> a(&info, &store, 0);
+  EXPECT_EQ(a[0][0][0][0], tagval(dec.grid_of(0)[0] * 4,
+                                  dec.grid_of(0)[1] * 4,
+                                  dec.grid_of(0)[2] * 4));
+}
+
+}  // namespace
+}  // namespace brickx

@@ -1,0 +1,85 @@
+// Four-dimensional decomposition and exchange — the paper's Table 1
+// analysis covers D up to 5; the library machinery is exercised end-to-end
+// here for D = 4 (e.g. 3D space + one phase/velocity dimension).
+
+#include <gtest/gtest.h>
+
+#include "core/cell_array.h"
+#include "core/exchange.h"
+#include "simmpi/cart.h"
+
+namespace brickx {
+namespace {
+
+using mpi::Cart;
+using mpi::Comm;
+using mpi::NetModel;
+using mpi::Runtime;
+
+TEST(Dim4, DecompositionCountsMatchTheory) {
+  const Vec<4> N{8, 8, 8, 8};
+  BrickDecomp<4> dec(N, 2, Vec<4>::fill(2), lexicographic_layout(4));
+  EXPECT_EQ(dec.surface_region_count(), 80);        // 3^4 - 1
+  EXPECT_EQ(dec.regions().size(), 80u + 1 + 544);   // + interior + 5^4-3^4
+  EXPECT_EQ(dec.own_brick_count(), 4 * 4 * 4 * 4);
+  EXPECT_EQ(dec.total_brick_count(), 6 * 6 * 6 * 6);
+}
+
+TEST(Dim4, MessagePlanWithinAnalyticBounds) {
+  const Vec<4> N{12, 12, 12, 12};  // middle bands nonempty
+  BrickDecomp<4> dec(N, 2, Vec<4>::fill(2), lexicographic_layout(4));
+  BrickStorage store = dec.allocate(1);
+  std::vector<int> self(80, 0);
+  Exchanger<4> layout(dec, store, self, Exchanger<4>::Mode::Layout);
+  Exchanger<4> basic(dec, store, self, Exchanger<4>::Mode::Basic);
+  EXPECT_EQ(basic.send_message_count(), basic_message_count(4));  // 544
+  EXPECT_GE(layout.send_message_count(), layout_message_lower_bound(4));
+  EXPECT_LT(layout.send_message_count(), basic.send_message_count());
+}
+
+TEST(Dim4, ExchangeIsExactAcrossSixteenRanks) {
+  Runtime rt(16, NetModel{});
+  rt.run([&](Comm& comm) {
+    const Vec<4> dims = mpi::dims_create<4>(comm.size());
+    Cart<4> cart(comm, dims);
+    const Vec<4> N{8, 8, 8, 8};
+    BrickDecomp<4> dec(N, 2, Vec<4>::fill(2), lexicographic_layout(4));
+    BrickStorage store = dec.allocate(1);
+    const Vec<4> ext = dims * N;
+    Vec<4> off = cart.coords() * N;
+    auto f = [&](Vec<4> g) {
+      double v = 0.125;
+      for (int a = 0; a < 4; ++a) {
+        g[a] = ((g[a] % ext[a]) + ext[a]) % ext[a];
+        v = v * 31 + static_cast<double>(g[a]);
+      }
+      return v;
+    };
+    CellArray<4> own(Box<4>{{0, 0, 0, 0}, N});
+    for_each(own.box(), [&](const Vec<4>& p) { own.at(p) = f(p + off); });
+    cells_to_bricks<4>(dec, own, store, 0);
+
+    Exchanger<4> ex(dec, store, populate(cart, dec),
+                    Exchanger<4>::Mode::Layout);
+    ex.exchange(comm);
+
+    CellArray<4> frame(
+        Box<4>{Vec<4>{0, 0, 0, 0} - Vec<4>::fill(2), N + Vec<4>::fill(2)});
+    bricks_to_cells<4>(dec, store, 0, frame);
+    std::int64_t bad = 0;
+    for_each(frame.box(), [&](const Vec<4>& p) {
+      if (frame.at(p) != f(p + off)) ++bad;
+    });
+    EXPECT_EQ(bad, 0) << "rank " << comm.rank();
+  });
+}
+
+TEST(Dim4, SearchImprovesOnLexicographic) {
+  const LayoutSpec lex = lexicographic_layout(4);
+  const LayoutSpec tuned = optimize_layout(4, /*budget=*/30000, /*seed=*/2);
+  EXPECT_LT(message_count(tuned, 4), message_count(lex, 4));
+  EXPECT_GE(message_count(tuned, 4), layout_message_lower_bound(4));  // 209
+}
+
+}  // namespace
+}  // namespace brickx

@@ -1,0 +1,111 @@
+#include "core/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/region.h"
+
+namespace brickx {
+namespace {
+
+TEST(Layout, Table1Formulas) {
+  // The paper's Table 1, all three rows for D = 1..5.
+  const std::int64_t neighbors[] = {2, 8, 26, 80, 242};
+  const std::int64_t layout[] = {2, 9, 42, 209, 1042};
+  const std::int64_t basic[] = {2, 16, 98, 544, 2882};
+  for (int d = 1; d <= 5; ++d) {
+    EXPECT_EQ(neighbor_count(d), neighbors[d - 1]) << "D=" << d;
+    EXPECT_EQ(layout_message_lower_bound(d), layout[d - 1]) << "D=" << d;
+    EXPECT_EQ(basic_message_count(d), basic[d - 1]) << "D=" << d;
+  }
+}
+
+TEST(Layout, Surface1dIsOptimal) {
+  EXPECT_TRUE(surface1d().valid(1));
+  EXPECT_EQ(message_count(surface1d(), 1), 2);
+}
+
+TEST(Layout, Surface2dAchievesNineMessages) {
+  EXPECT_TRUE(surface2d().valid(2));
+  EXPECT_EQ(message_count(surface2d(), 2), 9);
+  EXPECT_EQ(message_count(surface2d(), 2), layout_message_lower_bound(2));
+}
+
+TEST(Layout, Surface3dAchievesFortyTwoMessages) {
+  EXPECT_TRUE(surface3d().valid(3));
+  EXPECT_EQ(message_count(surface3d(), 3), 42);
+  EXPECT_EQ(message_count(surface3d(), 3), layout_message_lower_bound(3));
+}
+
+TEST(Layout, Figure2NumberingNeedsTwelveMessages) {
+  // The unoptimized Figure 2(L) numbering (regions 1..8 bottom-to-top):
+  // the paper states it needs 12 messages.
+  LayoutSpec fig2{{
+      BitSet{-1, -2}, BitSet{-2}, BitSet{1, -2}, BitSet{-1},
+      BitSet{1}, BitSet{-1, 2}, BitSet{2}, BitSet{1, 2},
+  }};
+  EXPECT_TRUE(fig2.valid(2));
+  EXPECT_EQ(message_count(fig2, 2), 12);
+}
+
+TEST(Layout, EveryPermutationWithinBounds) {
+  // Property: Eq.1 <= messages <= Eq.3 for arbitrary valid layouts.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    LayoutSpec s = optimize_layout(3, /*budget=*/50, seed);  // near-random
+    ASSERT_TRUE(s.valid(3));
+    const std::int64_t m = message_count(s, 3);
+    EXPECT_GE(m, layout_message_lower_bound(3));
+    EXPECT_LE(m, basic_message_count(3));
+  }
+}
+
+TEST(Layout, LexicographicIsValidButWorse) {
+  const LayoutSpec lex = lexicographic_layout(3);
+  EXPECT_TRUE(lex.valid(3));
+  EXPECT_GT(message_count(lex, 3), message_count(surface3d(), 3));
+}
+
+TEST(Layout, ExhaustiveSearchFindsOptimum2d) {
+  const LayoutSpec best = optimize_layout(2);
+  EXPECT_EQ(message_count(best, 2), layout_message_lower_bound(2));
+}
+
+TEST(Layout, ExhaustiveSearchFindsOptimum1d) {
+  const LayoutSpec best = optimize_layout(1);
+  EXPECT_EQ(message_count(best, 1), 2);
+}
+
+TEST(Layout, HillClimbingApproachesBound3d) {
+  // The randomized search will not always hit 42, but must get close and
+  // stay within the analytic bracket.
+  const LayoutSpec s = optimize_layout(3, /*budget=*/60000, /*seed=*/7);
+  const std::int64_t m = message_count(s, 3);
+  EXPECT_GE(m, 42);
+  EXPECT_LE(m, 50);
+}
+
+TEST(Layout, PositionAndValidity) {
+  const LayoutSpec& s = surface2d();
+  EXPECT_EQ(s.position(BitSet{-1, -2}), 0);
+  EXPECT_EQ(s.position(BitSet{-1}), 7);
+  EXPECT_EQ(s.position(BitSet{3}), -1);
+  LayoutSpec broken = s;
+  broken.order[0] = broken.order[1];  // duplicate entry
+  EXPECT_FALSE(broken.valid(2));
+  LayoutSpec truncated = s;
+  truncated.order.pop_back();
+  EXPECT_FALSE(truncated.valid(2));
+}
+
+TEST(Layout, MessageCountRejectsInvalidLayouts) {
+  LayoutSpec bogus{{BitSet{1}}};
+  EXPECT_THROW((void)message_count(bogus, 3), Error);
+}
+
+TEST(Layout, DimsInference) {
+  EXPECT_EQ(surface2d().dims(), 2);
+  EXPECT_EQ(surface3d().dims(), 3);
+}
+
+}  // namespace
+}  // namespace brickx

@@ -1,0 +1,280 @@
+// Property-style sweeps over the core library: exchange correctness across
+// randomized geometries, the pairwise-merge identity behind the Eq. 1
+// optimality argument, and structural invariants of plans and chunks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/rng.h"
+#include "core/cell_array.h"
+#include "core/exchange.h"
+#include "core/exchange_view.h"
+#include "core/layout.h"
+#include "core/shift.h"
+#include "simmpi/cart.h"
+
+namespace brickx {
+namespace {
+
+using mpi::Cart;
+using mpi::Comm;
+using mpi::NetModel;
+using mpi::Runtime;
+
+// ---------------------------------------------------------------------------
+// The merge identity: a layout's message count equals the Basic count minus
+// the destinations shared by storage-adjacent region pairs — the quantity
+// the Eq. 1 lower-bound argument optimizes. Verifying it for arbitrary
+// permutations ties the run-counting evaluator to the combinatorial model.
+// ---------------------------------------------------------------------------
+
+std::int64_t merge_identity_count(const LayoutSpec& s, int dims) {
+  std::int64_t saved = 0;
+  for (std::size_t i = 0; i + 1 < s.order.size(); ++i) {
+    const BitSet common = s.order[i] & s.order[i + 1];
+    saved += (1ll << common.size()) - 1;
+  }
+  return basic_message_count(dims) - saved;
+}
+
+class MergeIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeIdentity, HoldsForRandomPermutations) {
+  const int dims = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dims) * 977);
+  for (int trial = 0; trial < 50; ++trial) {
+    LayoutSpec s{all_surface_signatures(dims)};
+    for (std::size_t j = s.order.size(); j > 1; --j)
+      std::swap(s.order[j - 1], s.order[rng.below(j)]);
+    ASSERT_EQ(message_count(s, dims), merge_identity_count(s, dims));
+  }
+}
+
+TEST_P(MergeIdentity, HoldsForTheLibraryConstants) {
+  const int dims = GetParam();
+  const LayoutSpec& s = dims == 1   ? surface1d()
+                        : dims == 2 ? surface2d()
+                                    : surface3d();
+  EXPECT_EQ(message_count(s, dims), merge_identity_count(s, dims));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MergeIdentity, ::testing::Values(1, 2, 3));
+
+TEST(MergeIdentityMath, Surface3dSavesExactly56) {
+  // 98 - 42: sixteen 3-destination merges plus eight 1-destination merges,
+  // the construction documented in layout.cc.
+  std::int64_t threes = 0, ones = 0, zeros = 0;
+  const auto& order = surface3d().order;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    switch ((order[i] & order[i + 1]).size()) {
+      case 2:
+        ++threes;
+        break;
+      case 1:
+        ++ones;
+        break;
+      default:
+        ++zeros;
+    }
+  }
+  EXPECT_EQ(threes, 16);
+  EXPECT_EQ(ones, 8);
+  EXPECT_EQ(zeros, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized end-to-end exchange geometries: anisotropic domains, mixed
+// brick shapes, several rank grids, every brick method.
+// ---------------------------------------------------------------------------
+
+struct Geometry {
+  Vec3 domain, brick;
+  std::int64_t ghost;
+  int ranks;
+  int method;  // 0 Layout, 1 Basic, 2 MemMap, 3 Shift
+};
+
+class RandomGeometry : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGeometry, ExchangeIsAlwaysExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1315423911ull);
+  // Draw a valid geometry.
+  const std::int64_t bricks[] = {2, 4, 8};
+  Vec3 B;
+  for (int a = 0; a < 3; ++a) B[a] = bricks[rng.below(3)];
+  std::int64_t ghost = B[0];
+  for (int a = 1; a < 3; ++a) ghost = std::lcm(ghost, B[a]);
+  Vec3 N;
+  for (int a = 0; a < 3; ++a)
+    N[a] = (2 + static_cast<std::int64_t>(rng.below(3))) * ghost;
+  const int rank_choices[] = {1, 2, 4, 8};
+  const int ranks = rank_choices[rng.below(4)];
+  const int method = static_cast<int>(rng.below(4));
+
+  Runtime rt(ranks, NetModel{});
+  rt.run([&](Comm& comm) {
+    const Vec3 dims = mpi::dims_create<3>(comm.size());
+    Cart<3> cart(comm, dims);
+    BrickDecomp<3> dec(N, ghost, B, surface3d());
+    BrickStorage store = method == 2 ? dec.mmap_alloc(1) : dec.allocate(1);
+    const Vec3 ext = dims * N;
+    const Vec3 off = cart.coords() * N;
+    auto f = [&](Vec3 g) {
+      for (int a = 0; a < 3; ++a) g[a] = ((g[a] % ext[a]) + ext[a]) % ext[a];
+      return static_cast<double>((g[2] * ext[1] + g[1]) * ext[0] + g[0]) +
+             0.25;
+    };
+    CellArray3 own(Box<3>{{0, 0, 0}, N});
+    for_each(own.box(), [&](const Vec3& p) { own.at(p) = f(p + off); });
+    cells_to_bricks(dec, own, store, 0);
+
+    const auto ranks_tbl = populate(cart, dec);
+    switch (method) {
+      case 0: {
+        Exchanger<3> ex(dec, store, ranks_tbl, Exchanger<3>::Mode::Layout);
+        ex.exchange(comm);
+        break;
+      }
+      case 1: {
+        Exchanger<3> ex(dec, store, ranks_tbl, Exchanger<3>::Mode::Basic);
+        ex.exchange(comm);
+        break;
+      }
+      case 2: {
+        ExchangeView<3> ev(dec, store, ranks_tbl);
+        ev.exchange(comm);
+        break;
+      }
+      default: {
+        ShiftExchanger<3> sh(dec, store, shift_neighbors(cart));
+        sh.exchange(comm);
+      }
+    }
+
+    const Vec3 G = Vec3::fill(ghost);
+    CellArray3 frame(Box<3>{Vec3{0, 0, 0} - G, N + G});
+    bricks_to_cells(dec, store, 0, frame);
+    std::int64_t bad = 0;
+    for_each(frame.box(), [&](const Vec3& p) {
+      if (frame.at(p) != f(p + off)) ++bad;
+    });
+    ASSERT_EQ(bad, 0) << "method " << method << " N=" << N[0] << "x" << N[1]
+                      << "x" << N[2] << " B=" << B[0] << "x" << B[1] << "x"
+                      << B[2] << " ranks=" << ranks;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeometry, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Structural invariants under sweeps of ghost depth and layout.
+// ---------------------------------------------------------------------------
+
+class GhostDepth : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GhostDepth, MultiLayerGhostsPartitionAndExchange) {
+  const std::int64_t gb = GetParam();  // ghost layers of 4-bricks
+  const std::int64_t ghost = 4 * gb;
+  const Vec3 N = Vec3::fill(std::max<std::int64_t>(2 * ghost, 8));
+  BrickDecomp<3> dec(N, ghost, {4, 4, 4}, surface3d());
+  EXPECT_EQ(dec.ghost_layers(), Vec3::fill(gb));
+  // Total ghost bricks = frame volume in bricks.
+  const std::int64_t n = N[0] / 4;
+  EXPECT_EQ(dec.total_brick_count() - dec.own_brick_count(),
+            (n + 2 * gb) * (n + 2 * gb) * (n + 2 * gb) - n * n * n);
+  // A 2-rank exchange with deep ghosts stays exact.
+  Runtime rt(2, NetModel{});
+  rt.run([&](Comm& comm) {
+    Cart<3> cart(comm, {2, 1, 1});
+    BrickStorage store = dec.allocate(1);
+    const Vec3 ext{2 * N[0], N[1], N[2]};
+    const Vec3 off = cart.coords() * N;
+    auto f = [&](Vec3 g) {
+      for (int a = 0; a < 3; ++a) g[a] = ((g[a] % ext[a]) + ext[a]) % ext[a];
+      return static_cast<double>((g[2] * ext[1] + g[1]) * ext[0] + g[0]);
+    };
+    CellArray3 own(Box<3>{{0, 0, 0}, N});
+    for_each(own.box(), [&](const Vec3& p) { own.at(p) = f(p + off); });
+    cells_to_bricks(dec, own, store, 0);
+    Exchanger<3> ex(dec, store, populate(cart, dec),
+                    Exchanger<3>::Mode::Layout);
+    ex.exchange(comm);
+    CellArray3 frame(
+        Box<3>{Vec3{0, 0, 0} - Vec3::fill(ghost), N + Vec3::fill(ghost)});
+    bricks_to_cells(dec, store, 0, frame);
+    std::int64_t bad = 0;
+    for_each(frame.box(), [&](const Vec3& p) {
+      if (frame.at(p) != f(p + off)) ++bad;
+    });
+    ASSERT_EQ(bad, 0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, GhostDepth, ::testing::Values(1, 2, 3));
+
+TEST(PlanInvariants, LayoutNeverExceedsBasicForAnyPermutation) {
+  Rng rng(31337);
+  BrickStorage store = [] {
+    BrickDecomp<3> d({24, 24, 24}, 4, {4, 4, 4}, surface3d());
+    return d.allocate(1);
+  }();
+  for (int trial = 0; trial < 10; ++trial) {
+    LayoutSpec s{all_surface_signatures(3)};
+    for (std::size_t j = s.order.size(); j > 1; --j)
+      std::swap(s.order[j - 1], s.order[rng.below(j)]);
+    BrickDecomp<3> dec({24, 24, 24}, 4, {4, 4, 4}, s);
+    BrickStorage st = dec.allocate(1);
+    std::int64_t merged = 0, basic = 0;
+    for (const BitSet& nu : dec.neighbor_order()) {
+      merged += static_cast<std::int64_t>(
+          plan_send_groups(dec, st, nu, true).size());
+      basic += static_cast<std::int64_t>(
+          plan_send_groups(dec, st, nu, false).size());
+    }
+    EXPECT_LE(merged, basic);
+    EXPECT_GE(merged, layout_message_lower_bound(3));
+    EXPECT_EQ(basic, basic_message_count(3));
+    // The plan evaluated on real chunk geometry agrees with the abstract
+    // evaluator whenever no region is empty.
+    EXPECT_EQ(merged, message_count(s, 3));
+  }
+}
+
+TEST(PlanInvariants, ChunkTableIsGapFreeAndOrdered) {
+  for (std::int64_t dim : {16, 24, 32}) {
+    BrickDecomp<3> dec(Vec3::fill(dim), 8, {8, 8, 8}, surface3d());
+    for (bool padded : {false, true}) {
+      BrickStorage s = padded ? dec.mmap_alloc(1) : dec.allocate(1);
+      std::size_t at = 0;
+      for (const auto& c : s.chunks()) {
+        EXPECT_EQ(c.offset, at);
+        EXPECT_GE(c.padded_bytes, c.bytes);
+        at += c.padded_bytes;
+      }
+      EXPECT_EQ(at, s.bytes());
+    }
+  }
+}
+
+TEST(PlanInvariants, MirrorVolumesMatchAcrossAllDirections) {
+  // What a rank sends toward ν equals what it receives from ν (its
+  // neighbor's send toward flip(ν)) — required for the wire format.
+  BrickDecomp<3> dec({32, 24, 16}, 8, {8, 8, 8}, surface3d());
+  BrickStorage s = dec.allocate(1);
+  for (const BitSet& nu : dec.neighbor_order()) {
+    auto bytes_for = [&](const BitSet& dir) {
+      std::int64_t b = 0;
+      for (const auto& grp : plan_send_groups(dec, s, dir, true))
+        for (int o : grp)
+          b += static_cast<std::int64_t>(
+              s.chunks()[static_cast<std::size_t>(o)].bytes);
+      return b;
+    };
+    EXPECT_EQ(bytes_for(nu), bytes_for(nu.flipped())) << nu.str();
+  }
+}
+
+}  // namespace
+}  // namespace brickx

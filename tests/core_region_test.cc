@@ -1,0 +1,145 @@
+#include "core/region.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace brickx {
+namespace {
+
+TEST(Region, SignatureCountIsEq2) {
+  EXPECT_EQ(all_surface_signatures(1).size(), 2u);
+  EXPECT_EQ(all_surface_signatures(2).size(), 8u);
+  EXPECT_EQ(all_surface_signatures(3).size(), 26u);
+  EXPECT_EQ(all_surface_signatures(4).size(), 80u);
+  EXPECT_EQ(all_surface_signatures(5).size(), 242u);
+}
+
+TEST(Region, DestinationsAreNonemptySignedSubsets) {
+  const BitSet corner{1, -2, 3};
+  const auto dst = region_destinations(corner, 3);
+  EXPECT_EQ(dst.size(), 7u);  // 2^3 - 1
+  for (const auto& nu : dst) {
+    EXPECT_FALSE(nu.empty());
+    EXPECT_TRUE(nu.subset_of(corner));
+  }
+  // A face region goes to exactly one neighbor.
+  EXPECT_EQ(region_destinations(BitSet{-2}, 3).size(), 1u);
+  // An edge region goes to three.
+  EXPECT_EQ(region_destinations(BitSet{1, 3}, 3).size(), 3u);
+}
+
+TEST(Region, TotalSendInstancesMatchEq3) {
+  for (int d = 1; d <= 4; ++d) {
+    std::int64_t five = 1, three = 1;
+    for (int i = 0; i < d; ++i) {
+      five *= 5;
+      three *= 3;
+    }
+    std::int64_t instances = 0;
+    for (const auto& sigma : all_surface_signatures(d))
+      instances += static_cast<std::int64_t>(
+          region_destinations(sigma, d).size());
+    EXPECT_EQ(instances, five - three) << "D=" << d;
+  }
+}
+
+TEST(Region, GhostSubregionsCountAndUniqueness) {
+  const auto nbrs = all_surface_signatures(3);
+  const auto ghosts = ghost_subregions(nbrs, nbrs, 3);
+  EXPECT_EQ(ghosts.size(), 98u);  // 5^3 - 3^3
+  std::set<std::pair<std::uint64_t, std::uint64_t>> uniq;
+  for (const auto& g : ghosts) {
+    EXPECT_TRUE(g.sigma.subset_of(g.sigma));
+    // Membership rule: the sender's region must cover the mirrored source.
+    EXPECT_TRUE(region_sent_to(g.sigma, g.nu.flipped()));
+    EXPECT_TRUE(uniq.insert({g.nu.raw(), g.sigma.raw()}).second);
+  }
+}
+
+TEST(Region, SurfaceBoxesPartitionTheSurface) {
+  const Vec3 n{6, 5, 4};
+  const Vec3 gb{1, 1, 1};
+  std::map<std::int64_t, int> cover;
+  Box<3> whole{{0, 0, 0}, {6, 5, 4}};
+  for (const auto& sigma : all_surface_signatures(3)) {
+    const Box<3> b = surface_box<3>(sigma, n, gb);
+    for_each(b, [&](const Vec3& p) {
+      ++cover[linearize(p, Vec3{16, 16, 16})];
+    });
+  }
+  // Interior middle box.
+  Box<3> mid{{1, 1, 1}, {5, 4, 3}};
+  std::int64_t surface_cells = 0;
+  for_each(whole, [&](const Vec3& p) {
+    if (!mid.contains(p)) ++surface_cells;
+  });
+  EXPECT_EQ(static_cast<std::int64_t>(cover.size()), surface_cells);
+  for (const auto& [k, v] : cover) EXPECT_EQ(v, 1) << "cell covered twice";
+}
+
+TEST(Region, GhostBoxesPartitionTheFrame) {
+  const Vec3 n{4, 4, 4};
+  const Vec3 gb{1, 1, 1};
+  const auto nbrs = all_surface_signatures(3);
+  std::map<std::int64_t, int> cover;
+  for (const auto& g : ghost_subregions(nbrs, nbrs, 3)) {
+    const Box<3> b = ghost_box<3>(g, n, gb);
+    for_each(b, [&](const Vec3& p) {
+      // Frame coordinates offset by +1 to stay positive for linearize.
+      ++cover[linearize(p + Vec3{1, 1, 1}, Vec3{8, 8, 8})];
+    });
+  }
+  EXPECT_EQ(cover.size(), 6u * 6 * 6 - 4 * 4 * 4);
+  for (const auto& [k, v] : cover) EXPECT_EQ(v, 1);
+}
+
+TEST(Region, GhostBoxMatchesSenderSurfaceExtent) {
+  const Vec3 n{8, 6, 4};
+  const Vec3 gb{2, 1, 1};
+  const auto nbrs = all_surface_signatures(3);
+  for (const auto& g : ghost_subregions(nbrs, nbrs, 3)) {
+    const Box<3> gbx = ghost_box<3>(g, n, gb);
+    const Box<3> sbx = surface_box<3>(g.sigma, n, gb);
+    EXPECT_EQ(gbx.extent(), sbx.extent())
+        << "nu=" << g.nu.str() << " sigma=" << g.sigma.str();
+  }
+}
+
+TEST(Region, EmptyMiddleBandWhenMinimal) {
+  // n == 2*gb: regions with any 0-direction axis vanish.
+  const Vec3 n{2, 2, 2};
+  const Vec3 gb{1, 1, 1};
+  for (const auto& sigma : all_surface_signatures(3)) {
+    const Box<3> b = surface_box<3>(sigma, n, gb);
+    if (sigma.size() == 3) {
+      EXPECT_EQ(b.volume(), 1);
+    } else {
+      EXPECT_EQ(b.volume(), 0);
+    }
+  }
+}
+
+TEST(Region, TooSmallSubdomainRejected) {
+  EXPECT_THROW((surface_box<3>(BitSet{1}, Vec3{1, 2, 2}, Vec3{1, 1, 1})),
+               Error);
+}
+
+TEST(Region, TwoDimensionalBoxes) {
+  const Vec2 n{4, 4};
+  const Vec2 gb{1, 1};
+  // Figure 2's region 4 (left face, {-1}) spans the middle rows.
+  const Box<2> left = surface_box<2>(BitSet{-1}, n, gb);
+  EXPECT_EQ(left.lo, (Vec2{0, 1}));
+  EXPECT_EQ(left.hi, (Vec2{1, 3}));
+  // Corner {1, 2}: top-right single block.
+  const Box<2> tr = surface_box<2>(BitSet{1, 2}, n, gb);
+  EXPECT_EQ(tr.lo, (Vec2{3, 3}));
+  EXPECT_EQ(tr.hi, (Vec2{4, 4}));
+}
+
+}  // namespace
+}  // namespace brickx

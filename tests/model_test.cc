@@ -1,0 +1,74 @@
+#include "model/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace brickx::model {
+namespace {
+
+TEST(Machine, ThetaConstantsSane) {
+  const Machine m = theta();
+  EXPECT_EQ(m.name, "theta-knl");
+  EXPECT_FALSE(m.is_gpu);
+  EXPECT_GT(m.stream_bw, 0.0);
+  EXPECT_LT(m.stream_bw, 467e9);  // below STREAM, as real stencils are
+  EXPECT_GT(m.yask_sweep_overhead, m.sweep_overhead);  // two-level parallelism
+  EXPECT_EQ(m.net.ranks_per_node, 1);
+}
+
+TEST(Machine, SummitConstantsSane) {
+  const Machine m = summit();
+  EXPECT_TRUE(m.is_gpu);
+  EXPECT_DOUBLE_EQ(m.gpu.hbm_bw, 828.8e9);   // paper Section 2
+  EXPECT_DOUBLE_EQ(m.gpu.flops, 7.8e12);
+  EXPECT_EQ(m.gpu.page_size, 64u * 1024);    // Power9 pages
+  EXPECT_EQ(m.net.ranks_per_node, 6);        // 6 GPUs per node
+  EXPECT_GT(m.net.um_alpha_extra, m.net.device_alpha_extra);
+}
+
+TEST(Roofline, BandwidthBoundSevenPoint) {
+  const Machine m = theta();
+  const std::int64_t cells = 1 << 24;
+  const double t = cpu_stencil_seconds(m, cells, 8.0, 16.0, false);
+  // 16 B/cell: memory term dominates for the 7-point stencil.
+  EXPECT_NEAR(t, cells * 16.0 / m.stream_bw + m.sweep_overhead, 1e-9);
+}
+
+TEST(Roofline, FlopBoundHighOrder) {
+  Machine m = theta();
+  m.flops = 1e9;  // cripple flops so the 125-point becomes compute bound
+  const std::int64_t cells = 1 << 20;
+  const double t = cpu_stencil_seconds(m, cells, 139.0, 16.0, false);
+  EXPECT_NEAR(t, cells * 139.0 / 1e9 + m.sweep_overhead, 1e-9);
+}
+
+TEST(Roofline, SweepOverheadDominatesTinySubdomains) {
+  const Machine m = theta();
+  // 16^3 cells stream in ~0.4 us; the parallel-region overhead is larger —
+  // this is the small-subdomain regime of Figures 1 and 10.
+  const double t = cpu_stencil_seconds(m, 16 * 16 * 16, 8.0, 16.0, false);
+  EXPECT_GT(m.sweep_overhead, t - m.sweep_overhead);
+}
+
+TEST(Roofline, YaskVariantTradesOverheadForBandwidth) {
+  const Machine m = theta();
+  const std::int64_t big = 1 << 27, tiny = 16 * 16 * 16;
+  // At scale the autotuned baseline wins...
+  EXPECT_LT(cpu_stencil_seconds(m, big, 8.0, 16.0, true),
+            cpu_stencil_seconds(m, big, 8.0, 16.0, false));
+  // ...on tiny subdomains its nested parallelism loses (Figure 10).
+  EXPECT_GT(cpu_stencil_seconds(m, tiny, 8.0, 16.0, true),
+            cpu_stencil_seconds(m, tiny, 8.0, 16.0, false));
+}
+
+TEST(PackModel, LinearInBytesAndPieces) {
+  const Machine m = theta();
+  const double one = pack_seconds(m, 1 << 20, 26);
+  const double two = pack_seconds(m, 2 << 20, 26);
+  EXPECT_GT(two, one);
+  EXPECT_NEAR(two - one, (1 << 20) / m.pack_bw, 1e-12);
+  EXPECT_NEAR(pack_seconds(m, 0, 52) - pack_seconds(m, 0, 26),
+              26 * m.pack_overhead, 1e-12);
+}
+
+}  // namespace
+}  // namespace brickx::model

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "simmpi/cart.h"
+
+namespace brickx::mpi {
+namespace {
+
+TEST(DimsCreate, CubicCounts) {
+  EXPECT_EQ(dims_create<3>(8), (Vec3{2, 2, 2}));
+  EXPECT_EQ(dims_create<3>(27), (Vec3{3, 3, 3}));
+  EXPECT_EQ(dims_create<3>(64), (Vec3{4, 4, 4}));
+}
+
+TEST(DimsCreate, NonCubicCountsFactorEvenly) {
+  EXPECT_EQ(dims_create<3>(16).prod(), 16);
+  EXPECT_EQ(dims_create<3>(16), (Vec3{4, 2, 2}));
+  EXPECT_EQ(dims_create<3>(32), (Vec3{4, 4, 2}));
+  EXPECT_EQ(dims_create<3>(128).prod(), 128);
+  EXPECT_EQ(dims_create<3>(6), (Vec3{3, 2, 1}));
+  EXPECT_EQ(dims_create<3>(1), (Vec3{1, 1, 1}));
+}
+
+TEST(DimsCreate, LargestFactorOnAxis0) {
+  const auto d = dims_create<3>(48);
+  EXPECT_GE(d[0], d[1]);
+  EXPECT_GE(d[1], d[2]);
+  EXPECT_EQ(d.prod(), 48);
+}
+
+TEST(DimsCreate, Dimension2) {
+  EXPECT_EQ(dims_create<2>(12), (Vec2{4, 3}));
+  EXPECT_EQ(dims_create<2>(7), (Vec2{7, 1}));
+}
+
+TEST(Cart, CoordsRoundtrip) {
+  Runtime rt(8, NetModel{});
+  rt.run([](Comm& c) {
+    Cart<3> cart(c, {2, 2, 2});
+    EXPECT_EQ(cart.rank_of(cart.coords()), c.rank());
+  });
+}
+
+TEST(Cart, MismatchedDimsThrow) {
+  Runtime rt(4, NetModel{});
+  EXPECT_THROW(rt.run([](Comm& c) { Cart<3> cart(c, {2, 2, 2}); }),
+               brickx::Error);
+}
+
+TEST(Cart, PeriodicNeighbors) {
+  Runtime rt(8, NetModel{});
+  rt.run([](Comm& c) {
+    Cart<3> cart(c, {2, 2, 2});
+    // With extent 2 and periodicity, +1 and -1 along an axis are the same
+    // rank.
+    EXPECT_EQ(cart.neighbor(BitSet{1}), cart.neighbor(BitSet{-1}));
+    // Moving +1 twice returns home.
+    Vec3 cc = cart.coords();
+    cc[0] += 2;
+    EXPECT_EQ(cart.rank_of(cc), c.rank());
+    // The diagonal neighbor differs in all three coords (mod 2).
+    const int diag = cart.neighbor(BitSet{1, 2, 3});
+    EXPECT_EQ(diag, cart.rank_of(Vec3{cart.coords()[0] + 1,
+                                      cart.coords()[1] + 1,
+                                      cart.coords()[2] + 1}));
+  });
+}
+
+TEST(Cart, EveryRankHas26DistinctDirections) {
+  const auto dirs = Cart<3>::all_directions();
+  EXPECT_EQ(dirs.size(), 26u);
+  std::set<std::uint64_t> uniq;
+  for (const auto& d : dirs) uniq.insert(d.raw());
+  EXPECT_EQ(uniq.size(), 26u);
+}
+
+TEST(Cart, AllDirectionsCountMatchesEq2) {
+  // Eq. 2: number of neighbors = 3^D - 1.
+  EXPECT_EQ(Cart<1>::all_directions().size(), 2u);
+  EXPECT_EQ(Cart<2>::all_directions().size(), 8u);
+  EXPECT_EQ(Cart<3>::all_directions().size(), 26u);
+  EXPECT_EQ(Cart<4>::all_directions().size(), 80u);
+}
+
+TEST(Cart, NeighborExchangeDeliversFromCorrectSource) {
+  // Each rank sends its rank id toward +1 along axis 1; everyone must
+  // receive from the -1 neighbor.
+  Runtime rt(8, NetModel{});
+  rt.run([](Comm& c) {
+    Cart<3> cart(c, {2, 2, 2});
+    const int to = cart.neighbor(BitSet{1});
+    const int from = cart.neighbor(BitSet{-1});
+    int mine = c.rank(), got = -1;
+    Request r = c.irecv(&got, sizeof got, from, 0);
+    Request s = c.isend(&mine, sizeof mine, to, 0);
+    c.wait(r);
+    c.wait(s);
+    EXPECT_EQ(got, from);
+  });
+}
+
+TEST(Cart, LargerGridCoordsConsistent) {
+  Runtime rt(24, NetModel{});
+  rt.run([](Comm& c) {
+    const auto dims = dims_create<3>(c.size());
+    Cart<3> cart(c, dims);
+    // rank_of is a bijection over the grid.
+    EXPECT_EQ(cart.rank_of(cart.coords()), c.rank());
+    for (const auto& d : Cart<3>::all_directions()) {
+      const int nb = cart.neighbor(d);
+      EXPECT_GE(nb, 0);
+      EXPECT_LT(nb, c.size());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace brickx::mpi

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "simmpi/comm.h"
+#include "simmpi/datatype.h"
+
+namespace brickx::mpi {
+namespace {
+
+TEST(Datatype, Contiguous) {
+  auto t = Datatype::contiguous(10, 8);
+  EXPECT_EQ(t.size(), 80u);
+  EXPECT_EQ(t.block_count(), 1u);
+  EXPECT_EQ(t.extent(), 80u);
+}
+
+TEST(Datatype, VectorStrided) {
+  // 4 blocks of 2 doubles, stride 5 doubles.
+  auto t = Datatype::vector(4, 2, 5, 8);
+  EXPECT_EQ(t.size(), 4 * 2 * 8u);
+  EXPECT_EQ(t.block_count(), 4u);
+  EXPECT_EQ(t.extent(), (3 * 5 + 2) * 8u);
+}
+
+TEST(Datatype, VectorDenseCollapsesToOneBlock) {
+  auto t = Datatype::vector(4, 5, 5, 8);  // blocklen == stride
+  EXPECT_EQ(t.block_count(), 1u);
+  EXPECT_EQ(t.size(), 160u);
+}
+
+TEST(Datatype, VectorOverlapRejected) {
+  EXPECT_THROW(Datatype::vector(3, 4, 2, 8), brickx::Error);
+}
+
+TEST(Datatype, Subarray2D) {
+  // 2x2 corner of a 4x4 array (axis 0 fastest).
+  auto t = Datatype::subarray<2>({4, 4}, {2, 2}, {1, 1}, 8);
+  EXPECT_EQ(t.size(), 4 * 8u);
+  EXPECT_EQ(t.block_count(), 2u);  // two j-rows of 2 elements
+  EXPECT_EQ(t.flat().blocks[0].offset, (1 * 4 + 1) * 8u);
+  EXPECT_EQ(t.flat().blocks[1].offset, (2 * 4 + 1) * 8u);
+}
+
+TEST(Datatype, SubarrayFullLowerAxesMergesRuns) {
+  // A full i-j slab of a 4x4x4 cube is one contiguous block per slab, and
+  // adjacent slabs merge into a single block.
+  auto t = Datatype::subarray<3>({4, 4, 4}, {4, 4, 2}, {0, 0, 1}, 8);
+  EXPECT_EQ(t.size(), 4 * 4 * 2 * 8u);
+  EXPECT_EQ(t.block_count(), 1u);
+}
+
+TEST(Datatype, SubarrayOutOfBoundsRejected) {
+  EXPECT_THROW((Datatype::subarray<2>({4, 4}, {3, 3}, {2, 2}, 8)),
+               brickx::Error);
+}
+
+TEST(Datatype, GatherScatterRoundtrip) {
+  const Vec3 sizes{6, 5, 4};
+  std::vector<double> src(static_cast<std::size_t>(sizes.prod()));
+  std::iota(src.begin(), src.end(), 0.0);
+  auto t = Datatype::subarray<3>(sizes, {2, 3, 2}, {1, 1, 1}, sizeof(double));
+
+  std::vector<std::byte> packed(t.size());
+  t.flat().gather(reinterpret_cast<const std::byte*>(src.data()),
+                  packed.data());
+
+  std::vector<double> dst(src.size(), -1.0);
+  t.flat().scatter(packed.data(), reinterpret_cast<std::byte*>(dst.data()));
+
+  int touched = 0;
+  for (std::int64_t k = 0; k < sizes[2]; ++k)
+    for (std::int64_t j = 0; j < sizes[1]; ++j)
+      for (std::int64_t i = 0; i < sizes[0]; ++i) {
+        const auto idx =
+            static_cast<std::size_t>(linearize(Vec3{i, j, k}, sizes));
+        const bool inside = i >= 1 && i < 3 && j >= 1 && j < 4 && k >= 1 && k < 3;
+        if (inside) {
+          EXPECT_EQ(dst[idx], src[idx]);
+          ++touched;
+        } else {
+          EXPECT_EQ(dst[idx], -1.0);
+        }
+      }
+  EXPECT_EQ(touched, 2 * 3 * 2);
+}
+
+TEST(Datatype, ConcatAppendsWithDisplacement) {
+  auto a = Datatype::contiguous(2, 8);
+  auto b = Datatype::vector(2, 1, 3, 8);
+  auto t = Datatype::concat({{0, a}, {100 * 8, b}});
+  EXPECT_EQ(t.size(), a.size() + b.size());
+  EXPECT_EQ(t.block_count(), 3u);
+  EXPECT_EQ(t.flat().blocks[1].offset, 100 * 8u);
+}
+
+TEST(Datatype, SendRecvThroughComm) {
+  // End-to-end: send a strided column of a 2D array, receive into a
+  // different subarray shape of the same total size.
+  Runtime rt(2, NetModel{});
+  rt.run([](Comm& c) {
+    const Vec2 sizes{8, 8};
+    std::vector<double> grid(64);
+    if (c.rank() == 0) {
+      for (std::size_t i = 0; i < 64; ++i) grid[i] = static_cast<double>(i);
+      auto col = Datatype::subarray<2>(sizes, {1, 8}, {3, 0}, 8);
+      Request r = c.isend(grid.data(), col, 1, 0);
+      c.wait(r);
+      EXPECT_GT(c.counters().dt_blocks, 0);
+      EXPECT_EQ(c.counters().dt_pack_bytes, 64);
+    } else {
+      std::fill(grid.begin(), grid.end(), -1.0);
+      auto row = Datatype::subarray<2>(sizes, {8, 1}, {0, 5}, 8);
+      Request r = c.irecv(grid.data(), row, 0, 0);
+      c.wait(r);
+      // Column 3 of rank 0 lands in row 5 here.
+      for (std::int64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(grid[static_cast<std::size_t>(linearize(Vec2{i, 5}, sizes))],
+                  static_cast<double>(3 + 8 * i));
+    }
+  });
+}
+
+TEST(Datatype, DatatypeOutlivesRequest) {
+  Runtime rt(2, NetModel{});
+  rt.run([](Comm& c) {
+    double v[4] = {1, 2, 3, 4}, w[4] = {};
+    Request r;
+    if (c.rank() == 0) {
+      {
+        auto t = Datatype::contiguous(4, 8);
+        r = c.isend(v, t, 1, 0);
+      }  // t destroyed before wait
+      c.wait(r);
+    } else {
+      {
+        auto t = Datatype::contiguous(4, 8);
+        r = c.irecv(w, t, 0, 0);
+      }
+      c.wait(r);
+      EXPECT_EQ(w[3], 4.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace brickx::mpi

@@ -1,0 +1,194 @@
+#include "stencil/stencils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/brick.h"
+
+namespace brickx::stencil {
+namespace {
+
+TEST(Stencil7, CoefficientsSumToOne) {
+  double s = 0;
+  for (double c : Stencil7::c) s += c;
+  EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Stencil125, WeightsNormalizedOverCube) {
+  double s = 0;
+  for (int dz = -2; dz <= 2; ++dz)
+    for (int dy = -2; dy <= 2; ++dy)
+      for (int dx = -2; dx <= 2; ++dx) s += Stencil125::coeff(dz, dy, dx);
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Stencil125, CoefficientSymmetry) {
+  // The 10 constants arise from symmetry: any permutation/sign flip of the
+  // offset leaves the coefficient unchanged.
+  EXPECT_EQ(Stencil125::coeff(1, 2, 0), Stencil125::coeff(0, -2, -1));
+  EXPECT_EQ(Stencil125::coeff(2, 2, 2), Stencil125::coeff(-2, 2, -2));
+  EXPECT_EQ(Stencil125::coeff(0, 0, 1), Stencil125::coeff(1, 0, 0));
+  // Ten distinct classes exist.
+  std::set<double> classes;
+  for (int dz = 0; dz <= 2; ++dz)
+    for (int dy = 0; dy <= 2; ++dy)
+      for (int dx = 0; dx <= 2; ++dx)
+        classes.insert(Stencil125::coeff(dz, dy, dx));
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(Stencil125, OutsideCubeRejected) {
+  EXPECT_THROW((void)Stencil125::coeff(3, 0, 0), Error);
+}
+
+TEST(ArrayKernels, SevenPointPointwise) {
+  CellArray3 in(Box<3>{{-1, -1, -1}, {4, 4, 4}});
+  CellArray3 out(Box<3>{{-1, -1, -1}, {4, 4, 4}});
+  for_each(in.box(), [&](const Vec3& p) {
+    in.at(p) = static_cast<double>(p[0] + 10 * p[1] + 100 * p[2]);
+  });
+  apply7_array(in, out, Box<3>{{0, 0, 0}, {3, 3, 3}});
+  const auto& c = Stencil7::c;
+  const Vec3 p{1, 2, 1};
+  const double expect =
+      c[0] * in.at(p) + c[1] * in.at({0, 2, 1}) + c[2] * in.at({2, 2, 1}) +
+      c[3] * in.at({1, 1, 1}) + c[4] * in.at({1, 3, 1}) +
+      c[5] * in.at({1, 2, 0}) + c[6] * in.at({1, 2, 2});
+  EXPECT_EQ(out.at(p), expect);
+}
+
+TEST(ArrayKernels, ConstantFieldIsFixedPoint) {
+  // Both kernels have weights summing to 1: a constant field is invariant.
+  CellArray3 in(Box<3>{{-2, -2, -2}, {6, 6, 6}});
+  CellArray3 out(Box<3>{{-2, -2, -2}, {6, 6, 6}});
+  for_each(in.box(), [&](const Vec3& p) { in.at(p) = 3.25; });
+  apply7_array(in, out, Box<3>{{0, 0, 0}, {4, 4, 4}});
+  for_each(Box<3>{{0, 0, 0}, {4, 4, 4}}, [&](const Vec3& p) {
+    EXPECT_NEAR(out.at(p), 3.25, 1e-12);
+  });
+  apply125_array(in, out, Box<3>{{0, 0, 0}, {4, 4, 4}});
+  for_each(Box<3>{{0, 0, 0}, {4, 4, 4}}, [&](const Vec3& p) {
+    EXPECT_NEAR(out.at(p), 3.25, 1e-12);
+  });
+}
+
+class BrickVsArray : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BrickVsArray, KernelsAgreeBitExactly) {
+  const bool use125 = GetParam();
+  const std::int64_t r = use125 ? 2 : 1;
+  BrickDecomp<3> dec({16, 16, 16}, 4, {4, 4, 4}, surface3d());
+  BrickInfo<3> info = dec.brick_info();
+  BrickStorage sin = dec.allocate(1), sout = dec.allocate(1);
+  Brick<4, 4, 4> bin(&info, &sin, 0), bout(&info, &sout, 0);
+
+  CellArray3 ain(Box<3>{{-4, -4, -4}, {20, 20, 20}});
+  CellArray3 aout(Box<3>{{-4, -4, -4}, {20, 20, 20}});
+  for_each(ain.box(), [&](const Vec3& p) {
+    ain.at(p) = std::sin(0.1 * static_cast<double>(
+                              p[0] + 3 * p[1] + 7 * p[2]));
+  });
+  cells_to_bricks(dec, ain, sin, 0);
+
+  const Box<3> box{{-4 + r, -4 + r, -4 + r}, {20 - r, 20 - r, 20 - r}};
+  if (use125) {
+    apply125_array(ain, aout, box);
+    apply125_bricks<4, 4, 4>(dec, bout, bin, box);
+  } else {
+    apply7_array(ain, aout, box);
+    apply7_bricks<4, 4, 4>(dec, bout, bin, box);
+  }
+  CellArray3 got(box);
+  bricks_to_cells(dec, sout, 0, got);
+  std::int64_t bad = 0;
+  for_each(box, [&](const Vec3& p) {
+    if (got.at(p) != aout.at(p)) ++bad;  // bitwise identical
+  });
+  EXPECT_EQ(bad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStencils, BrickVsArray, ::testing::Bool(),
+                         [](const auto& i) {
+                           return i.param ? "p125" : "p7";
+                         });
+
+TEST(Reference, PeriodicWrapMatchesManual) {
+  CellArray3 f(Box<3>{{0, 0, 0}, {4, 4, 4}});
+  for_each(f.box(), [&](const Vec3& p) {
+    f.at(p) = static_cast<double>(linearize(p, Vec3{4, 4, 4}));
+  });
+  CellArray3 g(f.box());
+  g.raw() = f.raw();
+  evolve_reference(f, 1, /*use125=*/false);
+  // Check one cell by hand with wrapping.
+  const auto& c = Stencil7::c;
+  const double expect = c[0] * g.at({0, 0, 0}) + c[1] * g.at({3, 0, 0}) +
+                        c[2] * g.at({1, 0, 0}) + c[3] * g.at({0, 3, 0}) +
+                        c[4] * g.at({0, 1, 0}) + c[5] * g.at({0, 0, 3}) +
+                        c[6] * g.at({0, 0, 1});
+  EXPECT_EQ(f.at({0, 0, 0}), expect);
+}
+
+TEST(Expansion, OutputBoxShrinksByRadius) {
+  const Vec3 N{16, 16, 16};
+  // Ghost 8, radius 1: 8 steps per exchange; margins 7,6,...,0.
+  for (std::int64_t s = 0; s < 8; ++s) {
+    const Box<3> b = expansion_output_box<3>(N, 8, 1, s);
+    EXPECT_EQ(b.lo[0], -(7 - s));
+    EXPECT_EQ(b.hi[0], 16 + 7 - s);
+  }
+  // Radius 2: 4 steps per exchange.
+  EXPECT_EQ(steps_per_exchange(8, 2), 4);
+  EXPECT_EQ(expansion_output_box<3>(N, 8, 2, 3).lo[0], 0);
+  // Overdue exchange trips the invariant.
+  EXPECT_THROW((void)expansion_output_box<3>(N, 8, 1, 8), Error);
+}
+
+TEST(Shell, BoxesPartitionWholeMinusInner) {
+  const Box<3> whole{{-7, -7, -7}, {23, 23, 23}};
+  const Box<3> inner{{1, 1, 1}, {15, 15, 15}};
+  const auto slabs = shell_boxes<3>(whole, inner);
+  EXPECT_LE(slabs.size(), 6u);
+  std::int64_t vol = 0;
+  for (const auto& b : slabs) {
+    vol += b.volume();
+    // Disjoint from inner and within whole.
+    for_each(b, [&](const Vec3& p) {
+      EXPECT_TRUE(whole.contains(p));
+      EXPECT_FALSE(inner.contains(p));
+    });
+  }
+  EXPECT_EQ(vol, whole.volume() - inner.volume());
+}
+
+TEST(Shell, DegenerateCases) {
+  const Box<3> whole{{0, 0, 0}, {8, 8, 8}};
+  // inner == whole: empty shell.
+  EXPECT_TRUE(shell_boxes<3>(whole, whole).empty());
+  // empty inner at a corner: one slab may cover everything.
+  const Box<3> empty_inner{{0, 0, 0}, {0, 8, 8}};
+  std::int64_t vol = 0;
+  for (const auto& b : shell_boxes<3>(whole, empty_inner)) vol += b.volume();
+  EXPECT_EQ(vol, whole.volume());
+  // inner not contained: rejected.
+  EXPECT_THROW(
+      (void)shell_boxes<3>(whole, Box<3>{{-1, 0, 0}, {4, 4, 4}}), Error);
+}
+
+TEST(Expansion, RedundantComputeVolume) {
+  // The redundant fraction grows as subdomains shrink — the communication-
+  // avoiding tradeoff the paper leans on.
+  const Box<3> big = expansion_output_box<3>(Vec3::fill(128), 8, 1, 0);
+  const Box<3> small = expansion_output_box<3>(Vec3::fill(16), 8, 1, 0);
+  const double big_frac =
+      static_cast<double>(big.volume()) / (128.0 * 128 * 128);
+  const double small_frac =
+      static_cast<double>(small.volume()) / (16.0 * 16 * 16);
+  EXPECT_LT(big_frac, 1.4);
+  EXPECT_GT(small_frac, 5.0);
+}
+
+}  // namespace
+}  // namespace brickx::stencil
