@@ -14,7 +14,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("abl_cumemmap", "ablation: hypothetical MemMapCA (cuMemMap)");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Ablation: cuMemMap (future work)",
          "Communication and compute time (ms per timestep) on 8 simulated "

@@ -15,7 +15,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("abl_gpu_staging", "ablation: manual GPU staging baseline");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Ablation: manual GPU staging (Section 5 motivation)",
          "Per-timestep comm time (ms) on 8 simulated V100 nodes, and the "

@@ -28,7 +28,14 @@ double random_average(int dims, int samples) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser ap("abl_layout_search", "ablation: layout order search");
+  add_obs_flags(ap);
+  ap.parse(argc, argv);
+  // No simulated runs here (pure layout math), but the shared flags keep
+  // the artifact interface uniform across the suite.
+  ObsGuard obs_guard(ap);
+
   banner("Ablation: layout search",
          "Messages needed by different surface orders (send side, canonical "
          "nonempty regions).");

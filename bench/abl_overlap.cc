@@ -12,7 +12,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("abl_overlap", "ablation: overlap on pack-free exchanges");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Ablation: overlap",
          "Per-timestep total (ms) on 8 KNL nodes with and without interior/"

@@ -7,12 +7,15 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/argparse.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/session.h"
 #include "simmpi/cart.h"
 
 namespace brickx::bench {
@@ -95,5 +98,49 @@ inline std::string gsps(double gstencils) {
 inline void banner(const char* id, const char* paper_claim) {
   std::printf("=== %s ===\n%s\n\n", id, paper_claim);
 }
+
+/// Register the shared observability flags. Call before ap.parse().
+inline void add_obs_flags(ArgParser& ap) {
+  ap.add("--trace-out",
+         "write a Chrome trace-event JSON of every run (Perfetto-loadable)",
+         "");
+  ap.add("--metrics-out",
+         "write merged metrics for every run (.csv for CSV, else JSON)", "");
+}
+
+/// Collects the traces of all harness::run calls in the enclosing scope and
+/// writes the requested artifacts on destruction. Inactive (no session, no
+/// recording beyond the null/ambient defaults) when neither flag was given.
+class ObsGuard {
+ public:
+  explicit ObsGuard(const ArgParser& ap)
+      : trace_path_(ap.get("--trace-out")),
+        metrics_path_(ap.get("--metrics-out")) {
+    if (!trace_path_.empty() || !metrics_path_.empty())
+      scope_.emplace(session_);
+  }
+  ~ObsGuard() {
+    if (!scope_) return;
+    scope_.reset();  // deactivate before exporting
+    if (!trace_path_.empty()) {
+      obs::write_chrome_trace(session_, trace_path_);
+      std::printf("\nwrote trace: %s\n", trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      obs::write_metrics(session_, metrics_path_);
+      std::printf("%swrote metrics: %s\n", trace_path_.empty() ? "\n" : "",
+                  metrics_path_.c_str());
+    }
+  }
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+
+  [[nodiscard]] const obs::Session& session() const { return session_; }
+
+ private:
+  std::string trace_path_, metrics_path_;
+  obs::Session session_;
+  std::optional<obs::Session::Scope> scope_;
+};
 
 }  // namespace brickx::bench

@@ -13,7 +13,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig01_breakdown", "Fig 1: time breakdown YASK vs proposed");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 1",
          "Time breakdown per timestep on 8 KNL nodes (model: theta). YASK = "

@@ -12,7 +12,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig04_basic_vs_layout", "Fig 4: Basic vs Layout comm time");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 4",
          "Communication time for one stencil loop on 8 KNL nodes. Basic "

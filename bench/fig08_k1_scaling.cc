@@ -15,7 +15,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig08_k1_scaling", "Fig 8: K1 7-point throughput");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 8",
          "(K1) 7-point stencil GStencil/s on 8 KNL nodes, one rank per "

@@ -13,7 +13,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig09_k1_comm_time", "Fig 9: K1 communication time");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 9",
          "(K1) Communication time (ms per timestep) on 8 KNL nodes. "

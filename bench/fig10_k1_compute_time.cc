@@ -13,7 +13,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig10_k1_compute_time", "Fig 10: K1 compute time");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 10",
          "(K1) Compute time (ms per timestep). No-Layout = bricks stored "

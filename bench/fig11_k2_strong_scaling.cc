@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   ArgParser ap("fig11_k2_strong_scaling", "Fig 11: K2 strong scaling");
   ap.add("-g", "global domain edge", "256");
   ap.add("-n", "comma-separated rank counts", "8,16,32,64,128,256,512");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   const Vec3 global = Vec3::fill(ap.get_int("-g"));
   banner("Figure 11",

@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   ArgParser ap("fig12_k2_decomposition", "Fig 12: K2 comm/comp split");
   ap.add("-g", "global domain edge", "256");
   ap.add("-n", "comma-separated rank counts", "8,16,32,64,128,256,512");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   const Vec3 global = Vec3::fill(ap.get_int("-g"));
   banner("Figure 12",

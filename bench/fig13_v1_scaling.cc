@@ -13,7 +13,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig13_v1_scaling", "Fig 13: V1 GPU 7-point throughput");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 13",
          "(V1) 7-point GStencil/s on 8 Summit nodes (simulated V100, one "

@@ -13,7 +13,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig14_v1_comm_time", "Fig 14: V1 GPU communication time");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 14",
          "(V1) Communication time (ms per timestep) on 8 Summit nodes. "

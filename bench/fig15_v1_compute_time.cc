@@ -14,7 +14,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig15_v1_compute_time", "Fig 15: V1 GPU compute time");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 15",
          "(V1) Compute time (ms per timestep) on 8 Summit nodes; unified "

@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   ap.add("-g", "global domain edge", "384");
   ap.add("-n", "comma-separated node counts (6 ranks each)",
          "8,16,32,64");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   const Vec3 global = Vec3::fill(ap.get_int("-g"));
   banner("Figure 17",

@@ -12,7 +12,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("fig18_pagesize", "Fig 18: page size effect on MemMap");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Figure 18",
          "Communication time (ms per timestep) of MemMap on 8 KNL nodes "

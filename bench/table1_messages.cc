@@ -2,15 +2,23 @@
 // neighbors (Eq. 2), the Layout lower bound (Eq. 1), and Basic (Eq. 3) for
 // D = 1..5 — plus verification that the library's constructed layouts
 // achieve the bound for D <= 3 and that search confirms optimality where
-// exhaustive enumeration is feasible.
+// exhaustive enumeration is feasible. A second table cross-checks the
+// theory against the simulator's own per-rank send/receive counters.
 
 #include "bench_common.h"
 #include "core/layout.h"
 
 using namespace brickx;
 using namespace brickx::bench;
+using harness::Method;
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser ap("table1_messages", "Table 1: messages vs dimensionality");
+  ap.add("-s", "subdomain dim for the measured-counters table", "32");
+  add_obs_flags(ap);
+  ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
+
   banner("Table 1",
          "Messages vs dimensionality. 'achieved' is the message count of "
          "the library's constructed layout (surface1d/2d/3d) evaluated by "
@@ -45,5 +53,34 @@ int main() {
       "Shape checks vs paper: rows match Table 1 exactly; the library "
       "constants achieve the Eq. 1 bound (2, 9, 42), and layout gains fade "
       "above D=5 as messages approach neighbor-count growth.\n");
+
+  // Measured counters: run each method for one exchange batch on the K1
+  // 2^3 grid and read what rank 0 actually put on (and took off) the wire.
+  // Sends and receives are symmetric on the periodic cube; the Layout row
+  // lands on the Eq. 1 bound (42) per exchange.
+  const std::int64_t dim = ap.get_int("-s");
+  std::printf("\nmeasured per-rank counters (rank 0, %lld^3 subdomain, "
+              "warmup + 1 measured exchange):\n\n",
+              static_cast<long long>(dim));
+  Table m({"method", "msgs_sent", "msgs_recv", "bytes_sent", "bytes_recv",
+           "max_inflight"});
+  const std::int64_t batches = 2;  // k1_config: warmup + one measured batch
+  for (Method meth : {Method::Yask, Method::MpiTypes, Method::Basic,
+                      Method::Layout, Method::MemMap}) {
+    const harness::Result r = run(k1_config(dim, meth));
+    m.row()
+        .cell(harness::method_name(meth))
+        .cell(r.msgs_per_rank * batches)
+        .cell(r.msgs_recv_per_rank)
+        .cell(r.wire_bytes_per_rank * batches)
+        .cell(r.bytes_recv_per_rank)
+        .cell(r.max_inflight_reqs);
+  }
+  m.print(std::cout);
+  std::printf(
+      "\nShape checks: msgs per exchange = msgs_recv / 2 (warmup + measured "
+      "batch); at the default 32^3 Layout hits the 42-message Eq. 1 bound "
+      "(thinner subdomains merge further runs), MemMap reaches the "
+      "26-neighbor floor, and Basic pays the region-count multiple.\n");
   return 0;
 }

@@ -24,7 +24,9 @@ double achieved_gbps(const harness::Result& r, int steps_per_exchange) {
 int main(int argc, char** argv) {
   ArgParser ap("table2_padding_bandwidth", "Table 2: padding and bandwidth");
   ap.add("-s", "comma-separated subdomain dims", "128,64,32,16");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
 
   banner("Table 2",
          "(V1) Increased network transfer from 64 KiB page padding (%) and "

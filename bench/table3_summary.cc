@@ -12,7 +12,9 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("table3_summary", "Table 3: cost-type comparison");
   ap.add("-s", "representative subdomain dim", "64");
+  add_obs_flags(ap);
   ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
   const std::int64_t s = ap.get_int("-s");
 
   banner("Table 3",
@@ -61,5 +63,27 @@ int main(int argc, char** argv) {
       "MemMap %.3f ms per step.\n",
       static_cast<long long>(s), yask.comm_per_step * 1e3,
       layout.comm_per_step * 1e3, memmap.comm_per_step * 1e3);
+
+  // Receive-side accounting for the CPU rows (rank 0, whole run): what the
+  // destination rank pays to drain the same exchanges — message completions,
+  // delivered bytes, and how deep the request pipeline ran.
+  std::printf("\nreceive-side accounting (rank 0, warmup + measured):\n\n");
+  Table rx({"method", "msgs_recv", "bytes_recv", "max_inflight"});
+  rx.row()
+      .cell("YASK")
+      .cell(yask.msgs_recv_per_rank)
+      .cell(yask.bytes_recv_per_rank)
+      .cell(yask.max_inflight_reqs);
+  rx.row()
+      .cell("Layout")
+      .cell(layout.msgs_recv_per_rank)
+      .cell(layout.bytes_recv_per_rank)
+      .cell(layout.max_inflight_reqs);
+  rx.row()
+      .cell("MemMap")
+      .cell(memmap.msgs_recv_per_rank)
+      .cell(memmap.bytes_recv_per_rank)
+      .cell(memmap.max_inflight_reqs);
+  rx.print(std::cout);
   return 0;
 }

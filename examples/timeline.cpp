@@ -1,101 +1,167 @@
-// timeline: record and print the message schedule of one ghost-zone
-// exchange for each method — who sends what to whom, when it departs the
-// NIC and when it lands. Makes the latency/serialization structure the
-// paper reasons about directly visible.
+// timeline: run one small experiment per method and render each rank's
+// measured timesteps as an ASCII phase timeline from the obs span trace —
+// calc/pack/call/wait bars per rank with message-arrival markers overlaid.
+// Makes the structure the paper reasons about (packing time, NIC
+// serialization, wait chains) directly visible in a terminal, and exports
+// the same data as a Perfetto-loadable Chrome trace via --trace-out.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/argparse.h"
-#include "core/cell_array.h"
-#include "core/exchange.h"
-#include "core/exchange_view.h"
-#include "core/shift.h"
-#include "model/machine.h"
-#include "simmpi/cart.h"
+#include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/session.h"
 
 using namespace brickx;
 
 namespace {
 
-void show(const char* name, const std::vector<mpi::MsgEvent>& trace,
-          int max_rows) {
-  double last = 0, bytes = 0;
-  for (const auto& e : trace) {
-    last = std::max(last, e.arrival);
-    bytes += static_cast<double>(e.bytes);
+constexpr int kWidth = 72;  ///< timeline columns
+
+char phase_glyph(obs::Cat c) {
+  switch (c) {
+    case obs::Cat::Calc:
+      return '#';
+    case obs::Cat::Pack:
+      return '=';
+    case obs::Cat::Call:
+      return '>';
+    case obs::Cat::Wait:
+      return '.';
+    default:
+      return ' ';
   }
-  std::printf("\n%s: %zu messages, %.1f KiB total, last arrival %.2f us\n",
-              name, trace.size(), bytes / 1024, last * 1e6);
-  std::printf("  %-4s %-4s %-6s %-10s %-12s %-12s\n", "src", "dst", "tag",
-              "bytes", "depart(us)", "arrive(us)");
-  int from_zero = 0;
-  for (const auto& e : trace)
-    if (e.src == 0) ++from_zero;
-  int shown = 0;
-  for (const auto& e : trace) {
-    if (e.src != 0) continue;  // rank 0's sends keep the listing short
-    if (++shown > max_rows) {
-      std::printf("  ... (%d more from rank 0)\n", from_zero - max_rows);
-      break;
+}
+
+bool is_phase_span(const obs::SpanEvent& s) {
+  if (s.depth != 0 || s.step < 0) return false;
+  return s.cat == obs::Cat::Calc || s.cat == obs::Cat::Pack ||
+         s.cat == obs::Cat::Call || s.cat == obs::Cat::Wait;
+}
+
+void render_run(const obs::Session::Run& run) {
+  // Scale the bars to the measured window: first to last phase span.
+  double t0 = 0.0, t1 = 0.0;
+  bool any = false;
+  for (const obs::RankLog& lg : run.logs) {
+    for (const obs::SpanEvent& s : lg.spans()) {
+      if (!is_phase_span(s)) continue;
+      if (!any) {
+        t0 = s.t0;
+        t1 = s.t1;
+        any = true;
+      } else {
+        t0 = std::min(t0, s.t0);
+        t1 = std::max(t1, s.t1);
+      }
     }
-    std::printf("  %-4d %-4d %-6d %-10zu %-12.2f %-12.2f\n", e.src, e.dst,
-                e.tag, e.bytes, e.departure * 1e6, e.arrival * 1e6);
   }
+  std::printf("\n%s  (%d ranks)\n", run.label.c_str(), run.nranks);
+  if (!any || t1 <= t0) {
+    std::printf("  (no phase spans recorded)\n");
+    return;
+  }
+  auto col = [&](double t) {
+    const double f = (t - t0) / (t1 - t0);
+    return std::clamp(static_cast<int>(f * kWidth), 0, kWidth - 1);
+  };
+  for (int r = 0; r < run.nranks; ++r) {
+    const obs::RankLog& lg = run.logs[static_cast<std::size_t>(r)];
+    std::string line(kWidth, ' ');
+    for (const obs::SpanEvent& s : lg.spans()) {
+      if (!is_phase_span(s)) continue;
+      const int a = col(s.t0), b = col(s.t1);
+      for (int c = a; c <= b; ++c) line[static_cast<std::size_t>(c)] =
+          phase_glyph(s.cat);
+    }
+    // Message arrivals at this rank (sender-recorded flows, receiver dst).
+    for (const obs::RankLog& src : run.logs) {
+      for (const obs::FlowEvent& f : src.flows()) {
+        if (f.dst != r || f.arrive < t0 || f.arrive > t1) continue;
+        line[static_cast<std::size_t>(col(f.arrive))] = 'v';
+      }
+    }
+    std::printf("  rank %d |%s|\n", r, line.c_str());
+  }
+  std::printf("  window %.2f..%.2f us\n", t0 * 1e6, t1 * 1e6);
+
+  const auto metrics = obs::merged_metrics(run.logs);
+  auto counter = [&](const char* name) -> long long {
+    auto it = metrics.find(name);
+    return it == metrics.end() ? 0 : static_cast<long long>(it->second.value);
+  };
+  auto gauge = [&](const char* name) -> double {
+    auto it = metrics.find(name);
+    return it == metrics.end() ? 0.0 : it->second.gauge;
+  };
+  std::printf(
+      "  msgs sent/recv %lld/%lld, bytes sent %lld, max inflight %.0f\n",
+      counter("comm.msgs_sent"), counter("comm.msgs_recv"),
+      counter("comm.bytes_sent"), gauge("comm.max_inflight_reqs"));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ArgParser ap("timeline", "message timeline of one exchange per method");
+  ArgParser ap("timeline", "per-rank phase timeline of one run per method");
   ap.add("-d", "per-rank subdomain dimension", "32");
-  ap.add("-n", "max rows to print per method", "12");
+  ap.add("--trace-out", "write a Chrome trace-event JSON (Perfetto)", "");
+  ap.add("--metrics-out", "write merged metrics (.csv or JSON)", "");
   ap.parse(argc, argv);
   const std::int64_t dim = ap.get_int("-d");
-  const int max_rows = static_cast<int>(ap.get_int("-n"));
 
-  std::printf("timeline: one exchange on 8 ranks, %lld^3 cells each "
-              "(theta model)\n",
+  std::printf("timeline: 8 ranks, %lld^3 cells each, one measured exchange "
+              "batch (theta model)\n",
               static_cast<long long>(dim));
+  std::printf("legend: # calc   = pack   > call(post)   . wait   "
+              "v message arrival\n");
 
-  auto record = [&](auto&& body) {
-    mpi::Runtime rt(8, model::theta().net);
-    rt.enable_trace();
-    rt.run([&](mpi::Comm& comm) {
-      mpi::Cart<3> cart(comm, {2, 2, 2});
-      BrickDecomp<3> dec(Vec3::fill(dim), 8, {8, 8, 8}, surface3d());
-      body(comm, cart, dec);
-    });
-    return rt.trace();
-  };
+  obs::Session session;
+  {
+    obs::Session::Scope scope(session);
+    for (harness::Method m :
+         {harness::Method::Yask, harness::Method::MpiTypes,
+          harness::Method::Layout, harness::Method::MemMap}) {
+      harness::Config cfg;
+      cfg.machine = model::theta();
+      cfg.rank_dims = {2, 2, 2};
+      cfg.subdomain = Vec3::fill(dim);
+      cfg.brick = 8;
+      cfg.ghost = 8;
+      cfg.method = m;
+      cfg.timesteps = 8;
+      cfg.warmup_exchanges = 1;
+      cfg.execute_kernels = false;
+      (void)harness::run(cfg);
+    }
+  }
 
-  show("Layout (42 msgs/rank)",
-       record([](mpi::Comm& comm, mpi::Cart<3>& cart, BrickDecomp<3>& dec) {
-         BrickStorage s = dec.allocate(1);
-         Exchanger<3> ex(dec, s, populate(cart, dec),
-                         Exchanger<3>::Mode::Layout);
-         ex.exchange(comm);
-       }),
-       max_rows);
-
-  show("MemMap (26 msgs/rank)",
-       record([](mpi::Comm& comm, mpi::Cart<3>& cart, BrickDecomp<3>& dec) {
-         BrickStorage s = dec.mmap_alloc(1);
-         ExchangeView<3> ev(dec, s, populate(cart, dec));
-         ev.exchange(comm);
-       }),
-       max_rows);
-
-  show("Shift (3 dependent phases)",
-       record([](mpi::Comm& comm, mpi::Cart<3>& cart, BrickDecomp<3>& dec) {
-         BrickStorage s = dec.allocate(1);
-         ShiftExchanger<3> sh(dec, s, shift_neighbors(cart));
-         sh.exchange(comm);
-       }),
-       max_rows);
+  if (session.empty()) {
+    std::printf("\n(no runs recorded — built with BRICKX_OBS=0)\n");
+  } else {
+    for (const auto& run : session.runs()) render_run(run);
+  }
 
   std::printf(
-      "\nReading guide: MemMap's few large messages depart back-to-back "
-      "(NIC serialization); Shift's later phases cannot depart before the "
-      "prior phase arrives — visible as gaps in the departure column.\n");
+      "\nReading guide: YASK brackets each exchange with pack bars (=) that "
+      "the brick methods do not have; MemMap's few large messages arrive "
+      "back-to-back (NIC serialization) inside the wait bar; calc (#) "
+      "dominates only at large subdomains.\n");
+
+  const std::string trace_path = ap.get("--trace-out");
+  const std::string metrics_path = ap.get("--metrics-out");
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace(session, trace_path);
+    std::printf("\nwrote trace: %s (load at https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::write_metrics(session, metrics_path);
+    std::printf("wrote metrics: %s\n", metrics_path.c_str());
+  }
   return 0;
 }

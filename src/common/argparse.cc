@@ -26,14 +26,28 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
 
 void ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
     if (a == "-h" || a == "--help") {
       std::fputs(usage().c_str(), stdout);
       std::exit(0);
     }
+    // GNU-style attached value: --name=value (long options only, so a
+    // future short option bundling "=" in its value stays representable).
+    std::string attached;
+    bool has_attached = false;
+    const std::size_t eq = a.find('=');
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-' && eq != std::string::npos) {
+      attached = a.substr(eq + 1);
+      a.resize(eq);
+      has_attached = true;
+    }
     auto it = opts_.find(a);
     if (it == opts_.end()) fail("unknown option: " + a + "\n" + usage());
     if (it->second.is_flag) {
+      if (has_attached) fail("flag " + a + " takes no value");
+      it->second.seen = true;
+    } else if (has_attached) {
+      it->second.value = attached;
       it->second.seen = true;
     } else {
       if (i + 1 >= argc) fail("option " + a + " requires a value");

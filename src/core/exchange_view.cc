@@ -3,12 +3,14 @@
 #include "common/error.h"
 #include "core/exchange.h"
 #include "memmap/pagesize.h"
+#include "obs/obs.h"
 
 namespace brickx {
 
 template <int D>
 ExchangeView<D>::ExchangeView(const BrickDecomp<D>& dec, BrickStorage& storage,
                               const std::vector<int>& neighbor_ranks) {
+  obs::ObsSpan span(obs::Cat::MmapSetup, "exchange_view_build");
   BX_CHECK(storage.file() != nullptr,
            "MemMap exchange requires mmap_alloc'd (memfd) storage");
   BX_CHECK(storage.page_size() % mm::host_page_size() == 0,

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace brickx::gpu {
 
@@ -120,11 +121,18 @@ double Device::migrate(Range& r, std::uintptr_t base, const void* p,
     }
   }
   migrations_ += moved;
-  if (moved == 0) return extra;
-  const double bytes = static_cast<double>(moved) *
-                       static_cast<double>(model_.page_size);
-  return static_cast<double>(moved) * model_.fault_per_page +
-         bytes / model_.link_bw + extra;
+  double secs = extra;
+  if (moved != 0) {
+    const double bytes = static_cast<double>(moved) *
+                         static_cast<double>(model_.page_size);
+    secs = static_cast<double>(moved) * model_.fault_per_page +
+           bytes / model_.link_bw + extra;
+    obs::counter_add("gpu.pages_migrated", moved);
+  }
+  // The caller advances its rank clock by the returned seconds, so the
+  // migration occupies [now, now + secs) on that rank's timeline.
+  if (secs > 0.0) obs::note_cost(obs::Cat::UmMigrate, "um_migrate", secs);
+  return secs;
 }
 
 double Device::touch_host(const void* p, std::size_t n) {

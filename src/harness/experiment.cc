@@ -1,7 +1,9 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "baseline/array_exchange.h"
@@ -12,6 +14,8 @@
 #include "core/exchange_view.h"
 #include "core/shift.h"
 #include "gpusim/device.h"
+#include "obs/obs.h"
+#include "obs/session.h"
 #include "simmpi/cart.h"
 #include "stencil/stencils.h"
 
@@ -131,6 +135,10 @@ Result run(const Config& cfg) {
            "overlap is supported for the Basic/Layout/MemMap brick methods");
 
   mpi::Runtime rt(nranks, cfg.machine.net);
+  // Span/metric sink for this experiment; every rank thread binds to its
+  // RankLog inside rt.run. A no-op null sink when BRICKX_OBS is off.
+  obs::Collector col(nranks);
+  rt.set_collector(&col);
   std::optional<gpu::Device> device;
   if (cfg.gpu != GpuMode::None) {
     device.emplace(cfg.machine.gpu);
@@ -460,25 +468,43 @@ Result run(const Config& cfg) {
     }
 
     // ---- the timestep loop -------------------------------------------------
+    // Each phase is both delta-accumulated on the virtual clock (works with
+    // obs compiled out) and wrapped in a step-tagged ObsSpan; after the loop
+    // the obs build recomputes the phase totals from the spans (see
+    // phase_sum) as a live cross-check that the trace carries the ground
+    // truth — the two agree bit-exactly by construction.
     auto now = [&] { return comm.clock().now(); };
     auto one_step = [&](int step, bool measured) {
       const std::int64_t s = step % k;
+      const std::int64_t id = measured ? step : -1;
       if (s == 0 && cfg.overlap) {
         // Prior-work overlap: interior cells depend on no ghost data, so
         // they compute while the exchange is in flight; the shell follows
         // after completion. The virtual clock yields max(comp, comm)
         // semantics naturally.
         const double t0 = now();
-        start_fn();
+        {
+          obs::ObsSpan sp(obs::Cat::Call, "call", id);
+          start_fn();
+        }
         const double t1 = now();
         const Box<3> whole = stencil::expansion_output_box<3>(N, g, r, 0);
         Box<3> interior{Vec3::fill(r), N - Vec3::fill(r)};
-        compute_fn(interior);
+        {
+          obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
+          compute_fn(interior);
+        }
         const double t2 = now();
-        finish_fn();
+        {
+          obs::ObsSpan sp(obs::Cat::Wait, "wait", id);
+          finish_fn();
+        }
         const double t3 = now();
-        for (const Box<3>& b : stencil::shell_boxes<3>(whole, interior))
-          compute_fn(b);
+        {
+          obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
+          for (const Box<3>& b : stencil::shell_boxes<3>(whole, interior))
+            compute_fn(b);
+        }
         const double t4 = now();
         if (measured) {
           out.call += t1 - t0;
@@ -490,13 +516,25 @@ Result run(const Config& cfg) {
       }
       if (s == 0) {
         const double t0 = now();
-        if (pack_fn) pack_fn();
+        if (pack_fn) {
+          obs::ObsSpan sp(obs::Cat::Pack, "pack", id);
+          pack_fn();
+        }
         const double t1 = now();
-        start_fn();
+        {
+          obs::ObsSpan sp(obs::Cat::Call, "call", id);
+          start_fn();
+        }
         const double t2 = now();
-        finish_fn();
+        {
+          obs::ObsSpan sp(obs::Cat::Wait, "wait", id);
+          finish_fn();
+        }
         const double t3 = now();
-        if (unpack_fn) unpack_fn();
+        if (unpack_fn) {
+          obs::ObsSpan sp(obs::Cat::Pack, "pack", id);
+          unpack_fn();
+        }
         const double t4 = now();
         if (measured) {
           out.pack += (t1 - t0) + (t4 - t3);
@@ -505,7 +543,10 @@ Result run(const Config& cfg) {
         }
       }
       const double c0 = now();
-      compute_fn(stencil::expansion_output_box<3>(N, g, r, s));
+      {
+        obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
+        compute_fn(stencil::expansion_output_box<3>(N, g, r, s));
+      }
       if (measured) out.calc += now() - c0;
       input = 1 - input;
     };
@@ -518,6 +559,31 @@ Result run(const Config& cfg) {
     for (int step = 0; step < cfg.timesteps; ++step)
       one_step(step, /*measured=*/true);
     out.span = comm.allreduce_max(now() - t_begin);
+
+#if BRICKX_OBS
+    // Recompute the phase totals from the recorded spans. phase_sum repeats
+    // the per-step accumulation order of the deltas above, so this is
+    // bit-exact with them — the trace *is* the measurement.
+    {
+      const obs::RankLog& lg = col.log(comm.rank());
+      out.calc = obs::phase_sum(lg, obs::Cat::Calc, "calc");
+      out.pack = obs::phase_sum(lg, obs::Cat::Pack, "pack");
+      out.call = obs::phase_sum(lg, obs::Cat::Call, "call");
+      out.wait = obs::phase_sum(lg, obs::Cat::Wait, "wait");
+    }
+#endif
+    // Per-rank metrics into the obs registry (the thread is still bound).
+    const double steps_d = static_cast<double>(cfg.timesteps);
+    obs::counter_add("comm.msgs_sent", comm.counters().msgs_sent);
+    obs::counter_add("comm.bytes_sent", comm.counters().bytes_sent);
+    obs::counter_add("comm.msgs_recv", comm.counters().msgs_recv);
+    obs::counter_add("comm.bytes_recv", comm.counters().bytes_recv);
+    obs::gauge_max("comm.max_inflight_reqs",
+                   static_cast<double>(comm.counters().max_inflight_reqs));
+    obs::hist_add("harness.calc_s", out.calc / steps_d);
+    obs::hist_add("harness.pack_s", out.pack / steps_d);
+    obs::hist_add("harness.call_s", out.call / steps_d);
+    obs::hist_add("harness.wait_s", out.wait / steps_d);
 
     if (validate) out.validated = validate_fn();
     outs[static_cast<std::size_t>(comm.rank())] = out;
@@ -543,7 +609,33 @@ Result run(const Config& cfg) {
   res.wire_bytes_per_rank = outs[0].wire;
   res.payload_bytes_per_rank = outs[0].payload;
   res.padding_percent = outs[0].padding;
+  res.msgs_recv_per_rank = rt.final_counters(0).msgs_recv;
+  res.bytes_recv_per_rank = rt.final_counters(0).bytes_recv;
+  for (int rk = 0; rk < nranks; ++rk)
+    res.max_inflight_reqs =
+        std::max(res.max_inflight_reqs, rt.final_counters(rk).max_inflight_reqs);
   res.validated = validate && all_valid;
+
+  // Hand the experiment's trace to the active bench session (if any) under
+  // a "Method/gpu" label.
+  rt.set_collector(nullptr);
+  if (obs::Session* ses = obs::Session::active()) {
+    std::string label = method_name(cfg.method);
+    switch (cfg.gpu) {
+      case GpuMode::None:
+        break;
+      case GpuMode::CudaAware:
+        label += "/cuda-aware";
+        break;
+      case GpuMode::Unified:
+        label += "/um";
+        break;
+      case GpuMode::Staged:
+        label += "/staged";
+        break;
+    }
+    ses->absorb(std::move(label), std::move(col));
+  }
   return res;
 }
 

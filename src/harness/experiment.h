@@ -81,6 +81,12 @@ struct Result {
   std::int64_t wire_bytes_per_rank = 0; ///< bytes sent per exchange (with padding)
   std::int64_t payload_bytes_per_rank = 0;
   double padding_percent = 0;   ///< Table 2's extra transfer from padding
+  /// Receive-side accounting, counted by rank 0 over the whole run
+  /// (warmup + measured): completions are what the receiver pays for.
+  std::int64_t msgs_recv_per_rank = 0;
+  std::int64_t bytes_recv_per_rank = 0;
+  /// Deepest any rank kept the NIC pipeline (pending isend/irecv Requests).
+  std::int64_t max_inflight_reqs = 0;
   bool validated = false;       ///< set when cfg.validate passed
 };
 

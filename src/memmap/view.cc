@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "memmap/pagesize.h"
+#include "obs/obs.h"
 
 namespace brickx::mm {
 
@@ -114,6 +115,10 @@ View ViewBuilder::build() const {
     vo += s.length;
   }
   g_live_segments += v.segments_;
+  obs::instant(obs::Cat::MmapSetup, "view_build");
+  obs::counter_add("mm.views_built", 1);
+  obs::counter_add("mm.view_segments", v.segments_);
+  obs::counter_add("mm.view_bytes", static_cast<std::int64_t>(total_));
   return v;
 }
 

@@ -1,0 +1,49 @@
+#pragma once
+
+// Exporters for obs data. Two formats:
+//
+//  * Chrome trace-event JSON (load in Perfetto / chrome://tracing): one pid
+//    per rank, one span track per run, plus a "net" track per rank carrying
+//    message slices connected by flow arrows.
+//  * Flat metrics, JSON or CSV: one entry per (run, metric) with counters,
+//    gauges and histogram moments — what bench binaries write for
+//    --metrics-out so figures become machine-readable artifacts.
+//
+// Both renderers are byte-deterministic: event order, ids and number
+// formatting are functions of the (deterministic) virtual-clock data only,
+// so identical Configs produce identical files (golden-testable traces).
+
+#include <string>
+
+#include "obs/session.h"
+
+namespace brickx::obs {
+
+#if BRICKX_OBS
+
+[[nodiscard]] std::string chrome_trace_json(const Session& s);
+[[nodiscard]] std::string metrics_json(const Session& s);
+[[nodiscard]] std::string metrics_csv(const Session& s);
+
+#else  // !BRICKX_OBS — emit valid, empty artifacts.
+
+[[nodiscard]] inline std::string chrome_trace_json(const Session&) {
+  return "{\"traceEvents\":[]}\n";
+}
+[[nodiscard]] inline std::string metrics_json(const Session&) {
+  return "{\"version\":1,\"runs\":[]}\n";
+}
+[[nodiscard]] inline std::string metrics_csv(const Session&) {
+  return "run,label,metric,kind,value,count,min,avg,max,sigma\n";
+}
+
+#endif  // BRICKX_OBS
+
+/// Write `content` to `path`; throws brickx::Error on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+void write_chrome_trace(const Session& s, const std::string& path);
+/// Writes CSV when `path` ends in ".csv", JSON otherwise.
+void write_metrics(const Session& s, const std::string& path);
+
+}  // namespace brickx::obs

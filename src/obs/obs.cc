@@ -1,0 +1,152 @@
+#include "obs/obs.h"
+
+namespace brickx::obs {
+
+#if BRICKX_OBS
+
+std::size_t RankLog::open_span(Cat cat, const char* name, std::int64_t step,
+                               double t0) {
+  SpanEvent ev;
+  ev.cat = cat;
+  ev.name = name != nullptr ? name : cat_name(cat);
+  ev.step = step;
+  ev.depth = depth_++;
+  ev.t0 = t0;
+  ev.t1 = t0;
+  spans_.push_back(ev);
+  return spans_.size() - 1;
+}
+
+void RankLog::close_span(std::size_t idx, double t1) {
+  spans_[idx].t1 = t1;
+  --depth_;
+}
+
+void RankLog::note_span(Cat cat, const char* name, double t0, double t1) {
+  SpanEvent ev;
+  ev.cat = cat;
+  ev.name = name != nullptr ? name : cat_name(cat);
+  ev.step = -1;
+  ev.depth = depth_;
+  ev.t0 = t0;
+  ev.t1 = t1;
+  spans_.push_back(ev);
+}
+
+Metric& RankLog::metric(std::string_view name, MetricKind kind) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end())
+    it = metrics_.emplace(std::string(name), Metric{kind, 0, 0.0, Stats{}})
+             .first;
+  return it->second;
+}
+
+void RankLog::counter_add(std::string_view name, std::int64_t v) {
+  metric(name, MetricKind::Counter).value += v;
+}
+
+void RankLog::gauge_max(std::string_view name, double v) {
+  Metric& m = metric(name, MetricKind::Gauge);
+  if (v > m.gauge) m.gauge = v;
+}
+
+void RankLog::hist_add(std::string_view name, double v) {
+  metric(name, MetricKind::Hist).hist.add(v);
+}
+
+namespace {
+struct Context {
+  RankLog* log = nullptr;
+  const double* vnow = nullptr;
+};
+thread_local Context g_ctx;
+}  // namespace
+
+void bind(RankLog* log, const double* vnow) { g_ctx = Context{log, vnow}; }
+void unbind() { g_ctx = Context{}; }
+RankLog* ambient_log() { return g_ctx.log; }
+double ambient_now() { return g_ctx.vnow != nullptr ? *g_ctx.vnow : 0.0; }
+
+ObsSpan::ObsSpan(Cat cat, const char* name, std::int64_t step) {
+  if (g_ctx.log == nullptr) return;
+  log_ = g_ctx.log;
+  idx_ = log_->open_span(cat, name, step, *g_ctx.vnow);
+}
+
+ObsSpan::~ObsSpan() {
+  if (log_ != nullptr) log_->close_span(idx_, *g_ctx.vnow);
+}
+
+void note_cost(Cat cat, const char* name, double seconds) {
+  if (g_ctx.log == nullptr || seconds == 0.0) return;
+  const double t = *g_ctx.vnow;
+  g_ctx.log->note_span(cat, name, t, t + seconds);
+}
+
+void instant(Cat cat, const char* name) {
+  if (g_ctx.log == nullptr) return;
+  const double t = g_ctx.vnow != nullptr ? *g_ctx.vnow : 0.0;
+  g_ctx.log->note_span(cat, name, t, t);
+}
+
+void counter_add(std::string_view name, std::int64_t v) {
+  if (g_ctx.log != nullptr) g_ctx.log->counter_add(name, v);
+}
+
+void gauge_max(std::string_view name, double v) {
+  if (g_ctx.log != nullptr) g_ctx.log->gauge_max(name, v);
+}
+
+void hist_add(std::string_view name, double v) {
+  if (g_ctx.log != nullptr) g_ctx.log->hist_add(name, v);
+}
+
+double phase_sum(const RankLog& log, Cat cat, const char* name) {
+  const std::string_view want(name);
+  double total = 0.0;
+  double group = 0.0;
+  std::int64_t cur = -1;
+  for (const SpanEvent& s : log.spans()) {
+    if (s.cat != cat || s.depth != 0 || s.step < 0) continue;
+    if (std::string_view(s.name) != want) continue;
+    if (s.step != cur) {
+      total += group;
+      group = 0.0;
+      cur = s.step;
+    }
+    group += s.t1 - s.t0;
+  }
+  total += group;
+  return total;
+}
+
+std::map<std::string, Metric, std::less<>> merged_metrics(
+    const std::vector<RankLog>& logs) {
+  std::map<std::string, Metric, std::less<>> out;
+  for (const RankLog& lg : logs) {
+    for (const auto& [name, m] : lg.metrics()) {
+      auto it = out.find(name);
+      if (it == out.end()) {
+        out.emplace(name, m);
+        continue;
+      }
+      Metric& dst = it->second;
+      switch (m.kind) {
+        case MetricKind::Counter:
+          dst.value += m.value;
+          break;
+        case MetricKind::Gauge:
+          if (m.gauge > dst.gauge) dst.gauge = m.gauge;
+          break;
+        case MetricKind::Hist:
+          dst.hist.merge(m.hist);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+#endif  // BRICKX_OBS
+
+}  // namespace brickx::obs

@@ -1,0 +1,291 @@
+#pragma once
+
+// Observability core: a per-rank span tracer and metrics registry stamped
+// on the simmpi *virtual* clock, so traces and metrics are as deterministic
+// as the simulation itself (same Config => byte-identical artifacts).
+//
+// Layering: obs depends only on common. simmpi, memmap, gpusim and harness
+// all emit into it through an ambient per-thread binding (one rank thread =
+// one RankLog), so deep library code needs no plumbed-through handles.
+//
+// Compile-time gate: BRICKX_OBS (default 1; configure with
+// -DBRICKX_OBS=OFF). When 0, every type in this header collapses to an
+// inline no-op null sink — callers compile unchanged and the layer costs
+// nothing at runtime.
+
+#ifndef BRICKX_OBS
+#define BRICKX_OBS 1
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace brickx::obs {
+
+/// Span categories, mirroring the paper's phase vocabulary: the harness's
+/// calc/pack/call/wait breakdown plus the on-node data-movement phases the
+/// paper attributes time to (datatype packing, mmap view setup, unified-
+/// memory page migration) and collectives.
+enum class Cat : std::uint8_t {
+  Calc,
+  Pack,
+  Call,
+  Wait,
+  DtPack,
+  MmapSetup,
+  UmMigrate,
+  Collective,
+};
+inline constexpr int kCatCount = 8;
+
+/// Stable lowercase category string ("calc", "dt_pack", ...).
+inline const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::Calc:
+      return "calc";
+    case Cat::Pack:
+      return "pack";
+    case Cat::Call:
+      return "call";
+    case Cat::Wait:
+      return "wait";
+    case Cat::DtPack:
+      return "dt_pack";
+    case Cat::MmapSetup:
+      return "mmap_setup";
+    case Cat::UmMigrate:
+      return "um_migrate";
+    case Cat::Collective:
+      return "collective";
+  }
+  return "?";
+}
+
+/// One closed span on a rank's timeline. Times are virtual seconds.
+struct SpanEvent {
+  Cat cat;
+  const char* name;   ///< static-lifetime label
+  std::int64_t step;  ///< harness timestep for measured phase spans; -1 else
+  int depth;          ///< nesting depth at open (0 = top level)
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// One point-to-point message, recorded sender-side (subsumes the old
+/// simmpi MsgEvent trace). Exported as flow arrows in Chrome traces.
+struct FlowEvent {
+  int src;
+  int dst;
+  int tag;
+  std::uint64_t bytes;
+  double depart;  ///< sender NIC finished injecting
+  double arrive;  ///< receiver-visible arrival of the last byte
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Hist };
+
+/// A named metric: monotonic counter, max-gauge, or Stats-backed histogram.
+struct Metric {
+  MetricKind kind = MetricKind::Counter;
+  std::int64_t value = 0;  ///< counter sum
+  double gauge = 0.0;      ///< max-gauge watermark
+  Stats hist;
+};
+
+#if BRICKX_OBS
+
+/// Event log of one rank. Single-writer: only that rank's thread appends,
+/// so recording is lock-free and ordering is deterministic.
+class RankLog {
+ public:
+  /// Open a span at t0; returns a stable index for close_span.
+  std::size_t open_span(Cat cat, const char* name, std::int64_t step,
+                        double t0);
+  void close_span(std::size_t idx, double t1);
+  /// Record an already-closed span [t0, t1] at the current depth.
+  void note_span(Cat cat, const char* name, double t0, double t1);
+
+  void flow(const FlowEvent& f) { flows_.push_back(f); }
+  void clear_flows() { flows_.clear(); }
+
+  void counter_add(std::string_view name, std::int64_t v);
+  void gauge_max(std::string_view name, double v);
+  void hist_add(std::string_view name, double v);
+
+  [[nodiscard]] const std::vector<SpanEvent>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<FlowEvent>& flows() const { return flows_; }
+  [[nodiscard]] const std::map<std::string, Metric, std::less<>>& metrics()
+      const {
+    return metrics_;
+  }
+  [[nodiscard]] int depth() const { return depth_; }
+
+ private:
+  Metric& metric(std::string_view name, MetricKind kind);
+
+  int depth_ = 0;
+  std::vector<SpanEvent> spans_;
+  std::vector<FlowEvent> flows_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+/// One RankLog per rank of a simulated job. Install on a Runtime with
+/// Runtime::set_collector; the harness creates one per experiment.
+class Collector {
+ public:
+  explicit Collector(int nranks)
+      : logs_(static_cast<std::size_t>(nranks)) {}
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(logs_.size()); }
+  [[nodiscard]] RankLog& log(int rank) {
+    return logs_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const RankLog& log(int rank) const {
+    return logs_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::vector<RankLog> take_logs() { return std::move(logs_); }
+
+ private:
+  std::vector<RankLog> logs_;
+};
+
+/// --- ambient binding ------------------------------------------------------
+/// Each rank thread is bound to (its RankLog, a pointer into its VClock's
+/// time). Library code then emits spans/metrics with no handle plumbing.
+
+void bind(RankLog* log, const double* vnow);
+void unbind();
+[[nodiscard]] RankLog* ambient_log();
+/// Current virtual time of the bound clock (0 when unbound).
+[[nodiscard]] double ambient_now();
+
+class BindGuard {
+ public:
+  BindGuard(RankLog* log, const double* vnow) { bind(log, vnow); }
+  ~BindGuard() { unbind(); }
+  BindGuard(const BindGuard&) = delete;
+  BindGuard& operator=(const BindGuard&) = delete;
+};
+
+/// RAII span on the ambient log; a no-op when the thread is unbound.
+/// `step` tags harness phase spans with their timestep (see phase_sum).
+class ObsSpan {
+ public:
+  explicit ObsSpan(Cat cat, const char* name = nullptr,
+                   std::int64_t step = -1);
+  ~ObsSpan();
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  RankLog* log_ = nullptr;
+  std::size_t idx_ = 0;
+};
+
+/// Record a span [now, now + seconds] for a cost computed *before* the
+/// caller advances the clock by it (the gpusim touch-hook pattern).
+/// Records nothing when seconds == 0 or the thread is unbound.
+void note_cost(Cat cat, const char* name, double seconds);
+
+/// Zero-duration marker span at the current virtual time.
+void instant(Cat cat, const char* name);
+
+/// Ambient metrics; no-ops when the thread is unbound.
+void counter_add(std::string_view name, std::int64_t v);
+void gauge_max(std::string_view name, double v);
+void hist_add(std::string_view name, double v);
+
+/// Sum the durations of top-level phase spans matching (cat, name) with
+/// step >= 0, grouping per step: each step's spans are summed first, then
+/// added to the running total. This mirrors the harness's original
+/// per-step `out.phase += (a) + (b)` accumulation order exactly, so phase
+/// aggregates computed from spans are bit-identical to the seed's.
+double phase_sum(const RankLog& log, Cat cat, const char* name);
+
+/// Merge per-rank metrics (counters sum, gauges max, hists Stats::merge)
+/// in rank order — deterministic.
+std::map<std::string, Metric, std::less<>> merged_metrics(
+    const std::vector<RankLog>& logs);
+
+#else  // !BRICKX_OBS — null sink: same API, nothing recorded.
+
+class RankLog {
+ public:
+  std::size_t open_span(Cat, const char*, std::int64_t, double) { return 0; }
+  void close_span(std::size_t, double) {}
+  void note_span(Cat, const char*, double, double) {}
+  void flow(const FlowEvent&) {}
+  void clear_flows() {}
+  void counter_add(std::string_view, std::int64_t) {}
+  void gauge_max(std::string_view, double) {}
+  void hist_add(std::string_view, double) {}
+  [[nodiscard]] const std::vector<SpanEvent>& spans() const {
+    static const std::vector<SpanEvent> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] const std::vector<FlowEvent>& flows() const {
+    static const std::vector<FlowEvent> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] const std::map<std::string, Metric, std::less<>>& metrics()
+      const {
+    static const std::map<std::string, Metric, std::less<>> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] int depth() const { return 0; }
+};
+
+class Collector {
+ public:
+  explicit Collector(int nranks) : nranks_(nranks) {}
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] RankLog& log(int) { return log_; }
+  [[nodiscard]] const RankLog& log(int) const { return log_; }
+  [[nodiscard]] std::vector<RankLog> take_logs() { return {}; }
+
+ private:
+  int nranks_;
+  RankLog log_;
+};
+
+inline void bind(RankLog*, const double*) {}
+inline void unbind() {}
+inline RankLog* ambient_log() { return nullptr; }
+inline double ambient_now() { return 0.0; }
+
+class BindGuard {
+ public:
+  BindGuard(RankLog*, const double*) {}
+  ~BindGuard() {}
+  BindGuard(const BindGuard&) = delete;
+  BindGuard& operator=(const BindGuard&) = delete;
+};
+
+class ObsSpan {
+ public:
+  explicit ObsSpan(Cat, const char* = nullptr, std::int64_t = -1) {}
+  ~ObsSpan() {}
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+};
+
+inline void note_cost(Cat, const char*, double) {}
+inline void instant(Cat, const char*) {}
+inline void counter_add(std::string_view, std::int64_t) {}
+inline void gauge_max(std::string_view, double) {}
+inline void hist_add(std::string_view, double) {}
+inline double phase_sum(const RankLog&, Cat, const char*) { return 0.0; }
+inline std::map<std::string, Metric, std::less<>> merged_metrics(
+    const std::vector<RankLog>&) {
+  return {};
+}
+
+#endif  // BRICKX_OBS
+
+}  // namespace brickx::obs

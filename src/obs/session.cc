@@ -1,0 +1,19 @@
+#include "obs/session.h"
+
+namespace brickx::obs {
+
+#if BRICKX_OBS
+
+namespace {
+Session* g_active = nullptr;
+}  // namespace
+
+Session* Session::active() { return g_active; }
+
+Session::Scope::Scope(Session& s) : prev_(g_active) { g_active = &s; }
+
+Session::Scope::~Scope() { g_active = prev_; }
+
+#endif  // BRICKX_OBS
+
+}  // namespace brickx::obs

@@ -1,0 +1,90 @@
+#pragma once
+
+// A Session aggregates the traces of several simulated jobs (one Collector
+// per harness::run) so a bench binary that sweeps many configurations can
+// export one Chrome trace / metrics artifact covering all of them.
+//
+// Activation is a process-global ambient: benches activate a Session with
+// Session::Scope; harness::run absorbs its Collector into the active
+// session after each experiment. Only the main thread activates/absorbs,
+// so no locking is needed.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace brickx::obs {
+
+#if BRICKX_OBS
+
+class Session {
+ public:
+  struct Run {
+    std::string label;  ///< e.g. "MemMap/um"
+    int nranks = 0;
+    std::vector<RankLog> logs;  ///< one per rank
+  };
+
+  void absorb(std::string label, Collector&& c) {
+    Run r;
+    r.label = std::move(label);
+    r.nranks = c.nranks();
+    r.logs = c.take_logs();
+    runs_.push_back(std::move(r));
+  }
+
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+
+  /// The session harness::run currently reports into (null when none).
+  static Session* active();
+
+  /// Activates a session for the enclosing scope; restores the previous
+  /// active session (usually none) on exit.
+  class Scope {
+   public:
+    explicit Scope(Session& s);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Session* prev_;
+  };
+
+ private:
+  std::vector<Run> runs_;
+};
+
+#else  // !BRICKX_OBS
+
+class Session {
+ public:
+  struct Run {
+    std::string label;
+    int nranks = 0;
+    std::vector<RankLog> logs;
+  };
+
+  void absorb(const std::string&, Collector&&) {}
+  [[nodiscard]] const std::vector<Run>& runs() const {
+    static const std::vector<Run> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] bool empty() const { return true; }
+  static Session* active() { return nullptr; }
+
+  class Scope {
+   public:
+    explicit Scope(Session&) {}
+    ~Scope() {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+};
+
+#endif  // BRICKX_OBS
+
+}  // namespace brickx::obs

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace brickx::mpi {
 
@@ -52,6 +54,7 @@ Request Comm::irecv(void* buf, const Datatype& type, int src, int tag) {
 Request Comm::isend_impl(const void* buf, std::size_t bytes,
                          const Datatype* type, int dest, int tag) {
   BX_CHECK(dest >= 0 && dest < size_, "isend: bad destination rank");
+  obs::ObsSpan op_span(obs::Cat::Call, "mpi_isend");
   const NetModel& m = rt_->model_;
   clock_.advance(m.send_overhead);
 
@@ -63,6 +66,7 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
     // The datatype engine packs internally: real copies, and the virtual
     // clock is charged per block plus copy bandwidth — the MPI_Types cost
     // profile the paper measures.
+    obs::ObsSpan dt_span(obs::Cat::DtPack, "dt_gather");
     const FlatType& ft = type->flat();
     ft.gather(static_cast<const std::byte*>(buf), env.data.data());
     clock_.advance(static_cast<double>(ft.blocks.size()) *
@@ -96,7 +100,12 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
 
   counters_.msgs_sent += 1;
   counters_.bytes_sent += static_cast<std::int64_t>(bytes);
-  rt_->record(MsgEvent{rank_, dest, tag, bytes, nic_free_, env.arrival});
+  if (obs::RankLog* lg = obs::ambient_log())
+    lg->flow(obs::FlowEvent{rank_, dest, tag,
+                            static_cast<std::uint64_t>(bytes), nic_free_,
+                            env.arrival});
+  if (++inflight_ > counters_.max_inflight_reqs)
+    counters_.max_inflight_reqs = inflight_;
 
   Request req;
   req.state_ = std::make_shared<Request::State>();
@@ -110,7 +119,10 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
 Request Comm::irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
                          int src, int tag) {
   BX_CHECK(src >= 0 && src < size_, "irecv: bad source rank");
+  obs::ObsSpan op_span(obs::Cat::Call, "mpi_irecv");
   clock_.advance(rt_->model_.recv_overhead);
+  if (++inflight_ > counters_.max_inflight_reqs)
+    counters_.max_inflight_reqs = inflight_;
   Request req;
   req.state_ = std::make_shared<Request::State>();
   auto& st = *req.state_;
@@ -125,9 +137,11 @@ Request Comm::irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
 
 void Comm::wait(Request& req) {
   BX_CHECK(req.valid(), "wait on an empty Request");
+  obs::ObsSpan op_span(obs::Cat::Wait, "mpi_wait");
   auto& st = *req.state_;
   BX_CHECK(!st.done, "Request already completed");
   st.done = true;
+  --inflight_;
   if (st.kind == Request::State::Kind::Send) {
     clock_.advance_to(st.send_complete);
     req.state_.reset();
@@ -143,7 +157,10 @@ void Comm::wait(Request& req) {
   if (dspace == MemSpace::Unified) arrival += m.um_alpha_extra;
   clock_.advance_to(arrival);
 
+  counters_.msgs_recv += 1;
+  counters_.bytes_recv += static_cast<std::int64_t>(st.bytes);
   if (st.flat) {
+    obs::ObsSpan dt_span(obs::Cat::DtPack, "dt_scatter");
     st.flat->scatter(env.data.data(), static_cast<std::byte*>(st.buf));
     clock_.advance(static_cast<double>(st.flat->blocks.size()) *
                        m.dt_block_overhead +
@@ -190,6 +207,7 @@ struct CollResult {
 }  // namespace
 
 std::vector<double> Comm::allgather(double v) {
+  obs::ObsSpan span(obs::Cat::Collective, "allgather");
   // First round: gather values. Second round: synchronize clocks.
   auto gather = [this](double x) {
     std::unique_lock lk(rt_->coll_mu_);
@@ -266,6 +284,11 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([this, r, &body, &errors] {
       Comm comm(this, r, nranks_);
+      // Bind this rank thread to its RankLog so comm/datatype/gpusim code
+      // below can emit spans and metrics ambiently.
+      std::optional<obs::BindGuard> obs_guard;
+      if (collector_ != nullptr)
+        obs_guard.emplace(&collector_->log(r), comm.clock().time_ptr());
       try {
         body(comm);
       } catch (...) {
@@ -322,15 +345,25 @@ Runtime::Envelope Runtime::match(int self, int src, int tag) {
   }
 }
 
-void Runtime::record(const MsgEvent& ev) {
-  if (!trace_enabled_) return;
-  std::lock_guard lk(trace_mu_);
-  trace_.push_back(ev);
+void Runtime::enable_trace(bool on) {
+  if (on) {
+    if (!owned_trace_)
+      owned_trace_ = std::make_unique<obs::Collector>(nranks_);
+    collector_ = owned_trace_.get();
+  } else if (collector_ == owned_trace_.get()) {
+    collector_ = nullptr;
+  }
 }
 
 std::vector<MsgEvent> Runtime::trace() const {
-  std::lock_guard lk(trace_mu_);
-  std::vector<MsgEvent> t = trace_;
+  std::vector<MsgEvent> t;
+  if (collector_ != nullptr) {
+    for (int r = 0; r < nranks_; ++r)
+      for (const obs::FlowEvent& f : collector_->log(r).flows())
+        t.push_back(MsgEvent{f.src, f.dst, f.tag,
+                             static_cast<std::size_t>(f.bytes), f.depart,
+                             f.arrive});
+  }
   std::sort(t.begin(), t.end(), [](const MsgEvent& a, const MsgEvent& b) {
     if (a.departure != b.departure) return a.departure < b.departure;
     if (a.src != b.src) return a.src < b.src;
@@ -341,8 +374,8 @@ std::vector<MsgEvent> Runtime::trace() const {
 }
 
 void Runtime::clear_trace() {
-  std::lock_guard lk(trace_mu_);
-  trace_.clear();
+  if (collector_ == nullptr) return;
+  for (int r = 0; r < nranks_; ++r) collector_->log(r).clear_flows();
 }
 
 double Runtime::final_vtime(int rank) const {

@@ -12,6 +12,10 @@
 #include "simmpi/datatype.h"
 #include "simmpi/netmodel.h"
 
+namespace brickx::obs {
+class Collector;
+}  // namespace brickx::obs
+
 namespace brickx::mpi {
 
 class Runtime;
@@ -27,6 +31,9 @@ class VClock {
   void advance_to(double t) {
     if (t > t_) t_ = t;
   }
+  /// Stable pointer to the current time, for the obs ambient binding (the
+  /// tracer reads it on every span open/close without a VClock dependency).
+  [[nodiscard]] const double* time_ptr() const { return &t_; }
 
  private:
   double t_ = 0.0;
@@ -51,8 +58,13 @@ class Request {
 struct CommCounters {
   std::int64_t msgs_sent = 0;
   std::int64_t bytes_sent = 0;
+  std::int64_t msgs_recv = 0;
+  std::int64_t bytes_recv = 0;
   std::int64_t dt_blocks = 0;      ///< datatype blocks processed (both sides)
   std::int64_t dt_pack_bytes = 0;  ///< bytes internally packed by datatypes
+  /// High-water mark of simultaneously pending Requests (posted, not yet
+  /// waited) — how deep this rank keeps the NIC pipeline.
+  std::int64_t max_inflight_reqs = 0;
   void reset() { *this = CommCounters{}; }
 };
 
@@ -115,6 +127,7 @@ class Comm {
   VClock clock_;
   CommCounters counters_;
   double nic_free_ = 0.0;  ///< sender-side NIC serialization horizon
+  int inflight_ = 0;       ///< currently pending Requests (send + recv)
 };
 
 /// Hooks the GPU simulator installs so message buffers in device/unified
@@ -128,8 +141,8 @@ struct MemHooks {
       touch;
 };
 
-/// One recorded point-to-point message (optional tracing; see
-/// Runtime::enable_trace). Times are virtual seconds.
+/// One recorded point-to-point message (legacy view of the obs flow trace;
+/// see Runtime::enable_trace). Times are virtual seconds.
 struct MsgEvent {
   int src;
   int dst;
@@ -159,9 +172,16 @@ class Runtime {
 
   void set_mem_hooks(MemHooks hooks) { hooks_ = std::move(hooks); }
 
-  /// Record every message sent during subsequent run() calls. Costs a
-  /// mutex per send; off by default.
-  void enable_trace(bool on = true) { trace_enabled_ = on; }
+  /// Install an obs Collector: every rank thread of subsequent run() calls
+  /// is bound to its RankLog, so comm/datatype/gpusim instrumentation lands
+  /// there. Pass nullptr to detach (recording is then zero-cost again). The
+  /// Collector must outlive the runs it observes; the caller keeps ownership.
+  void set_collector(obs::Collector* c) { collector_ = c; }
+  [[nodiscard]] obs::Collector* collector() const { return collector_; }
+
+  /// Legacy trace API, now a shim over the obs flow log: enables an
+  /// internally owned Collector. Off by default.
+  void enable_trace(bool on = true);
   /// Recorded messages in sender-departure order (stable across runs —
   /// the virtual clock is deterministic).
   [[nodiscard]] std::vector<MsgEvent> trace() const;
@@ -210,14 +230,11 @@ class Runtime {
   std::vector<double> coll_slots_;
   std::vector<double> coll_snapshot_;
 
-  void record(const MsgEvent& ev);
-
   std::vector<double> final_vtimes_;
   std::vector<CommCounters> final_counters_;
 
-  bool trace_enabled_ = false;
-  mutable std::mutex trace_mu_;
-  std::vector<MsgEvent> trace_;
+  obs::Collector* collector_ = nullptr;
+  std::unique_ptr<obs::Collector> owned_trace_;  ///< backs enable_trace()
 };
 
 }  // namespace brickx::mpi

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace brickx::mpi {
 
@@ -12,6 +13,9 @@ void FlatType::gather(const std::byte* base, std::byte* out) const {
     std::memcpy(out + at, base + b.offset, b.length);
     at += b.length;
   }
+  obs::counter_add("dt.gather_blocks",
+                   static_cast<std::int64_t>(blocks.size()));
+  obs::counter_add("dt.gather_bytes", static_cast<std::int64_t>(at));
 }
 
 void FlatType::scatter(const std::byte* in, std::byte* base) const {
@@ -20,6 +24,9 @@ void FlatType::scatter(const std::byte* in, std::byte* base) const {
     std::memcpy(base + b.offset, in + at, b.length);
     at += b.length;
   }
+  obs::counter_add("dt.scatter_blocks",
+                   static_cast<std::int64_t>(blocks.size()));
+  obs::counter_add("dt.scatter_bytes", static_cast<std::int64_t>(at));
 }
 
 Datatype Datatype::contiguous(std::size_t count, std::size_t elem_size) {

@@ -66,6 +66,45 @@ TEST(Stats, MergeWithEmpty) {
   EXPECT_EQ(b.avg(), 1.5);
 }
 
+TEST(Stats, MergeEmptyIntoEmpty) {
+  Stats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  EXPECT_EQ(a.avg(), 0.0);
+  EXPECT_EQ(a.sigma(), 0.0);
+}
+
+TEST(Stats, MergeSingleSamples) {
+  // Two single-sample stats merge into the exact two-sample moments: the
+  // obs metrics exporter merges one-sample-per-rank histograms this way.
+  Stats a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 3.0);
+  EXPECT_DOUBLE_EQ(a.avg(), 2.0);
+  EXPECT_DOUBLE_EQ(a.sigma(), 1.0);  // population sigma of {1, 3}
+}
+
+TEST(Stats, MergeSingleIntoMany) {
+  Stats many, one, all;
+  for (double x : {2.0, 4.0, 6.0}) {
+    many.add(x);
+    all.add(x);
+  }
+  one.add(8.0);
+  all.add(8.0);
+  many.merge(one);
+  EXPECT_EQ(many.count(), all.count());
+  EXPECT_DOUBLE_EQ(many.avg(), all.avg());
+  EXPECT_NEAR(many.sigma(), all.sigma(), 1e-12);
+  EXPECT_EQ(many.max(), 8.0);
+}
+
 TEST(Stats, StrFormatIncludesAllFields) {
   Stats s;
   s.add(1e-3);

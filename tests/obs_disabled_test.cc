@@ -1,0 +1,73 @@
+// Compiled with BRICKX_OBS=0 (see tests/CMakeLists.txt) and linked against
+// brickx_common only — never the obs-enabled libraries, which were built
+// with BRICKX_OBS=1 and would violate the ODR if mixed into this binary.
+// Proves the null-sink headers are self-contained: the whole obs API
+// compiles, records nothing, and the header-inline exporters still emit
+// valid (empty) artifacts.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/session.h"
+
+static_assert(BRICKX_OBS == 0,
+              "this test must be compiled with -DBRICKX_OBS=0");
+
+namespace obs = brickx::obs;
+
+TEST(ObsDisabled, CatNamesStillWork) {
+  EXPECT_STREQ(obs::cat_name(obs::Cat::Calc), "calc");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::UmMigrate), "um_migrate");
+}
+
+TEST(ObsDisabled, EverySinkIsInert) {
+  obs::RankLog lg;
+  double clock = 1.0;
+  obs::BindGuard guard(&lg, &clock);
+  EXPECT_EQ(obs::ambient_log(), nullptr);  // binding is a no-op
+  EXPECT_EQ(obs::ambient_now(), 0.0);
+  {
+    obs::ObsSpan sp(obs::Cat::Calc, "calc", 0);
+    obs::note_cost(obs::Cat::UmMigrate, "um_migrate", 1.0);
+    obs::instant(obs::Cat::MmapSetup, "view_build");
+    obs::counter_add("c", 1);
+    obs::gauge_max("g", 2.0);
+    obs::hist_add("h", 3.0);
+  }
+  lg.note_span(obs::Cat::Pack, "pack", 0.0, 1.0);
+  lg.flow(obs::FlowEvent{0, 1, 7, 64, 0.0, 1.0});
+  lg.counter_add("c", 1);
+  EXPECT_TRUE(lg.spans().empty());
+  EXPECT_TRUE(lg.flows().empty());
+  EXPECT_TRUE(lg.metrics().empty());
+  EXPECT_EQ(obs::phase_sum(lg, obs::Cat::Pack, "pack"), 0.0);
+}
+
+TEST(ObsDisabled, CollectorAndSessionAreHollow) {
+  obs::Collector col(4);
+  EXPECT_EQ(col.nranks(), 4);
+  col.log(2).counter_add("c", 1);
+  EXPECT_TRUE(col.take_logs().empty());
+  EXPECT_TRUE(obs::merged_metrics({}).empty());
+
+  obs::Session ses;
+  EXPECT_EQ(obs::Session::active(), nullptr);
+  {
+    obs::Session::Scope scope(ses);
+    EXPECT_EQ(obs::Session::active(), nullptr);  // activation is a no-op
+  }
+  ses.absorb("lbl", obs::Collector(1));
+  EXPECT_TRUE(ses.empty());
+  EXPECT_TRUE(ses.runs().empty());
+}
+
+TEST(ObsDisabled, ExportersEmitValidEmptyArtifacts) {
+  obs::Session ses;
+  EXPECT_EQ(obs::chrome_trace_json(ses), "{\"traceEvents\":[]}\n");
+  EXPECT_EQ(obs::metrics_json(ses), "{\"version\":1,\"runs\":[]}\n");
+  EXPECT_EQ(obs::metrics_csv(ses),
+            "run,label,metric,kind,value,count,min,avg,max,sigma\n");
+}

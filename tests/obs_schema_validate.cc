@@ -1,0 +1,336 @@
+// Artifact-contract check (plain main, registered with ctest as
+// obs_metrics_schema): runs a bench binary with --metrics-out and validates
+// the emitted metrics JSON against the checked-in schema
+// tests/data/metrics_schema.json. The schema pins the shape benches
+// promise downstream tooling: top-level keys, per-run keys, metric kinds,
+// per-kind fields, and the metric names every harness run must record.
+//
+// Usage: obs_schema_validate <bench-binary> <schema.json>
+// (the bench is invoked as: <bench-binary> -s 16 --metrics-out=<tmp>)
+//
+// The JSON parser below is a deliberately small hand-rolled recursive
+// descent — enough for the two documents involved, and no new dependency.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal JSON ---------------------------------------------------------
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object } type =
+      Type::Null;
+  bool b = false;
+  double number = 0.0;
+  std::string str;
+  std::shared_ptr<Array> arr;
+  std::shared_ptr<Object> obj;
+
+  [[nodiscard]] bool is(Type t) const { return type == t; }
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (type != Type::Object) return nullptr;
+    auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::fprintf(stderr, "JSON parse error at offset %zu: %s\n", pos_,
+                 why.c_str());
+    std::exit(2);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value value() {
+    Value v;
+    switch (peek()) {
+      case '{': {
+        v.type = Value::Type::Object;
+        v.obj = std::make_shared<Object>();
+        ++pos_;
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          const std::string key = string_lit();
+          expect(':');
+          (*v.obj)[key] = value();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = Value::Type::Array;
+        v.arr = std::make_shared<Array>();
+        ++pos_;
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          v.arr->push_back(value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type = Value::Type::String;
+        v.str = string_lit();
+        return v;
+      default: {
+        skip_ws();
+        if (consume("true")) {
+          v.type = Value::Type::Bool;
+          v.b = true;
+          return v;
+        }
+        if (consume("false")) {
+          v.type = Value::Type::Bool;
+          return v;
+        }
+        if (consume("null")) return v;
+        return number_lit();
+      }
+    }
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        c = s_[pos_++];
+        switch (c) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':  // metrics output only escapes control chars; keep raw
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            pos_ += 4;
+            out += '?';
+            break;
+          default: out += c;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  Value number_lit() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == 'i' ||
+            s_[pos_] == 'n' || s_[pos_] == 'f' || s_[pos_] == 'a'))
+      ++pos_;  // accepts inf/nan spellings %.17g could produce
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::Number;
+    v.number = std::strtod(s_.c_str() + start, nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- validation -----------------------------------------------------------
+
+int g_errors = 0;
+
+void problem(const std::string& what) {
+  std::fprintf(stderr, "schema violation: %s\n", what.c_str());
+  ++g_errors;
+}
+
+std::vector<std::string> string_list(const Value& schema, const char* key) {
+  std::vector<std::string> out;
+  const Value* v = schema.find(key);
+  if (v == nullptr || !v->is(Value::Type::Array)) {
+    problem(std::string("schema file lacks string array '") + key + "'");
+    return out;
+  }
+  for (const Value& e : *v->arr) out.push_back(e.str);
+  return out;
+}
+
+void validate_metric(const std::string& run_label, const std::string& name,
+                     const Value& m, const std::vector<std::string>& kinds,
+                     const Value& kind_fields) {
+  const std::string where = run_label + "." + name;
+  if (!m.is(Value::Type::Object)) {
+    problem(where + " is not an object");
+    return;
+  }
+  const Value* kind = m.find("kind");
+  if (kind == nullptr || !kind->is(Value::Type::String)) {
+    problem(where + " has no string 'kind'");
+    return;
+  }
+  bool known = false;
+  for (const std::string& k : kinds) known = known || k == kind->str;
+  if (!known) {
+    problem(where + " has unknown kind '" + kind->str + "'");
+    return;
+  }
+  const Value* fields = kind_fields.find(kind->str);
+  if (fields == nullptr || !fields->is(Value::Type::Array)) {
+    problem("schema kind_fields lacks '" + kind->str + "'");
+    return;
+  }
+  for (const Value& f : *fields->arr) {
+    const Value* fv = m.find(f.str);
+    if (fv == nullptr || !fv->is(Value::Type::Number))
+      problem(where + " (" + kind->str + ") lacks numeric field '" + f.str +
+              "'");
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot read: %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <bench-binary> <schema.json>\n", argv[0]);
+    return 2;
+  }
+  const std::string bench = argv[1];
+  const std::string out_path = "obs_metrics_check.json";
+
+  const std::string cmd =
+      "\"" + bench + "\" -s 16 --metrics-out=" + out_path + " > /dev/null";
+  std::printf("running: %s\n", cmd.c_str());
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "bench invocation failed\n");
+    return 2;
+  }
+
+  const Value schema = Parser(read_file(argv[2])).parse();
+  const Value doc = Parser(read_file(out_path)).parse();
+
+  for (const std::string& key : string_list(schema, "top_required")) {
+    if (doc.find(key) == nullptr) problem("missing top-level key '" + key + "'");
+  }
+  const Value* version = doc.find("version");
+  if (version == nullptr || !version->is(Value::Type::Number) ||
+      version->number != 1.0)
+    problem("'version' must be the number 1");
+
+  const Value* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is(Value::Type::Array) || runs->arr->empty()) {
+    problem("'runs' must be a non-empty array");
+    return 1;
+  }
+
+  const std::vector<std::string> run_required =
+      string_list(schema, "run_required");
+  const std::vector<std::string> kinds = string_list(schema, "metric_kinds");
+  const std::vector<std::string> required_metrics =
+      string_list(schema, "required_metrics");
+  const Value* kind_fields = schema.find("kind_fields");
+  if (kind_fields == nullptr || !kind_fields->is(Value::Type::Object)) {
+    problem("schema file lacks object 'kind_fields'");
+    return 1;
+  }
+
+  for (const Value& run : *runs->arr) {
+    const Value* label_v = run.find("label");
+    const std::string label =
+        label_v != nullptr && label_v->is(Value::Type::String) ? label_v->str
+                                                               : "<run>";
+    for (const std::string& key : run_required) {
+      if (run.find(key) == nullptr)
+        problem("run " + label + " missing key '" + key + "'");
+    }
+    const Value* nranks = run.find("nranks");
+    if (nranks != nullptr &&
+        (!nranks->is(Value::Type::Number) || nranks->number < 1.0))
+      problem("run " + label + " has non-positive nranks");
+    const Value* metrics = run.find("metrics");
+    if (metrics == nullptr || !metrics->is(Value::Type::Object)) continue;
+    for (const auto& [name, m] : *metrics->obj)
+      validate_metric(label, name, m, kinds, *kind_fields);
+    for (const std::string& want : required_metrics) {
+      if (metrics->find(want) == nullptr)
+        problem("run " + label + " lacks required metric '" + want + "'");
+    }
+  }
+
+  if (g_errors != 0) {
+    std::fprintf(stderr, "%d schema violation(s)\n", g_errors);
+    return 1;
+  }
+  std::printf("ok: %zu run(s) conform to %s\n", runs->arr->size(), argv[2]);
+  return 0;
+}

@@ -1,0 +1,317 @@
+// Tests for the obs span tracer / metrics registry: recording semantics,
+// phase_sum's per-step grouping, metric merging, and the end-to-end
+// guarantees the subsystem advertises — byte-identical exports across
+// identical runs, and span-derived phase aggregates bit-equal to the
+// harness Result.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/session.h"
+
+namespace obs = brickx::obs;
+using brickx::Stats;
+
+TEST(Obs, CatNamesAreStable) {
+  EXPECT_STREQ(obs::cat_name(obs::Cat::Calc), "calc");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::Pack), "pack");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::Call), "call");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::Wait), "wait");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::DtPack), "dt_pack");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::MmapSetup), "mmap_setup");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::UmMigrate), "um_migrate");
+  EXPECT_STREQ(obs::cat_name(obs::Cat::Collective), "collective");
+}
+
+// Everything below exercises the real recorder; in a -DBRICKX_OBS=OFF
+// build this binary gets the null sink and only the tests above apply
+// (obs_disabled_test covers the null sink's own guarantees).
+#if BRICKX_OBS
+
+TEST(Obs, RankLogRecordsNestingDepths) {
+  obs::RankLog lg;
+  const std::size_t outer = lg.open_span(obs::Cat::Calc, nullptr, 3, 1.0);
+  const std::size_t inner = lg.open_span(obs::Cat::Call, "mpi_isend", -1, 1.5);
+  lg.close_span(inner, 2.0);
+  lg.note_span(obs::Cat::UmMigrate, "um_migrate", 2.0, 2.25);
+  lg.close_span(outer, 3.0);
+  ASSERT_EQ(lg.spans().size(), 3u);
+
+  const obs::SpanEvent& a = lg.spans()[0];
+  EXPECT_EQ(a.cat, obs::Cat::Calc);
+  EXPECT_STREQ(a.name, "calc");  // defaulted from the category
+  EXPECT_EQ(a.step, 3);
+  EXPECT_EQ(a.depth, 0);
+  EXPECT_EQ(a.t0, 1.0);
+  EXPECT_EQ(a.t1, 3.0);
+
+  const obs::SpanEvent& b = lg.spans()[1];
+  EXPECT_STREQ(b.name, "mpi_isend");
+  EXPECT_EQ(b.step, -1);
+  EXPECT_EQ(b.depth, 1);
+
+  const obs::SpanEvent& c = lg.spans()[2];
+  EXPECT_EQ(c.depth, 1);  // noted while the outer span was still open
+  EXPECT_EQ(c.t1 - c.t0, 0.25);
+  EXPECT_EQ(lg.depth(), 0);
+}
+
+TEST(Obs, UnboundThreadIsANoOp) {
+  ASSERT_EQ(obs::ambient_log(), nullptr);
+  EXPECT_EQ(obs::ambient_now(), 0.0);
+  {  // none of these may crash or record anywhere
+    obs::ObsSpan sp(obs::Cat::Calc, "calc", 0);
+    obs::note_cost(obs::Cat::UmMigrate, "um_migrate", 1.0);
+    obs::instant(obs::Cat::MmapSetup, "view_build");
+    obs::counter_add("x", 1);
+    obs::gauge_max("y", 2.0);
+    obs::hist_add("z", 3.0);
+  }
+  EXPECT_EQ(obs::ambient_log(), nullptr);
+}
+
+TEST(Obs, AmbientBindingStampsTheProvidedClock) {
+  obs::RankLog lg;
+  double clock = 10.0;
+  {
+    obs::BindGuard guard(&lg, &clock);
+    EXPECT_EQ(obs::ambient_log(), &lg);
+    EXPECT_EQ(obs::ambient_now(), 10.0);
+    {
+      obs::ObsSpan outer(obs::Cat::Wait, "mpi_wait");
+      clock = 12.0;
+      obs::ObsSpan inner(obs::Cat::DtPack, "dt_scatter");
+      clock = 13.0;
+    }  // inner closes at 13, outer closes at 13
+    obs::note_cost(obs::Cat::UmMigrate, "um_migrate", 0.5);
+    obs::note_cost(obs::Cat::UmMigrate, "um_migrate", 0.0);  // dropped
+    obs::counter_add("gpu.pages_migrated", 7);
+  }
+  EXPECT_EQ(obs::ambient_log(), nullptr);  // guard unbinds
+
+  ASSERT_EQ(lg.spans().size(), 3u);
+  EXPECT_EQ(lg.spans()[0].t0, 10.0);
+  EXPECT_EQ(lg.spans()[0].t1, 13.0);
+  EXPECT_EQ(lg.spans()[0].depth, 0);
+  EXPECT_EQ(lg.spans()[1].t0, 12.0);
+  EXPECT_EQ(lg.spans()[1].t1, 13.0);
+  EXPECT_EQ(lg.spans()[1].depth, 1);
+  EXPECT_EQ(lg.spans()[2].t0, 13.0);
+  EXPECT_EQ(lg.spans()[2].t1, 13.5);
+  ASSERT_EQ(lg.metrics().count("gpu.pages_migrated"), 1u);
+  EXPECT_EQ(lg.metrics().at("gpu.pages_migrated").value, 7);
+}
+
+TEST(Obs, PhaseSumGroupsPerStepAndFilters) {
+  obs::RankLog lg;
+  double clock = 0.0;
+  obs::BindGuard guard(&lg, &clock);
+  auto span = [&](obs::Cat cat, const char* name, std::int64_t step,
+                  double dur) {
+    const std::size_t idx = lg.open_span(cat, name, step, clock);
+    clock += dur;
+    lg.close_span(idx, clock);
+  };
+  // step 0: two calc spans; step 1: one. Ignored: wrong name, wrong cat,
+  // step -1 (warmup), and a nested span at depth 1.
+  span(obs::Cat::Calc, "calc", 0, 0.25);
+  span(obs::Cat::Calc, "calc", 0, 0.5);
+  span(obs::Cat::Calc, "other", 0, 100.0);
+  span(obs::Cat::Pack, "calc", 0, 100.0);
+  span(obs::Cat::Calc, "calc", -1, 100.0);
+  {
+    obs::ObsSpan outer(obs::Cat::Wait, "mpi_wait");
+    span(obs::Cat::Calc, "calc", 0, 100.0);  // depth 1 -> excluded
+  }
+  span(obs::Cat::Calc, "calc", 1, 1.0);
+  EXPECT_EQ(obs::phase_sum(lg, obs::Cat::Calc, "calc"), (0.25 + 0.5) + 1.0);
+  EXPECT_EQ(obs::phase_sum(lg, obs::Cat::Pack, "pack"), 0.0);
+}
+
+TEST(Obs, MetricKindsAccumulate) {
+  obs::RankLog lg;
+  lg.counter_add("c", 2);
+  lg.counter_add("c", 3);
+  lg.gauge_max("g", 5.0);
+  lg.gauge_max("g", 4.0);  // below the watermark
+  lg.hist_add("h", 1.0);
+  lg.hist_add("h", 3.0);
+  EXPECT_EQ(lg.metrics().at("c").value, 5);
+  EXPECT_EQ(lg.metrics().at("g").gauge, 5.0);
+  EXPECT_EQ(lg.metrics().at("h").hist.count(), 2);
+  EXPECT_EQ(lg.metrics().at("h").hist.avg(), 2.0);
+}
+
+TEST(Obs, MergedMetricsCombinePerKind) {
+  std::vector<obs::RankLog> logs(2);
+  logs[0].counter_add("c", 2);
+  logs[1].counter_add("c", 3);
+  logs[0].gauge_max("g", 1.0);
+  logs[1].gauge_max("g", 9.0);
+  logs[0].hist_add("h", 1.0);
+  logs[1].hist_add("h", 3.0);
+  logs[1].counter_add("only1", 7);  // present on one rank only
+  const auto m = obs::merged_metrics(logs);
+  EXPECT_EQ(m.at("c").value, 5);
+  EXPECT_EQ(m.at("g").gauge, 9.0);
+  EXPECT_EQ(m.at("h").hist.count(), 2);
+  EXPECT_EQ(m.at("h").hist.min(), 1.0);
+  EXPECT_EQ(m.at("h").hist.max(), 3.0);
+  EXPECT_EQ(m.at("only1").value, 7);
+}
+
+TEST(Obs, SessionScopeActivatesAndRestores) {
+  EXPECT_EQ(obs::Session::active(), nullptr);
+  obs::Session outer;
+  {
+    obs::Session::Scope so(outer);
+    EXPECT_EQ(obs::Session::active(), &outer);
+    obs::Session inner;
+    {
+      obs::Session::Scope si(inner);
+      EXPECT_EQ(obs::Session::active(), &inner);
+    }
+    EXPECT_EQ(obs::Session::active(), &outer);
+  }
+  EXPECT_EQ(obs::Session::active(), nullptr);
+
+  obs::Collector col(3);
+  col.log(1).counter_add("c", 1);
+  outer.absorb("lbl", std::move(col));
+  ASSERT_EQ(outer.runs().size(), 1u);
+  EXPECT_EQ(outer.runs()[0].label, "lbl");
+  EXPECT_EQ(outer.runs()[0].nranks, 3);
+  EXPECT_EQ(outer.runs()[0].logs.size(), 3u);
+}
+
+namespace {
+
+brickx::harness::Config small_config(brickx::harness::Method m) {
+  brickx::harness::Config cfg;
+  cfg.rank_dims = {2, 1, 1};
+  cfg.subdomain = brickx::Vec3::fill(16);
+  cfg.brick = 8;
+  cfg.ghost = 8;
+  cfg.method = m;
+  cfg.timesteps = 3;
+  cfg.warmup_exchanges = 1;
+  cfg.execute_kernels = false;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Obs, HarnessExportsAreByteDeterministic) {
+  auto once = [] {
+    obs::Session ses;
+    {
+      obs::Session::Scope scope(ses);
+      (void)brickx::harness::run(small_config(brickx::harness::Method::Yask));
+      (void)brickx::harness::run(
+          small_config(brickx::harness::Method::MemMap));
+    }
+    return std::pair<std::string, std::string>(obs::chrome_trace_json(ses),
+                                               obs::metrics_json(ses));
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_GT(a.first.size(), 100u);
+  EXPECT_EQ(a.first, b.first);    // trace JSON byte-identical
+  EXPECT_EQ(a.second, b.second);  // metrics JSON byte-identical
+}
+
+// The harness computes Result phase aggregates from spans (when obs is on);
+// reconstructing them from the session's logs must reproduce the Stats
+// bit-exactly — same samples, same order, no FP drift.
+TEST(Obs, SpanAggregatesMatchHarnessResultBitExactly) {
+  const brickx::harness::Config cfg =
+      small_config(brickx::harness::Method::Yask);
+  obs::Session ses;
+  brickx::harness::Result res;
+  {
+    obs::Session::Scope scope(ses);
+    res = brickx::harness::run(cfg);
+  }
+  ASSERT_EQ(ses.runs().size(), 1u);
+  const obs::Session::Run& run = ses.runs()[0];
+  ASSERT_EQ(run.nranks, 2);
+
+  const double steps = static_cast<double>(cfg.timesteps);
+  auto rebuilt = [&](obs::Cat cat, const char* name) {
+    Stats st;
+    for (const obs::RankLog& lg : run.logs)
+      st.add(obs::phase_sum(lg, cat, name) / steps);
+    return st;
+  };
+  const Stats calc = rebuilt(obs::Cat::Calc, "calc");
+  const Stats pack = rebuilt(obs::Cat::Pack, "pack");
+  const Stats call = rebuilt(obs::Cat::Call, "call");
+  const Stats wait = rebuilt(obs::Cat::Wait, "wait");
+  EXPECT_EQ(calc.avg(), res.calc.avg());
+  EXPECT_EQ(calc.min(), res.calc.min());
+  EXPECT_EQ(calc.max(), res.calc.max());
+  EXPECT_EQ(pack.avg(), res.pack.avg());
+  EXPECT_EQ(call.avg(), res.call.avg());
+  EXPECT_EQ(wait.avg(), res.wait.avg());
+  EXPECT_GT(pack.avg(), 0.0);  // YASK packs — the samples are non-trivial
+  EXPECT_GT(wait.avg(), 0.0);
+}
+
+TEST(Obs, ChromeTraceShapeAndFlows) {
+  obs::Session ses;
+  {
+    obs::Session::Scope scope(ses);
+    (void)brickx::harness::run(small_config(brickx::harness::Method::Layout));
+  }
+  const std::string j = obs::chrome_trace_json(ses);
+  EXPECT_EQ(j.rfind("{\"traceEvents\":[", 0), 0u);  // starts the event array
+  EXPECT_NE(j.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(j.find("\"cat\":\"calc\""), std::string::npos);
+  EXPECT_NE(j.find("\"cat\":\"wait\""), std::string::npos);
+  // Flow arrows come in start/finish pairs with matching ids.
+  std::size_t starts = 0, finishes = 0, pos = 0;
+  while ((pos = j.find("\"ph\":\"s\"", pos)) != std::string::npos)
+    ++starts, pos += 8;
+  pos = 0;
+  while ((pos = j.find("\"ph\":\"f\"", pos)) != std::string::npos)
+    ++finishes, pos += 8;
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, finishes);
+}
+
+TEST(Obs, MetricsExportFormats) {
+  obs::Session ses;
+  obs::Collector col(2);
+  {
+    double clock = 0.0;
+    obs::BindGuard guard(&col.log(0), &clock);
+    obs::counter_add("comm.msgs_sent", 4);
+    obs::gauge_max("comm.max_inflight_reqs", 3.0);
+    obs::hist_add("harness.calc_s", 0.5);
+  }
+  ses.absorb("unit", std::move(col));
+
+  const std::string j = obs::metrics_json(ses);
+  EXPECT_EQ(j.rfind("{\"version\":1,\"runs\":[", 0), 0u);
+  EXPECT_NE(j.find("\"label\":\"unit\""), std::string::npos);
+  EXPECT_NE(j.find("\"nranks\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"comm.msgs_sent\":{\"kind\":\"counter\",\"value\":4}"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(j.find("\"kind\":\"hist\""), std::string::npos);
+
+  const std::string c = obs::metrics_csv(ses);
+  EXPECT_EQ(c.rfind("run,label,metric,kind,value,count,min,avg,max,sigma", 0),
+            0u);
+  EXPECT_NE(c.find("0,unit,comm.msgs_sent,counter,4"), std::string::npos);
+}
+
+#endif  // BRICKX_OBS

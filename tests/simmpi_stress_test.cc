@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/obs.h"  // for the BRICKX_OBS default (Trace tests below)
 #include "simmpi/cart.h"
 #include "simmpi/comm.h"
 
@@ -208,6 +209,10 @@ TEST(Stress, ManySmallRuntimes) {
 }  // namespace
 }  // namespace brickx::mpi
 
+// The legacy enable_trace/trace view is backed by the obs flow log, so it
+// only exists in BRICKX_OBS builds; the null-sink build records nothing.
+#if BRICKX_OBS
+
 namespace brickx::mpi {
 namespace {
 
@@ -265,3 +270,5 @@ TEST(Trace, OffByDefaultAndClearable) {
 
 }  // namespace
 }  // namespace brickx::mpi
+
+#endif  // BRICKX_OBS
