@@ -99,6 +99,35 @@ inline void banner(const char* id, const char* paper_claim) {
   std::printf("=== %s ===\n%s\n\n", id, paper_claim);
 }
 
+/// Register the shared fabric selection flags. Call before ap.parse().
+inline void add_fabric_flags(ArgParser& ap) {
+  ap.add("--fabric",
+         "network model: flat (default, contention-free) | single-switch | "
+         "fat-tree | torus | dragonfly | machine (the Machine's native "
+         "topology)",
+         "flat");
+  ap.add("--mapping",
+         "process-to-node mapping for non-flat fabrics: block | "
+         "round-robin | greedy",
+         "block");
+}
+
+/// Apply --fabric/--mapping to a Config. "machine" resolves to the
+/// machine's native topology (theta -> dragonfly, summit -> fat-tree).
+inline void apply_fabric(const ArgParser& ap, harness::Config& cfg) {
+  const std::string f = ap.get("--fabric");
+  if (f == "machine") {
+    cfg.fabric = cfg.machine.fabric;
+  } else {
+    const auto kind = netsim::parse_fabric(f);
+    BX_CHECK(kind.has_value(), "unknown --fabric (see --help)");
+    cfg.fabric = *kind;
+  }
+  const auto mapping = netsim::parse_mapping(ap.get("--mapping"));
+  BX_CHECK(mapping.has_value(), "unknown --mapping (see --help)");
+  cfg.mapping = *mapping;
+}
+
 /// Register the shared observability flags. Call before ap.parse().
 inline void add_obs_flags(ArgParser& ap) {
   ap.add("--trace-out",

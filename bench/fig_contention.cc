@@ -1,0 +1,67 @@
+// Contention study: the same K1 exchange under the flat (private-link)
+// model and under a routed fabric whose links are time-shared between
+// concurrent messages. Message-hungry methods lose the most — their many
+// simultaneous flows pile onto the same node uplinks and oversubscribed
+// core links — so the paper's message-count reductions (Layout/MemMap)
+// are worth *more* on a congested fabric than the flat model credits.
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::Method;
+
+int main(int argc, char** argv) {
+  ArgParser ap("fig_contention", "flat vs contention-modeled exchange time");
+  ap.add("-s", "per-rank subdomain dimensions (comma-separated)", "64,32,16");
+  ap.add("--fabric",
+         "routed fabric to compare against flat: single-switch | fat-tree | "
+         "torus | dragonfly | machine",
+         "fat-tree");
+  ap.add("--mapping",
+         "process-to-node mapping for the routed fabric: block | "
+         "round-robin | greedy",
+         "block");
+  add_obs_flags(ap);
+  ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
+
+  banner("Contention study",
+         "Per-step communication time, flat vs routed-with-contention, on "
+         "the K1 2^3 grid. 'x' is routed/flat: how much the private-link "
+         "assumption under-charges each method once concurrent messages "
+         "share links.");
+
+  Table t({"size", "method", "flat_ms", "routed_ms", "x", "avg_hops",
+           "max_sharing", "hot_util"});
+  for (std::int64_t dim : ap.get_int_list("-s")) {
+    for (Method meth :
+         {Method::MpiTypes, Method::Basic, Method::Layout, Method::MemMap}) {
+      harness::Config cfg = k1_config(dim, meth);
+      const harness::Result flat = run(cfg);
+      apply_fabric(ap, cfg);
+      BX_CHECK(cfg.fabric != netsim::FabricKind::Flat,
+               "pick a routed fabric to compare against flat");
+      const harness::Result routed = run(cfg);
+      t.row()
+          .cell(dim)
+          .cell(harness::method_name(meth))
+          .cell(flat.comm_per_step * 1e3, 4)
+          .cell(routed.comm_per_step * 1e3, 4)
+          .cell(routed.comm_per_step / flat.comm_per_step, 2)
+          .cell(routed.avg_hops, 2)
+          .cell(routed.max_link_sharing, 2)
+          .cell(routed.busiest_link_util, 2);
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nShape checks: routed >= flat for every row (contention only adds "
+      "time), and the gap grows with the bytes concurrently in flight — "
+      "large subdomains see multi-x slowdowns as flows share uplinks and "
+      "the oversubscribed core, while small ones stay near 1x. MPI_Types "
+      "sits at 1.00x throughout: its datatype overhead serializes sends "
+      "so thoroughly the fabric never sees concurrent flows — packing "
+      "cost hides congestion the pack-free methods expose.\n");
+  return 0;
+}

@@ -15,6 +15,7 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("table1_messages", "Table 1: messages vs dimensionality");
   ap.add("-s", "subdomain dim for the measured-counters table", "32");
+  add_fabric_flags(ap);
   add_obs_flags(ap);
   ap.parse(argc, argv);
   ObsGuard obs_guard(ap);
@@ -62,19 +63,31 @@ int main(int argc, char** argv) {
   std::printf("\nmeasured per-rank counters (rank 0, %lld^3 subdomain, "
               "warmup + 1 measured exchange):\n\n",
               static_cast<long long>(dim));
-  Table m({"method", "msgs_sent", "msgs_recv", "bytes_sent", "bytes_recv",
-           "max_inflight"});
+  // Hop/queue columns appear only under a routed (--fabric != flat)
+  // fabric, so the default output stays byte-identical to older builds.
+  const bool routed = ap.get("--fabric") != "flat";
+  std::vector<std::string> headers = {"method",     "msgs_sent",
+                                      "msgs_recv",  "bytes_sent",
+                                      "bytes_recv", "max_inflight"};
+  if (routed) {
+    headers.push_back("avg_hops");
+    headers.push_back("queue_us/msg");
+  }
+  Table m(headers);
   const std::int64_t batches = 2;  // k1_config: warmup + one measured batch
   for (Method meth : {Method::Yask, Method::MpiTypes, Method::Basic,
                       Method::Layout, Method::MemMap}) {
-    const harness::Result r = run(k1_config(dim, meth));
-    m.row()
-        .cell(harness::method_name(meth))
-        .cell(r.msgs_per_rank * batches)
-        .cell(r.msgs_recv_per_rank)
-        .cell(r.wire_bytes_per_rank * batches)
-        .cell(r.bytes_recv_per_rank)
-        .cell(r.max_inflight_reqs);
+    harness::Config cfg = k1_config(dim, meth);
+    apply_fabric(ap, cfg);
+    const harness::Result r = run(cfg);
+    auto& row = m.row()
+                    .cell(harness::method_name(meth))
+                    .cell(r.msgs_per_rank * batches)
+                    .cell(r.msgs_recv_per_rank)
+                    .cell(r.wire_bytes_per_rank * batches)
+                    .cell(r.bytes_recv_per_rank)
+                    .cell(r.max_inflight_reqs);
+    if (routed) row.cell(r.avg_hops, 2).cell(r.queue_s_per_msg * 1e6, 3);
   }
   m.print(std::cout);
   std::printf(

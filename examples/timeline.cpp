@@ -1,9 +1,11 @@
 // timeline: run one small experiment per method and render each rank's
 // measured timesteps as an ASCII phase timeline from the obs span trace —
-// calc/pack/call/wait bars per rank with message-arrival markers overlaid.
-// Makes the structure the paper reasons about (packing time, NIC
-// serialization, wait chains) directly visible in a terminal, and exports
-// the same data as a Perfetto-loadable Chrome trace via --trace-out.
+// calc/pack/call/wait bars per rank with send-queueing and message-arrival
+// markers overlaid. Makes the structure the paper reasons about (packing
+// time, NIC serialization, wait chains) directly visible in a terminal,
+// and exports the same data as a Perfetto-loadable Chrome trace via
+// --trace-out. Pass --fabric/--mapping to time the runs on a routed
+// contention fabric instead of the flat model.
 
 #include <algorithm>
 #include <cstdio>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "common/argparse.h"
+#include "common/error.h"
 #include "harness/experiment.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -78,6 +81,16 @@ void render_run(const obs::Session::Run& run) {
       for (int c = a; c <= b; ++c) line[static_cast<std::size_t>(c)] =
           phase_glyph(s.cat);
     }
+    // Outgoing-send queueing on this rank: the stretch between posting a
+    // message and the NIC finishing its injection (departure − post) —
+    // the serialization the phase bars hide inside call/wait.
+    for (const obs::FlowEvent& f : lg.flows()) {
+      if (f.depart <= f.post || f.depart < t0 || f.post > t1) continue;
+      const int a = col(std::max(f.post, t0));
+      const int b = col(std::min(f.depart, t1));
+      for (int c = a; c <= b; ++c)
+        line[static_cast<std::size_t>(c)] = '~';
+    }
     // Message arrivals at this rank (sender-recorded flows, receiver dst).
     for (const obs::RankLog& src : run.logs) {
       for (const obs::FlowEvent& f : src.flows()) {
@@ -88,6 +101,20 @@ void render_run(const obs::Session::Run& run) {
     std::printf("  rank %d |%s|\n", r, line.c_str());
   }
   std::printf("  window %.2f..%.2f us\n", t0 * 1e6, t1 * 1e6);
+
+  // Queueing-delay summary over every recorded flow (warmup included).
+  double queue_s = 0.0;
+  long long nflows = 0;
+  for (const obs::RankLog& lg : run.logs) {
+    for (const obs::FlowEvent& f : lg.flows()) {
+      queue_s += f.depart - f.post;
+      ++nflows;
+    }
+  }
+  if (nflows > 0)
+    std::printf("  send queueing: %.2f us total, %.3f us/msg over %lld msgs\n",
+                queue_s * 1e6, queue_s * 1e6 / static_cast<double>(nflows),
+                nflows);
 
   const auto metrics = obs::merged_metrics(run.logs);
   auto counter = [&](const char* name) -> long long {
@@ -109,16 +136,35 @@ void render_run(const obs::Session::Run& run) {
 int main(int argc, char** argv) {
   ArgParser ap("timeline", "per-rank phase timeline of one run per method");
   ap.add("-d", "per-rank subdomain dimension", "32");
+  ap.add("--fabric",
+         "network model: flat | single-switch | fat-tree | torus | "
+         "dragonfly | machine",
+         "flat");
+  ap.add("--mapping",
+         "rank-to-node mapping for non-flat fabrics: block | round-robin | "
+         "greedy",
+         "block");
   ap.add("--trace-out", "write a Chrome trace-event JSON (Perfetto)", "");
   ap.add("--metrics-out", "write merged metrics (.csv or JSON)", "");
   ap.parse(argc, argv);
   const std::int64_t dim = ap.get_int("-d");
 
+  netsim::FabricKind fabric = netsim::FabricKind::Flat;
+  if (ap.get("--fabric") == "machine") {
+    fabric = model::theta().fabric;
+  } else {
+    const auto fk = netsim::parse_fabric(ap.get("--fabric"));
+    BX_CHECK(fk.has_value(), "unknown --fabric (see --help)");
+    fabric = *fk;
+  }
+  const auto mk = netsim::parse_mapping(ap.get("--mapping"));
+  BX_CHECK(mk.has_value(), "unknown --mapping (see --help)");
+
   std::printf("timeline: 8 ranks, %lld^3 cells each, one measured exchange "
-              "batch (theta model)\n",
-              static_cast<long long>(dim));
+              "batch (theta model, %s fabric)\n",
+              static_cast<long long>(dim), netsim::fabric_name(fabric));
   std::printf("legend: # calc   = pack   > call(post)   . wait   "
-              "v message arrival\n");
+              "~ send queued   v message arrival\n");
 
   obs::Session session;
   {
@@ -136,6 +182,8 @@ int main(int argc, char** argv) {
       cfg.timesteps = 8;
       cfg.warmup_exchanges = 1;
       cfg.execute_kernels = false;
+      cfg.fabric = fabric;
+      cfg.mapping = *mk;
       (void)harness::run(cfg);
     }
   }

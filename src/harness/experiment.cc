@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <string>
@@ -90,6 +91,32 @@ void compute_bricks(const Config& cfg, const BrickDecomp<3>& dec,
 
 }  // namespace
 
+std::vector<netsim::CommEdge> exchange_comm_graph(const Config& cfg) {
+  const int nranks = static_cast<int>(cfg.rank_dims.prod());
+  std::vector<netsim::CommEdge> edges;
+  edges.reserve(static_cast<std::size_t>(nranks) * 26);
+  for (int r = 0; r < nranks; ++r) {
+    const Vec3 c = delinearize(r, cfg.rank_dims);
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const Vec3 d{dx, dy, dz};
+          Vec3 nc = c + d;
+          for (int i = 0; i < 3; ++i)
+            nc[i] = ((nc[i] % cfg.rank_dims[i]) + cfg.rank_dims[i]) %
+                    cfg.rank_dims[i];
+          const int n = static_cast<int>(linearize(nc, cfg.rank_dims));
+          if (n == r) continue;  // periodic self-neighbor on a size-1 axis
+          double w = 8.0;  // doubles on the wire
+          for (int i = 0; i < 3; ++i)
+            w *= static_cast<double>(d[i] == 0 ? cfg.subdomain[i] : cfg.ghost);
+          edges.push_back(netsim::CommEdge{r, n, w});
+        }
+  }
+  return edges;
+}
+
 const char* method_name(Method m) {
   switch (m) {
     case Method::Yask:
@@ -134,7 +161,26 @@ Result run(const Config& cfg) {
                 cfg.method != Method::Network && !cfg.memmap_floor_proxy),
            "overlap is supported for the Basic/Layout/MemMap brick methods");
 
+  // The node model must be coherent with the world size before any fabric
+  // (flat or routed) derives node assignments from it.
+  const int rpn = cfg.machine.net.ranks_per_node;
+  BX_CHECK(rpn >= 1, "machine.net.ranks_per_node must be positive");
+  if (nranks % rpn != 0)
+    std::fprintf(stderr,
+                 "harness: warning: world size %d is not a multiple of "
+                 "ranks_per_node %d; the last node runs underfilled\n",
+                 nranks, rpn);
+
   mpi::Runtime rt(nranks, cfg.machine.net);
+  if (cfg.fabric != netsim::FabricKind::Flat) {
+    // Split the flat inter-node alpha across the two hops every fabric
+    // route has at minimum, so an uncongested single-switch path costs
+    // exactly what the flat model charges.
+    const mpi::LinkParams inter = cfg.machine.net.inter_node;
+    rt.set_fabric(netsim::make_fabric(cfg.fabric, cfg.mapping, nranks, rpn,
+                                      inter.bw, inter.alpha / 2.0, inter.alpha,
+                                      exchange_comm_graph(cfg)));
+  }
   // Span/metric sink for this experiment; every rank thread binds to its
   // RankLog inside rt.run. A no-op null sink when BRICKX_OBS is off.
   obs::Collector col(nranks);
@@ -615,6 +661,28 @@ Result run(const Config& cfg) {
     res.max_inflight_reqs =
         std::max(res.max_inflight_reqs, rt.final_counters(rk).max_inflight_reqs);
   res.validated = validate && all_valid;
+
+  if (cfg.fabric != netsim::FabricKind::Flat) {
+    // Fabric-level observability: only for routed fabrics, so the default
+    // flat configuration's outputs (results, metrics, traces) stay
+    // byte-identical to pre-netsim builds.
+    const netsim::FabricStats fs = rt.fabric().stats();
+    if (fs.fabric_messages > 0)
+      res.avg_hops = static_cast<double>(fs.hop_sum) /
+                     static_cast<double>(fs.fabric_messages);
+    if (fs.messages > 0)
+      res.queue_s_per_msg =
+          fs.queue_seconds / static_cast<double>(fs.messages);
+    res.max_link_sharing = fs.max_link_sharing;
+    res.busiest_link_util = fs.busiest_link_util;
+    obs::RankLog& lg = col.log(0);
+    lg.counter_add("net.fabric_msgs", fs.fabric_messages);
+    lg.counter_add("net.hop_sum", fs.hop_sum);
+    lg.counter_add("net.links", fs.links);
+    lg.gauge_max("net.max_link_sharing", fs.max_link_sharing);
+    lg.gauge_max("net.busiest_link_util", fs.busiest_link_util);
+    lg.hist_add("net.queue_s_per_msg", res.queue_s_per_msg);
+  }
 
   // Hand the experiment's trace to the active bench session (if any) under
   // a "Method/gpu" label.

@@ -6,6 +6,8 @@
 #include "common/stats.h"
 #include "common/vec.h"
 #include "model/machine.h"
+#include "netsim/fabric.h"
+#include "netsim/mapping.h"
 
 namespace brickx::harness {
 
@@ -66,6 +68,15 @@ struct Config {
   /// dependent shell is computed after. The prior-work optimization the
   /// paper contrasts with (its YASK-OL line); exact, not an approximation.
   bool overlap = false;
+  /// Network fabric for message timing. Flat (the default) is the original
+  /// per-sender serialization model and keeps every result bit-identical to
+  /// pre-netsim builds; any other kind routes inter-node messages over a
+  /// topology with link contention (src/netsim).
+  netsim::FabricKind fabric = netsim::FabricKind::Flat;
+  /// Process-to-node mapping, used by non-flat fabrics. Block matches the
+  /// flat model's node assignment; Greedy minimizes inter-node traffic over
+  /// the cartesian exchange graph.
+  netsim::MapKind mapping = netsim::MapKind::Block;
 };
 
 /// Per-timestep phase decomposition, exactly the artifact's five metrics:
@@ -88,7 +99,19 @@ struct Result {
   /// Deepest any rank kept the NIC pipeline (pending isend/irecv Requests).
   std::int64_t max_inflight_reqs = 0;
   bool validated = false;       ///< set when cfg.validate passed
+  /// Fabric-level observability, filled for non-flat fabrics (all zero
+  /// under the default flat model).
+  double avg_hops = 0;          ///< mean links traversed per fabric message
+  double queue_s_per_msg = 0;   ///< mean NIC queueing delay per message
+  double max_link_sharing = 0;  ///< peak mean flows sharing one link
+  double busiest_link_util = 0; ///< hottest link's busy fraction of the run
 };
+
+/// The 26-direction periodic cartesian exchange graph of `cfg`: one edge
+/// per (rank, direction) with weight = ghost-surface bytes sent that way
+/// per exchange. What the Greedy mapping minimizes the cut of; benches use
+/// it with netsim::cut_bytes to report inter-node volume per mapping.
+std::vector<netsim::CommEdge> exchange_comm_graph(const Config& cfg);
 
 /// Run one experiment: spawns cfg.rank_dims.prod() ranks on a fresh
 /// simmpi Runtime, executes warmup + measured timesteps of

@@ -32,6 +32,7 @@ Machine theta() {
   m.net.dt_block_overhead = 4e-6;
   m.net.dt_copy_bw = 2.0e9;
   m.net.barrier_alpha = 2.0e-6;
+  m.fabric = netsim::FabricKind::Dragonfly;  // Aries
   return m;
 }
 
@@ -65,6 +66,7 @@ Machine summit() {
   m.net.device_bw_factor = 1.0;
   m.net.um_alpha_extra = 5e-6;
   m.net.um_bw_factor = 0.85;
+  m.fabric = netsim::FabricKind::FatTree;  // EDR InfiniBand
 
   m.is_gpu = true;
   m.gpu.hbm_bw = 828.8e9;   // paper Section 2

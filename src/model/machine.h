@@ -4,6 +4,7 @@
 #include <string>
 
 #include "gpusim/device.h"
+#include "netsim/fabric.h"
 #include "simmpi/netmodel.h"
 
 namespace brickx::model {
@@ -35,6 +36,10 @@ struct Machine {
 
   // --- network -------------------------------------------------------------
   mpi::NetModel net;
+  /// The machine's native interconnect topology, used when an experiment
+  /// asks for topology-aware (contention-modeled) timing. The default flat
+  /// model ignores this; benches select it via --fabric=machine.
+  netsim::FabricKind fabric = netsim::FabricKind::SingleSwitch;
 
   // --- accelerator (V1/V2 experiments) --------------------------------------
   bool is_gpu = false;

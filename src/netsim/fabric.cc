@@ -1,0 +1,267 @@
+#include "netsim/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace brickx::netsim {
+
+const char* fabric_name(FabricKind k) {
+  switch (k) {
+    case FabricKind::Flat:
+      return "flat";
+    case FabricKind::SingleSwitch:
+      return "single-switch";
+    case FabricKind::FatTree:
+      return "fat-tree";
+    case FabricKind::Torus3d:
+      return "torus";
+    case FabricKind::Dragonfly:
+      return "dragonfly";
+  }
+  return "?";
+}
+
+std::optional<FabricKind> parse_fabric(std::string_view s) {
+  if (s == "flat") return FabricKind::Flat;
+  if (s == "single-switch" || s == "switch") return FabricKind::SingleSwitch;
+  if (s == "fat-tree" || s == "fattree") return FabricKind::FatTree;
+  if (s == "torus" || s == "torus3d") return FabricKind::Torus3d;
+  if (s == "dragonfly") return FabricKind::Dragonfly;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// FlatFabric
+// ---------------------------------------------------------------------------
+
+FlatFabric::FlatFabric(int nranks, int ranks_per_node)
+    : ranks_per_node_(ranks_per_node),
+      ranks_(static_cast<std::size_t>(nranks)) {
+  BX_CHECK(nranks >= 1, "FlatFabric needs at least one rank");
+  BX_CHECK(ranks_per_node >= 1, "FlatFabric: ranks_per_node must be positive");
+}
+
+SendTiming FlatFabric::send(int src, int /*dst*/, std::size_t bytes,
+                            double alpha, double bw, double t_ready) {
+  // The pre-fabric Comm arithmetic, verbatim: departure = max(clock,
+  // nic_free); nic_free = departure + bytes/bw; arrival = nic_free + alpha.
+  RankState& rs = ranks_[static_cast<std::size_t>(src)];
+  const double dep = std::max(t_ready, rs.nic_free);
+  rs.nic_free = dep + static_cast<double>(bytes) / bw;
+  rs.messages += 1;
+  rs.queue_seconds += dep - t_ready;
+  return SendTiming{dep, rs.nic_free, rs.nic_free + alpha, 0};
+}
+
+void FlatFabric::reset() {
+  for (RankState& rs : ranks_) rs = RankState{};
+}
+
+FabricStats FlatFabric::stats() const {
+  FabricStats s;
+  for (const RankState& rs : ranks_) {
+    s.messages += rs.messages;
+    s.queue_seconds += rs.queue_seconds;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ContentionFabric
+// ---------------------------------------------------------------------------
+
+ContentionFabric::ContentionFabric(FabricKind kind, Topology topo,
+                                   std::vector<int> rank_node,
+                                   double base_alpha)
+    : kind_(kind),
+      topo_(std::move(topo)),
+      rank_node_(std::move(rank_node)),
+      base_alpha_(base_alpha),
+      ranks_(rank_node_.size()) {
+  BX_CHECK(kind_ != FabricKind::Flat,
+           "ContentionFabric cannot impersonate the flat fabric");
+  BX_CHECK(!rank_node_.empty(), "ContentionFabric needs at least one rank");
+  for (int n : rank_node_)
+    BX_CHECK(n >= 0 && n < topo_.nodes(),
+             "rank mapped to a node outside the topology");
+  link_bw_.reserve(topo_.links().size());
+  for (const Link& l : topo_.links()) link_bw_.push_back(l.bw);
+  sharing_.assign(link_bw_.size(), 1.0);
+  link_use_.assign(link_bw_.size(), LinkUse{});
+}
+
+SendTiming ContentionFabric::send(int src, int dst, std::size_t bytes,
+                                  double alpha, double bw, double t_ready) {
+  RankState& rs = ranks_[static_cast<std::size_t>(src)];
+  rs.messages += 1;
+  if (local(src, dst)) {
+    // Same node: the shmem path never touches the fabric; alpha-beta with
+    // sender NIC serialization, exactly like the flat model.
+    const double dep = std::max(t_ready, rs.nic_free);
+    rs.nic_free = dep + static_cast<double>(bytes) / bw;
+    rs.queue_seconds += dep - t_ready;
+    return SendTiming{dep, rs.nic_free, rs.nic_free + alpha, 0};
+  }
+  const std::vector<int>& route =
+      topo_.route(rank_node_[static_cast<std::size_t>(src)],
+                  rank_node_[static_cast<std::size_t>(dst)]);
+  // Effective injection rate: the endpoint rate capped by the most
+  // contended link of the route under the current (previous-round) sharing
+  // factors. Everything read here is either rank-local or frozen until the
+  // next epoch, so timing is independent of thread interleaving.
+  double eff = bw;
+  for (int L : route) {
+    const auto l = static_cast<std::size_t>(L);
+    eff = std::min(eff, link_bw_[l] / sharing_[l]);
+  }
+  const double start = std::max(t_ready, rs.nic_free);
+  const double end = start + static_cast<double>(bytes) / eff;
+  rs.nic_free = end;
+  // The routed path supplies the base latency; whatever the caller's alpha
+  // carries beyond the flat inter-node constant (GPUDirect registration,
+  // UM faulting) still applies at the endpoints.
+  const double extra = std::max(0.0, alpha - base_alpha_);
+  const double arrive = end + topo_.path_latency(route) + extra;
+  rs.queue_seconds += start - t_ready;
+  rs.fabric_messages += 1;
+  rs.hop_sum += static_cast<std::int64_t>(route.size());
+  Flow f;
+  f.start = start;
+  f.bytes = static_cast<double>(bytes);
+  f.route = route;
+  f.src = src;
+  f.seq = rs.seq++;
+  {
+    std::lock_guard lk(mu_);
+    round_flows_.push_back(std::move(f));
+    if (!span_set_ || start < span_min_) span_min_ = start;
+    if (!span_set_ || end > span_max_) span_max_ = end;
+    span_set_ = true;
+  }
+  return SendTiming{start, end, arrive, static_cast<int>(route.size())};
+}
+
+void ContentionFabric::epoch() {
+  // Called with every rank parked inside a collective: no send() races.
+  if (round_flows_.empty()) return;  // keep the current factors
+  std::vector<LinkUse> use(link_bw_.size());
+  (void)solve_fair_share(round_flows_, link_bw_, &use);
+  for (std::size_t L = 0; L < use.size(); ++L) {
+    link_use_[L].merge(use[L]);
+    const double mean = use[L].mean_sharing();
+    sharing_[L] = std::max(1.0, mean);
+  }
+  round_flows_.clear();
+}
+
+void ContentionFabric::reset() {
+  for (RankState& rs : ranks_) rs = RankState{};
+  round_flows_.clear();
+  sharing_.assign(link_bw_.size(), 1.0);
+  link_use_.assign(link_bw_.size(), LinkUse{});
+  span_set_ = false;
+  span_min_ = span_max_ = 0.0;
+}
+
+FabricStats ContentionFabric::stats() const {
+  FabricStats s;
+  for (const RankState& rs : ranks_) {
+    s.messages += rs.messages;
+    s.fabric_messages += rs.fabric_messages;
+    s.hop_sum += rs.hop_sum;
+    s.queue_seconds += rs.queue_seconds;
+  }
+  s.links = static_cast<int>(link_bw_.size());
+  const double span = span_set_ ? span_max_ - span_min_ : 0.0;
+  s.link_sharing.reserve(link_use_.size());
+  s.link_util.reserve(link_use_.size());
+  std::size_t busiest = 0;
+  for (std::size_t L = 0; L < link_use_.size(); ++L) {
+    const LinkUse& u = link_use_[L];
+    s.link_sharing.push_back(u.mean_sharing());
+    s.link_util.push_back(span > 0.0 ? u.busy_time / span : 0.0);
+    s.max_link_sharing = std::max(s.max_link_sharing, u.mean_sharing());
+    if (u.bytes > link_use_[busiest].bytes) busiest = L;
+  }
+  if (!link_use_.empty()) {
+    s.busiest_link_bytes = link_use_[busiest].bytes;
+    s.busiest_link_util = span > 0.0 ? link_use_[busiest].busy_time / span : 0.0;
+  }
+  return s;
+}
+
+std::string ContentionFabric::describe() const { return topo_.describe(); }
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Fabric> make_flat_fabric(int nranks, int ranks_per_node) {
+  return std::make_unique<FlatFabric>(nranks, ranks_per_node);
+}
+
+namespace {
+
+/// Near-cubic dims with x*y*z >= nodes (for the torus builder).
+void torus_dims(int nodes, int d[3]) {
+  d[0] = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(nodes))));
+  if (d[0] < 1) d[0] = 1;
+  d[1] = static_cast<int>(std::ceil(
+      std::sqrt(static_cast<double>(nodes) / static_cast<double>(d[0]))));
+  if (d[1] < 1) d[1] = 1;
+  d[2] = (nodes + d[0] * d[1] - 1) / (d[0] * d[1]);
+  if (d[2] < 1) d[2] = 1;
+}
+
+}  // namespace
+
+std::unique_ptr<Fabric> make_fabric(FabricKind kind, MapKind mapping,
+                                    int nranks, int ranks_per_node,
+                                    double link_bw, double hop_latency,
+                                    double base_alpha,
+                                    const std::vector<CommEdge>& comm_graph) {
+  BX_CHECK(kind != FabricKind::Flat,
+           "make_fabric builds contention fabrics; the flat model needs no "
+           "topology");
+  BX_CHECK(nranks >= 1 && ranks_per_node >= 1,
+           "make_fabric: bad rank geometry");
+  const int nodes = (nranks + ranks_per_node - 1) / ranks_per_node;
+  Topology topo = Topology::single_switch(1, link_bw, hop_latency);
+  switch (kind) {
+    case FabricKind::SingleSwitch:
+      topo = Topology::single_switch(nodes, link_bw, hop_latency);
+      break;
+    case FabricKind::FatTree: {
+      // 2 hosts per leaf, 2:1 oversubscribed core — inter-leaf routes and
+      // shared spine links exist even at bench-scale node counts.
+      const int per_leaf = 2;
+      const int leaves = (nodes + per_leaf - 1) / per_leaf;
+      const int spines = std::max(1, leaves / 2);
+      topo = Topology::fat_tree(nodes, per_leaf, spines, link_bw, hop_latency);
+      break;
+    }
+    case FabricKind::Torus3d: {
+      int d[3];
+      torus_dims(nodes, d);
+      topo = Topology::torus3d(d[0], d[1], d[2], link_bw, hop_latency);
+      break;
+    }
+    case FabricKind::Dragonfly: {
+      // 2 hosts per router, 2 routers per group (Aries-like miniature).
+      const int per_group = 4;
+      const int groups = std::max(2, (nodes + per_group - 1) / per_group);
+      topo = Topology::dragonfly(groups, 2, 2, link_bw, hop_latency);
+      break;
+    }
+    case FabricKind::Flat:
+      break;  // unreachable (checked above)
+  }
+  std::vector<int> map = make_map(mapping, nranks, ranks_per_node, comm_graph);
+  return std::make_unique<ContentionFabric>(kind, std::move(topo),
+                                            std::move(map), base_alpha);
+}
+
+}  // namespace brickx::netsim

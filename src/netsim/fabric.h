@@ -1,0 +1,194 @@
+#pragma once
+
+// The Fabric is the narrow seam between simmpi's virtual-clock runtime and
+// the network model: Comm hands it (src, dst, bytes, effective alpha/beta,
+// ready time) and gets back when the message left the sender NIC and when
+// it becomes visible at the receiver. Two implementations:
+//
+//  * FlatFabric — the legacy model: every message gets a private link and
+//    serializes only on its sender's NIC. Bit-identical to the arithmetic
+//    simmpi::Comm used before the fabric existed (departure = max(ready,
+//    nic_free); nic_free = departure + bytes/bw; arrival = nic_free +
+//    alpha). The default on every Runtime.
+//
+//  * ContentionFabric — routes inter-node messages over a Topology under a
+//    pluggable process-to-node mapping, and time-shares link bandwidth
+//    between concurrent messages. Contention factors are solved with the
+//    exact piecewise max-min fair-share engine (fairshare.h) once per
+//    *round* — the stretch of traffic between two collectives, a globally
+//    quiescent point where Runtime calls epoch() — and applied to the next
+//    round's flows. The one-round lag is what keeps timing bit-
+//    deterministic while rank threads free-run: within a round a sender
+//    needs only its own clock, its own NIC horizon and the (frozen) factor
+//    table, never the racing state of other ranks. In the harness's
+//    bulk-synchronous loop the warmup exchange populates the factors and
+//    the measured rounds repeat the same traffic pattern, so the lagged
+//    factors describe exactly the congestion the measured flows see.
+//
+// Threading contract: send() is called concurrently from rank threads
+// (each rank only for src == its own rank); epoch() and reset() are called
+// at globally quiescent points; stats() after run() returns.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netsim/fairshare.h"
+#include "netsim/mapping.h"
+#include "netsim/topology.h"
+
+namespace brickx::netsim {
+
+enum class FabricKind : std::uint8_t {
+  Flat,          ///< legacy private-link alpha-beta model
+  SingleSwitch,  ///< one crossbar; contention on node up/down links
+  FatTree,       ///< two-tier, oversubscribed core
+  Torus3d,       ///< 3D torus, dimension-ordered routing
+  Dragonfly,     ///< groups + global links (Aries-class)
+};
+
+const char* fabric_name(FabricKind k);
+/// Parse "flat" / "single-switch" / "fat-tree" / "torus" / "dragonfly".
+std::optional<FabricKind> parse_fabric(std::string_view s);
+
+/// What the runtime needs to time one message.
+struct SendTiming {
+  double inject_start = 0.0;  ///< first byte enters the sender NIC
+  double inject_end = 0.0;    ///< sender-side completion ("send done")
+  double arrival = 0.0;       ///< receiver-visible arrival of the last byte
+  int hops = 0;               ///< fabric links traversed (0 = same node)
+};
+
+/// Aggregate fabric observability, read once per run.
+struct FabricStats {
+  std::int64_t messages = 0;         ///< everything that went through send()
+  std::int64_t fabric_messages = 0;  ///< subset that crossed the fabric
+  std::int64_t hop_sum = 0;          ///< Σ hops over fabric messages
+  double queue_seconds = 0.0;        ///< Σ (inject_start − ready)
+  int links = 0;                     ///< topology link count (0 for flat)
+  double max_link_sharing = 0.0;     ///< peak mean flows sharing one link
+  double busiest_link_bytes = 0.0;   ///< bytes on the hottest link
+  double busiest_link_util = 0.0;    ///< its busy time / traffic span
+  /// Per-link mean sharing and utilization (empty for flat).
+  std::vector<double> link_sharing;
+  std::vector<double> link_util;
+};
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+  [[nodiscard]] virtual FabricKind kind() const = 0;
+  /// Do ranks src and dst share a node under this fabric's mapping?
+  [[nodiscard]] virtual bool local(int src, int dst) const = 0;
+  /// Time one message. `alpha`/`bw` are the effective endpoint link
+  /// parameters the caller's cost model picked (memory-space adjustments
+  /// included); `t_ready` is the sender's clock when the message is posted.
+  virtual SendTiming send(int src, int dst, std::size_t bytes, double alpha,
+                          double bw, double t_ready) = 0;
+  /// Globally quiescent point (every rank is inside a collective): close
+  /// the current contention round.
+  virtual void epoch() {}
+  /// Start of a run(): clear NIC horizons and per-round state.
+  virtual void reset() = 0;
+  [[nodiscard]] virtual FabricStats stats() const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// The legacy model; every Runtime starts with one.
+class FlatFabric final : public Fabric {
+ public:
+  FlatFabric(int nranks, int ranks_per_node);
+
+  [[nodiscard]] FabricKind kind() const override { return FabricKind::Flat; }
+  [[nodiscard]] bool local(int src, int dst) const override {
+    return src / ranks_per_node_ == dst / ranks_per_node_;
+  }
+  SendTiming send(int src, int dst, std::size_t bytes, double alpha,
+                  double bw, double t_ready) override;
+  void reset() override;
+  [[nodiscard]] FabricStats stats() const override;
+  [[nodiscard]] std::string describe() const override { return "flat"; }
+
+ private:
+  struct RankState {
+    double nic_free = 0.0;
+    std::int64_t messages = 0;
+    double queue_seconds = 0.0;
+  };
+  int ranks_per_node_;
+  std::vector<RankState> ranks_;  ///< slot r touched only by rank r's thread
+};
+
+/// Topology-routed, contention-modeled fabric (see file comment).
+class ContentionFabric final : public Fabric {
+ public:
+  /// `rank_node[r]` = node of rank r (nodes index into `topo`);
+  /// `base_alpha` is the flat model's inter-node latency the endpoint
+  /// `alpha` argument is measured against (its memory-space surcharge is
+  /// kept on top of the routed path latency).
+  ContentionFabric(FabricKind kind, Topology topo, std::vector<int> rank_node,
+                   double base_alpha);
+
+  [[nodiscard]] FabricKind kind() const override { return kind_; }
+  [[nodiscard]] bool local(int src, int dst) const override {
+    return rank_node_[static_cast<std::size_t>(src)] ==
+           rank_node_[static_cast<std::size_t>(dst)];
+  }
+  SendTiming send(int src, int dst, std::size_t bytes, double alpha,
+                  double bw, double t_ready) override;
+  void epoch() override;
+  void reset() override;
+  [[nodiscard]] FabricStats stats() const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const std::vector<int>& rank_node() const { return rank_node_; }
+  /// Current per-link sharing factors (>= 1), frozen between epochs.
+  [[nodiscard]] const std::vector<double>& sharing() const { return sharing_; }
+
+ private:
+  struct RankState {
+    double nic_free = 0.0;
+    std::int64_t messages = 0;
+    std::int64_t fabric_messages = 0;
+    std::int64_t hop_sum = 0;
+    double queue_seconds = 0.0;
+    std::int64_t seq = 0;  ///< per-src flow sequence for canonical ordering
+  };
+
+  FabricKind kind_;
+  Topology topo_;
+  std::vector<int> rank_node_;
+  double base_alpha_;
+  std::vector<double> link_bw_;
+
+  std::vector<RankState> ranks_;  ///< slot r touched only by rank r's thread
+
+  // Round state (mutated under mu_; epoch()/reset() run quiescent).
+  std::mutex mu_;
+  std::vector<Flow> round_flows_;
+  std::vector<double> sharing_;     ///< factor applied to the current round
+  std::vector<LinkUse> link_use_;   ///< cumulative, across solved rounds
+  double span_min_ = 0.0, span_max_ = 0.0;
+  bool span_set_ = false;
+};
+
+/// Build a contention fabric sized for `nranks` over ceil(nranks /
+/// ranks_per_node) nodes, with auto-chosen topology shape, the given
+/// per-link rate constants, and the mapping strategy applied to
+/// `comm_graph` (only Greedy reads it). `kind` must not be Flat — use
+/// make_flat_fabric / the Runtime default for that.
+std::unique_ptr<Fabric> make_fabric(FabricKind kind, MapKind mapping,
+                                    int nranks, int ranks_per_node,
+                                    double link_bw, double hop_latency,
+                                    double base_alpha,
+                                    const std::vector<CommEdge>& comm_graph);
+
+std::unique_ptr<Fabric> make_flat_fabric(int nranks, int ranks_per_node);
+
+}  // namespace brickx::netsim

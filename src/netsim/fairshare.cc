@@ -1,0 +1,170 @@
+#include "netsim/fairshare.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace brickx::netsim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Max-min fair rates for the active flows (progressive filling). `rate`
+/// is written per active index; `on_link[L]` lists active indices crossing
+/// link L (only links with traffic are visited).
+void fill_rates(const std::vector<Flow>& flows,
+                const std::vector<std::size_t>& order,
+                const std::vector<char>& active,
+                const std::vector<double>& link_bw,
+                std::vector<double>& rate) {
+  const std::size_t nlinks = link_bw.size();
+  // Residual capacity and unassigned-flow count per link.
+  std::vector<double> cap(link_bw);
+  std::vector<int> unassigned(nlinks, 0);
+  std::vector<char> assigned(flows.size(), 0);
+  std::vector<char> saturated(nlinks, 0);
+  int n_active = 0;
+  for (std::size_t i : order) {
+    if (!active[i]) continue;
+    ++n_active;
+    for (int L : flows[i].route) ++unassigned[static_cast<std::size_t>(L)];
+  }
+  while (n_active > 0) {
+    // The tightest link sets the next fair-share level.
+    double best = kInf;
+    std::size_t best_link = nlinks;
+    for (std::size_t L = 0; L < nlinks; ++L) {
+      if (saturated[L] || unassigned[L] == 0) continue;
+      const double share = cap[L] / static_cast<double>(unassigned[L]);
+      if (share < best) {
+        best = share;
+        best_link = L;
+      }
+    }
+    BX_CHECK(best_link < nlinks, "fair-share: active flow with no live link");
+    // Freeze every unassigned flow crossing the bottleneck at `best` and
+    // drain its share from the rest of its route.
+    for (std::size_t i : order) {
+      if (!active[i] || assigned[i]) continue;
+      const Flow& f = flows[i];
+      bool crosses = false;
+      for (int L : f.route)
+        if (static_cast<std::size_t>(L) == best_link) {
+          crosses = true;
+          break;
+        }
+      if (!crosses) continue;
+      rate[i] = best;
+      assigned[i] = 1;
+      --n_active;
+      for (int Li : f.route) {
+        const auto L = static_cast<std::size_t>(Li);
+        cap[L] -= best;
+        if (cap[L] < 0.0) cap[L] = 0.0;
+        --unassigned[L];
+      }
+    }
+    saturated[best_link] = 1;
+  }
+}
+
+}  // namespace
+
+std::vector<double> solve_fair_share(const std::vector<Flow>& flows,
+                                     const std::vector<double>& link_bw,
+                                     std::vector<LinkUse>* use) {
+  const std::size_t n = flows.size();
+  std::vector<double> finish(n, 0.0);
+  if (use != nullptr)
+    BX_CHECK(use->size() == link_bw.size(),
+             "fair-share: usage vector does not match the link count");
+  // Canonical processing order: the solution must not depend on the order
+  // the (multi-threaded) caller appended flows in.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (flows[a].start != flows[b].start) return flows[a].start < flows[b].start;
+    if (flows[a].src != flows[b].src) return flows[a].src < flows[b].src;
+    return flows[a].seq < flows[b].seq;
+  });
+
+  std::vector<double> remaining(n, 0.0);
+  std::vector<char> active(n, 0);
+  std::vector<double> rate(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    BX_CHECK(!flows[i].route.empty(), "fair-share: flow without a route");
+    for (int L : flows[i].route)
+      BX_CHECK(L >= 0 && static_cast<std::size_t>(L) < link_bw.size(),
+               "fair-share: route references an unknown link");
+    remaining[i] = flows[i].bytes;
+    finish[i] = flows[i].start;  // zero-byte flows end where they start
+    if (use != nullptr)
+      for (int L : flows[i].route)
+        (*use)[static_cast<std::size_t>(L)].bytes += flows[i].bytes;
+  }
+
+  std::size_t next = 0;  // next entry of `order` not yet admitted
+  int n_active = 0;
+  double t = 0.0;
+  while (true) {
+    if (n_active == 0) {
+      // Skip forward to the next arrival (drop already-drained flows).
+      while (next < n && flows[order[next]].bytes <= 0.0) ++next;
+      if (next >= n) break;
+      t = flows[order[next]].start;
+    }
+    // Admit everything that has started by t.
+    while (next < n && flows[order[next]].start <= t) {
+      const std::size_t i = order[next];
+      ++next;
+      if (flows[i].bytes <= 0.0) continue;
+      active[i] = 1;
+      ++n_active;
+    }
+    fill_rates(flows, order, active, link_bw, rate);
+    // Next event: a new arrival or the earliest drain among active flows.
+    double t_next = kInf;
+    if (next < n) t_next = flows[order[next]].start;
+    for (std::size_t i : order) {
+      if (!active[i]) continue;
+      BX_CHECK(rate[i] > 0.0, "fair-share: active flow got zero bandwidth");
+      const double done = t + remaining[i] / rate[i];
+      if (done < t_next) t_next = done;
+    }
+    const double dt = t_next - t;
+    // Per-link usage over [t, t_next): every active flow contributes.
+    if (use != nullptr && dt > 0.0) {
+      std::vector<int> conc(link_bw.size(), 0);
+      for (std::size_t i : order)
+        if (active[i])
+          for (int L : flows[i].route) ++conc[static_cast<std::size_t>(L)];
+      for (std::size_t L = 0; L < link_bw.size(); ++L) {
+        if (conc[L] == 0) continue;
+        LinkUse& u = (*use)[L];
+        u.busy_time += dt;
+        u.flow_time += static_cast<double>(conc[L]) * dt;
+        if (conc[L] > u.max_concurrent) u.max_concurrent = conc[L];
+      }
+    }
+    // Drain and retire. A flow retires when its drain event *is* this
+    // event (the same expression picked t_next, so the comparison is
+    // exact), or when rounding pushed its residual to zero.
+    for (std::size_t i : order) {
+      if (!active[i]) continue;
+      const double done = t + remaining[i] / rate[i];
+      remaining[i] -= rate[i] * dt;
+      if (done <= t_next || remaining[i] <= 0.0) {
+        finish[i] = t_next;
+        active[i] = 0;
+        --n_active;
+      }
+    }
+    t = t_next;
+    if (n_active == 0 && next >= n) break;
+  }
+  return finish;
+}
+
+}  // namespace brickx::netsim

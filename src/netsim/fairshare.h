@@ -1,0 +1,60 @@
+#pragma once
+
+// Flow-level contention solver: piecewise max-min fair bandwidth sharing.
+//
+// A flow is a message transfer over a fixed route of capacitated links.
+// While several flows share a link, they time-share its bandwidth; rates
+// are the max-min fair allocation (progressive filling) and are recomputed
+// at every flow start/finish event, so each flow's transfer is a piecewise-
+// linear drain of its byte count.
+//
+// The solver is a pure sequential function of its inputs: flows are
+// processed in a canonical order (start time, then src, then seq), so the
+// result is bit-deterministic and independent of the order the caller
+// appended flows in. The contention fabric uses it to resolve each
+// communication round; unit tests drive it directly to check conservation,
+// monotonicity and determinism.
+
+#include <cstdint>
+#include <vector>
+
+namespace brickx::netsim {
+
+struct Flow {
+  double start = 0.0;       ///< seconds (virtual time the flow enters)
+  double bytes = 0.0;       ///< payload to drain
+  std::vector<int> route;   ///< link ids traversed (non-empty)
+  int src = 0;              ///< originating rank, for canonical ordering
+  std::int64_t seq = 0;     ///< per-src sequence number, for canonical ordering
+};
+
+/// Per-link aggregate of one solve (or accumulated across solves).
+struct LinkUse {
+  double bytes = 0.0;      ///< total bytes carried
+  double busy_time = 0.0;  ///< time with >= 1 active flow
+  double flow_time = 0.0;  ///< integral of (#active flows) dt while busy
+  int max_concurrent = 0;  ///< peak simultaneously active flows
+
+  /// Busy-time-weighted mean number of flows sharing the link (>= 1 when
+  /// the link ever carried traffic, 0 otherwise).
+  [[nodiscard]] double mean_sharing() const {
+    return busy_time > 0.0 ? flow_time / busy_time : 0.0;
+  }
+  void merge(const LinkUse& o) {
+    bytes += o.bytes;
+    busy_time += o.busy_time;
+    flow_time += o.flow_time;
+    if (o.max_concurrent > max_concurrent) max_concurrent = o.max_concurrent;
+  }
+};
+
+/// Solve the fair-share schedule. Returns finish times aligned with the
+/// *input order* of `flows`. `link_bw[i]` is the capacity of link id i;
+/// every route entry must index into it. Zero-byte flows finish at their
+/// start time. When `use` is non-null it must have link_bw.size() entries;
+/// per-link usage is accumulated into it (not cleared first).
+std::vector<double> solve_fair_share(const std::vector<Flow>& flows,
+                                     const std::vector<double>& link_bw,
+                                     std::vector<LinkUse>* use = nullptr);
+
+}  // namespace brickx::netsim

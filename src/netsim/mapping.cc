@@ -1,0 +1,124 @@
+#include "netsim/mapping.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace brickx::netsim {
+
+const char* map_name(MapKind k) {
+  switch (k) {
+    case MapKind::Block:
+      return "block";
+    case MapKind::RoundRobin:
+      return "round-robin";
+    case MapKind::Greedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+std::optional<MapKind> parse_mapping(std::string_view s) {
+  if (s == "block") return MapKind::Block;
+  if (s == "round-robin" || s == "rr") return MapKind::RoundRobin;
+  if (s == "greedy") return MapKind::Greedy;
+  return std::nullopt;
+}
+
+namespace {
+int node_count(int nranks, int ranks_per_node) {
+  BX_CHECK(nranks >= 1, "mapping needs at least one rank");
+  BX_CHECK(ranks_per_node >= 1, "ranks_per_node must be positive");
+  return (nranks + ranks_per_node - 1) / ranks_per_node;
+}
+}  // namespace
+
+std::vector<int> block_map(int nranks, int ranks_per_node) {
+  (void)node_count(nranks, ranks_per_node);
+  std::vector<int> m(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    m[static_cast<std::size_t>(r)] = r / ranks_per_node;
+  return m;
+}
+
+std::vector<int> round_robin_map(int nranks, int ranks_per_node) {
+  const int nodes = node_count(nranks, ranks_per_node);
+  std::vector<int> m(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) m[static_cast<std::size_t>(r)] = r % nodes;
+  return m;
+}
+
+std::vector<int> greedy_map(int nranks, int ranks_per_node,
+                            const std::vector<CommEdge>& graph) {
+  const int nodes = node_count(nranks, ranks_per_node);
+  // Adjacency with summed parallel-edge weights.
+  std::vector<std::vector<std::pair<int, double>>> adj(
+      static_cast<std::size_t>(nranks));
+  for (const CommEdge& e : graph) {
+    BX_CHECK(e.a >= 0 && e.a < nranks && e.b >= 0 && e.b < nranks,
+             "greedy_map: edge endpoint out of range");
+    if (e.a == e.b) continue;
+    adj[static_cast<std::size_t>(e.a)].push_back({e.b, e.bytes});
+    adj[static_cast<std::size_t>(e.b)].push_back({e.a, e.bytes});
+  }
+  std::vector<int> m(static_cast<std::size_t>(nranks), -1);
+  // gain[r] = communication volume between r and the node being filled.
+  std::vector<double> gain(static_cast<std::size_t>(nranks), 0.0);
+  int assigned = 0;
+  for (int node = 0; node < nodes && assigned < nranks; ++node) {
+    std::fill(gain.begin(), gain.end(), 0.0);
+    // Seed with the lowest unassigned rank (deterministic).
+    int seed = 0;
+    while (m[static_cast<std::size_t>(seed)] != -1) ++seed;
+    int members = 0;
+    int pick = seed;
+    while (members < ranks_per_node && assigned < nranks) {
+      m[static_cast<std::size_t>(pick)] = node;
+      ++members;
+      ++assigned;
+      for (const auto& [nbr, w] : adj[static_cast<std::size_t>(pick)])
+        if (m[static_cast<std::size_t>(nbr)] == -1)
+          gain[static_cast<std::size_t>(nbr)] += w;
+      // Next member: the unassigned rank with the most traffic into the
+      // node so far; ties go to the lowest id. Isolated ranks (gain 0)
+      // fall back to the lowest unassigned id as well.
+      pick = -1;
+      double best = -1.0;
+      for (int r = 0; r < nranks; ++r) {
+        if (m[static_cast<std::size_t>(r)] != -1) continue;
+        if (gain[static_cast<std::size_t>(r)] > best) {
+          best = gain[static_cast<std::size_t>(r)];
+          pick = r;
+        }
+      }
+      if (pick < 0) break;  // everything assigned
+    }
+  }
+  BX_CHECK(assigned == nranks, "greedy_map failed to place every rank");
+  return m;
+}
+
+std::vector<int> make_map(MapKind kind, int nranks, int ranks_per_node,
+                          const std::vector<CommEdge>& graph) {
+  switch (kind) {
+    case MapKind::Block:
+      return block_map(nranks, ranks_per_node);
+    case MapKind::RoundRobin:
+      return round_robin_map(nranks, ranks_per_node);
+    case MapKind::Greedy:
+      return greedy_map(nranks, ranks_per_node, graph);
+  }
+  return block_map(nranks, ranks_per_node);
+}
+
+double cut_bytes(const std::vector<int>& node_of,
+                 const std::vector<CommEdge>& graph) {
+  double cut = 0.0;
+  for (const CommEdge& e : graph)
+    if (node_of[static_cast<std::size_t>(e.a)] !=
+        node_of[static_cast<std::size_t>(e.b)])
+      cut += e.bytes;
+  return cut;
+}
+
+}  // namespace brickx::netsim

@@ -1,0 +1,54 @@
+#pragma once
+
+// Process-to-node mapping strategies. The fabric charges intra-node
+// messages the cheap shmem path and routes inter-node ones over the
+// topology, so *which* ranks share a node decides how much traffic the
+// fabric carries — the lever Hunold et al.'s stencil-mapping work turns.
+//
+// All strategies are deterministic (ties break toward the lowest rank id).
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace brickx::netsim {
+
+enum class MapKind : std::uint8_t { Block, RoundRobin, Greedy };
+
+const char* map_name(MapKind k);
+/// Parse "block" / "round-robin" / "greedy" (nullopt on anything else).
+std::optional<MapKind> parse_mapping(std::string_view s);
+
+/// One undirected edge of the application's communication graph, weighted
+/// by bytes exchanged per round.
+struct CommEdge {
+  int a = 0;
+  int b = 0;
+  double bytes = 0.0;
+};
+
+/// Consecutive ranks share a node: rank r -> node r / ranks_per_node.
+/// (What the flat NetModel has always assumed.)
+std::vector<int> block_map(int nranks, int ranks_per_node);
+
+/// Ranks deal out cyclically: rank r -> node r % nodes. The adversarial
+/// placement — cartesian neighbors almost never share a node.
+std::vector<int> round_robin_map(int nranks, int ranks_per_node);
+
+/// Greedy communication-volume-minimizing growth: open nodes one at a
+/// time, seed each with the lowest unassigned rank, then repeatedly pull
+/// in the unassigned rank with the largest communication volume into the
+/// node's current members until the node is full.
+std::vector<int> greedy_map(int nranks, int ranks_per_node,
+                            const std::vector<CommEdge>& graph);
+
+std::vector<int> make_map(MapKind kind, int nranks, int ranks_per_node,
+                          const std::vector<CommEdge>& graph);
+
+/// Bytes of `graph` cut by the assignment (endpoints on different nodes);
+/// the objective greedy_map minimizes.
+double cut_bytes(const std::vector<int>& node_of,
+                 const std::vector<CommEdge>& graph);
+
+}  // namespace brickx::netsim

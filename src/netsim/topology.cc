@@ -1,0 +1,296 @@
+#include "netsim/topology.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace brickx::netsim {
+
+const char* topo_name(TopoKind k) {
+  switch (k) {
+    case TopoKind::SingleSwitch:
+      return "single-switch";
+    case TopoKind::FatTree:
+      return "fat-tree";
+    case TopoKind::Torus3d:
+      return "torus";
+    case TopoKind::Dragonfly:
+      return "dragonfly";
+  }
+  return "?";
+}
+
+int Topology::add_vertex(VertexKind k) {
+  vertex_kinds_.push_back(k);
+  return static_cast<int>(vertex_kinds_.size()) - 1;
+}
+
+int Topology::add_link(int src, int dst, double bw, double latency) {
+  links_.push_back(Link{src, dst, bw, latency});
+  return static_cast<int>(links_.size()) - 1;
+}
+
+int Topology::add_duplex(int a, int b, double bw, double latency) {
+  const int id = add_link(a, b, bw, latency);
+  add_link(b, a, bw, latency);
+  return id;
+}
+
+double Topology::path_latency(const std::vector<int>& route) const {
+  double s = 0.0;
+  for (int id : route) s += links_[static_cast<std::size_t>(id)].latency;
+  return s;
+}
+
+Topology Topology::single_switch(int nodes, double bw, double hop_latency) {
+  BX_CHECK(nodes >= 1, "single_switch needs at least one node");
+  Topology t;
+  t.kind_ = TopoKind::SingleSwitch;
+  t.nodes_ = nodes;
+  for (int n = 0; n < nodes; ++n) t.add_vertex(VertexKind::Node);
+  const int sw = t.add_vertex(VertexKind::Switch);
+  // up[n] = n -> switch, down[n] = switch -> n.
+  std::vector<int> up(static_cast<std::size_t>(nodes)),
+      down(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    up[static_cast<std::size_t>(n)] = t.add_link(n, sw, bw, hop_latency);
+    down[static_cast<std::size_t>(n)] = t.add_link(sw, n, bw, hop_latency);
+  }
+  t.routes_.resize(static_cast<std::size_t>(nodes) *
+                   static_cast<std::size_t>(nodes));
+  for (int a = 0; a < nodes; ++a)
+    for (int b = 0; b < nodes; ++b)
+      if (a != b)
+        t.route_slot(a, b) = {up[static_cast<std::size_t>(a)],
+                              down[static_cast<std::size_t>(b)]};
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "single-switch(%d nodes)", nodes);
+  t.desc_ = buf;
+  return t;
+}
+
+Topology Topology::fat_tree(int nodes, int nodes_per_leaf, int spines,
+                            double bw, double hop_latency) {
+  BX_CHECK(nodes >= 1 && nodes_per_leaf >= 1 && spines >= 1,
+           "fat_tree shape parameters must be positive");
+  Topology t;
+  t.kind_ = TopoKind::FatTree;
+  t.nodes_ = nodes;
+  const int leaves = (nodes + nodes_per_leaf - 1) / nodes_per_leaf;
+  for (int n = 0; n < nodes; ++n) t.add_vertex(VertexKind::Node);
+  std::vector<int> leaf(static_cast<std::size_t>(leaves));
+  for (int l = 0; l < leaves; ++l)
+    leaf[static_cast<std::size_t>(l)] = t.add_vertex(VertexKind::Switch);
+  std::vector<int> spine(static_cast<std::size_t>(spines));
+  for (int s = 0; s < spines; ++s)
+    spine[static_cast<std::size_t>(s)] = t.add_vertex(VertexKind::Switch);
+
+  auto leaf_of = [&](int node) { return node / nodes_per_leaf; };
+  // Node <-> leaf edge links.
+  std::vector<int> up(static_cast<std::size_t>(nodes)),
+      down(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    const int lv = leaf[static_cast<std::size_t>(leaf_of(n))];
+    up[static_cast<std::size_t>(n)] = t.add_link(n, lv, bw, hop_latency);
+    down[static_cast<std::size_t>(n)] = t.add_link(lv, n, bw, hop_latency);
+  }
+  // Leaf <-> spine core links: lup[l][s] = leaf l -> spine s (and +1 back).
+  std::vector<std::vector<int>> lup(
+      static_cast<std::size_t>(leaves),
+      std::vector<int>(static_cast<std::size_t>(spines)));
+  for (int l = 0; l < leaves; ++l)
+    for (int s = 0; s < spines; ++s)
+      lup[static_cast<std::size_t>(l)][static_cast<std::size_t>(s)] =
+          t.add_duplex(leaf[static_cast<std::size_t>(l)],
+                       spine[static_cast<std::size_t>(s)], bw, hop_latency);
+
+  t.routes_.resize(static_cast<std::size_t>(nodes) *
+                   static_cast<std::size_t>(nodes));
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      if (a == b) continue;
+      const int la = leaf_of(a), lb = leaf_of(b);
+      auto& r = t.route_slot(a, b);
+      r.push_back(up[static_cast<std::size_t>(a)]);
+      if (la != lb) {
+        // Deterministic ECMP: the spine is a pure function of the pair.
+        const int s = (a + b) % spines;
+        r.push_back(lup[static_cast<std::size_t>(la)][static_cast<std::size_t>(s)]);
+        r.push_back(lup[static_cast<std::size_t>(lb)][static_cast<std::size_t>(s)] + 1);
+      }
+      r.push_back(down[static_cast<std::size_t>(b)]);
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "fat-tree(%d nodes, %d leaves, %d spines)",
+                nodes, leaves, spines);
+  t.desc_ = buf;
+  return t;
+}
+
+Topology Topology::torus3d(int nx, int ny, int nz, double bw,
+                           double hop_latency) {
+  BX_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "torus3d dims must be positive");
+  Topology t;
+  t.kind_ = TopoKind::Torus3d;
+  const int dims[3] = {nx, ny, nz};
+  const int n = nx * ny * nz;
+  t.nodes_ = n;
+  for (int v = 0; v < n; ++v) t.add_vertex(VertexKind::Node);
+  auto id_of = [&](int x, int y, int z) { return (z * ny + y) * nx + x; };
+  // plus_link[axis][v] = v -> neighbor in +axis; minus is the reverse link.
+  std::vector<std::vector<int>> plus(3, std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) {
+        const int v = id_of(x, y, z);
+        const int nbr[3] = {id_of((x + 1) % nx, y, z),
+                            id_of(x, (y + 1) % ny, z),
+                            id_of(x, y, (z + 1) % nz)};
+        for (int a = 0; a < 3; ++a) {
+          if (dims[a] == 1) continue;  // no self-loop on degenerate axes
+          plus[static_cast<std::size_t>(a)][static_cast<std::size_t>(v)] =
+              t.add_duplex(v, nbr[a], bw, hop_latency);
+        }
+      }
+  t.routes_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  auto coords_of = [&](int v, int c[3]) {
+    c[0] = v % nx;
+    c[1] = (v / nx) % ny;
+    c[2] = v / (nx * ny);
+  };
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      int ca[3], cb[3];
+      coords_of(a, ca);
+      coords_of(b, cb);
+      auto& r = t.route_slot(a, b);
+      int cur[3] = {ca[0], ca[1], ca[2]};
+      for (int axis = 0; axis < 3; ++axis) {
+        const int d = dims[axis];
+        if (d == 1) continue;
+        const int fwd = ((cb[axis] - cur[axis]) % d + d) % d;  // steps in +axis
+        if (fwd == 0) continue;  // already aligned on this axis
+        const bool positive = fwd <= d - fwd;  // ties go positive
+        int steps = positive ? fwd : d - fwd;
+        while (steps-- > 0) {
+          int next[3] = {cur[0], cur[1], cur[2]};
+          next[axis] = ((cur[axis] + (positive ? 1 : -1)) % d + d) % d;
+          const int from = id_of(cur[0], cur[1], cur[2]);
+          const int to = id_of(next[0], next[1], next[2]);
+          const int base = positive
+                               ? plus[static_cast<std::size_t>(axis)]
+                                     [static_cast<std::size_t>(from)]
+                               : plus[static_cast<std::size_t>(axis)]
+                                     [static_cast<std::size_t>(to)] + 1;
+          r.push_back(base);
+          cur[0] = next[0];
+          cur[1] = next[1];
+          cur[2] = next[2];
+        }
+      }
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "torus(%dx%dx%d)", nx, ny, nz);
+  t.desc_ = buf;
+  return t;
+}
+
+Topology Topology::dragonfly(int groups, int routers_per_group,
+                             int nodes_per_router, double bw,
+                             double hop_latency) {
+  BX_CHECK(groups >= 1 && routers_per_group >= 1 && nodes_per_router >= 1,
+           "dragonfly shape parameters must be positive");
+  Topology t;
+  t.kind_ = TopoKind::Dragonfly;
+  const int n = groups * routers_per_group * nodes_per_router;
+  t.nodes_ = n;
+  for (int v = 0; v < n; ++v) t.add_vertex(VertexKind::Node);
+  // Routers, group-major.
+  std::vector<int> router(static_cast<std::size_t>(groups * routers_per_group));
+  for (int g = 0; g < groups; ++g)
+    for (int r = 0; r < routers_per_group; ++r)
+      router[static_cast<std::size_t>(g * routers_per_group + r)] =
+          t.add_vertex(VertexKind::Switch);
+  auto rtr = [&](int g, int r) {
+    return router[static_cast<std::size_t>(g * routers_per_group + r)];
+  };
+  auto router_of_node = [&](int node, int* g, int* r) {
+    *g = node / (routers_per_group * nodes_per_router);
+    *r = (node / nodes_per_router) % routers_per_group;
+  };
+  // Node <-> router edge links.
+  std::vector<int> up(static_cast<std::size_t>(n)), down(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    int g, r;
+    router_of_node(v, &g, &r);
+    up[static_cast<std::size_t>(v)] = t.add_link(v, rtr(g, r), bw, hop_latency);
+    down[static_cast<std::size_t>(v)] = t.add_link(rtr(g, r), v, bw, hop_latency);
+  }
+  // Intra-group all-to-all: local[g][a][b] = router a -> router b (a != b).
+  auto lkey = [&](int g, int a, int b) {
+    return (static_cast<std::size_t>(g) * static_cast<std::size_t>(routers_per_group) +
+            static_cast<std::size_t>(a)) * static_cast<std::size_t>(routers_per_group) +
+           static_cast<std::size_t>(b);
+  };
+  std::vector<int> local(static_cast<std::size_t>(groups) *
+                             static_cast<std::size_t>(routers_per_group) *
+                             static_cast<std::size_t>(routers_per_group),
+                         -1);
+  for (int g = 0; g < groups; ++g)
+    for (int a = 0; a < routers_per_group; ++a)
+      for (int b = a + 1; b < routers_per_group; ++b) {
+        const int id = t.add_duplex(rtr(g, a), rtr(g, b), bw, hop_latency);
+        local[lkey(g, a, b)] = id;
+        local[lkey(g, b, a)] = id + 1;
+      }
+  // One global link per ordered group pair, anchored deterministically:
+  // the gateway router toward group k is router k % routers_per_group.
+  std::vector<int> global(static_cast<std::size_t>(groups) *
+                              static_cast<std::size_t>(groups),
+                          -1);
+  for (int gi = 0; gi < groups; ++gi)
+    for (int gk = gi + 1; gk < groups; ++gk) {
+      const int id = t.add_duplex(rtr(gi, gk % routers_per_group),
+                                  rtr(gk, gi % routers_per_group), bw,
+                                  hop_latency);
+      global[static_cast<std::size_t>(gi) * static_cast<std::size_t>(groups) +
+             static_cast<std::size_t>(gk)] = id;
+      global[static_cast<std::size_t>(gk) * static_cast<std::size_t>(groups) +
+             static_cast<std::size_t>(gi)] = id + 1;
+    }
+
+  t.routes_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      int ga, ra, gb, rb;
+      router_of_node(a, &ga, &ra);
+      router_of_node(b, &gb, &rb);
+      auto& r = t.route_slot(a, b);
+      r.push_back(up[static_cast<std::size_t>(a)]);
+      if (ga == gb) {
+        if (ra != rb) r.push_back(local[lkey(ga, ra, rb)]);
+      } else {
+        const int gw_src = gb % routers_per_group;  // gateway in group ga
+        const int gw_dst = ga % routers_per_group;  // landing in group gb
+        if (ra != gw_src) r.push_back(local[lkey(ga, ra, gw_src)]);
+        r.push_back(global[static_cast<std::size_t>(ga) *
+                               static_cast<std::size_t>(groups) +
+                           static_cast<std::size_t>(gb)]);
+        if (gw_dst != rb) r.push_back(local[lkey(gb, gw_dst, rb)]);
+      }
+      r.push_back(down[static_cast<std::size_t>(b)]);
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "dragonfly(%d groups x %d routers x %d nodes)", groups,
+                routers_per_group, nodes_per_router);
+  t.desc_ = buf;
+  return t;
+}
+
+}  // namespace brickx::netsim

@@ -1,0 +1,107 @@
+#pragma once
+
+// Network topology graph for the netsim fabric: terminal nodes and switches
+// as vertices, directed capacitated links as edges, and deterministic
+// minimal routes precomputed for every terminal-node pair. Builders cover
+// the fabrics the paper's machines actually run on (single switch, two-tier
+// fat tree, 3D torus, dragonfly); link rates are supplied by the caller so
+// src/model's calibration stays the single source of timing constants.
+//
+// Everything here is pure data + deterministic construction: the same
+// builder arguments produce the same graph, routes and hop counts on every
+// run, which the contention fabric depends on for reproducibility.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace brickx::netsim {
+
+enum class VertexKind : std::uint8_t { Node, Switch };
+
+/// One directed link. Bandwidth is per direction (full duplex is modeled as
+/// two links); `latency` is the per-hop wire+switch traversal time.
+struct Link {
+  int src = 0;           ///< vertex id
+  int dst = 0;           ///< vertex id
+  double bw = 0.0;       ///< bytes/second
+  double latency = 0.0;  ///< seconds per traversal
+};
+
+enum class TopoKind : std::uint8_t { SingleSwitch, FatTree, Torus3d, Dragonfly };
+
+const char* topo_name(TopoKind k);
+
+/// An immutable fabric graph with routes resolved at construction.
+class Topology {
+ public:
+  /// Every node hangs off one crossbar switch; contention only at the
+  /// node up/down links (classic full-bisection small cluster).
+  static Topology single_switch(int nodes, double bw, double hop_latency);
+
+  /// Two-tier fat tree: `nodes_per_leaf` hosts per leaf switch, `spines`
+  /// spine switches each connected to every leaf. spines < leaves gives an
+  /// oversubscribed core; the spine for a pair is chosen by a deterministic
+  /// (a + b) % spines ECMP hash.
+  static Topology fat_tree(int nodes, int nodes_per_leaf, int spines,
+                           double bw, double hop_latency);
+
+  /// 3D torus with one terminal node per router and dimension-ordered
+  /// (X then Y then Z) minimal routing; distance ties route in the
+  /// positive direction.
+  static Topology torus3d(int nx, int ny, int nz, double bw,
+                          double hop_latency);
+
+  /// Dragonfly: `groups` groups of `routers_per_group` all-to-all-connected
+  /// routers with `nodes_per_router` hosts each; one global link per
+  /// ordered group pair, anchored at router `dst_group % routers_per_group`
+  /// of the source group. Minimal (up to one local, one global, one local)
+  /// routing.
+  static Topology dragonfly(int groups, int routers_per_group,
+                            int nodes_per_router, double bw,
+                            double hop_latency);
+
+  [[nodiscard]] TopoKind kind() const { return kind_; }
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] int vertices() const {
+    return static_cast<int>(vertex_kinds_.size());
+  }
+  [[nodiscard]] VertexKind vertex_kind(int v) const {
+    return vertex_kinds_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Link-id sequence from terminal node `a` to terminal node `b`
+  /// (empty when a == b). Stable across runs by construction.
+  [[nodiscard]] const std::vector<int>& route(int a, int b) const {
+    return routes_[static_cast<std::size_t>(a) * static_cast<std::size_t>(nodes_) +
+                   static_cast<std::size_t>(b)];
+  }
+  [[nodiscard]] int hop_count(int a, int b) const {
+    return static_cast<int>(route(a, b).size());
+  }
+  [[nodiscard]] double path_latency(const std::vector<int>& route) const;
+
+  /// Human-readable shape summary, e.g. "fat-tree(8 nodes, 2 leaves, 1 spine)".
+  [[nodiscard]] const std::string& describe() const { return desc_; }
+
+ private:
+  Topology() = default;
+  int add_vertex(VertexKind k);
+  int add_link(int src, int dst, double bw, double latency);
+  /// Both directions; returns the src->dst link id (the dst->src id is +1).
+  int add_duplex(int a, int b, double bw, double latency);
+  std::vector<int>& route_slot(int a, int b) {
+    return routes_[static_cast<std::size_t>(a) * static_cast<std::size_t>(nodes_) +
+                   static_cast<std::size_t>(b)];
+  }
+
+  TopoKind kind_ = TopoKind::SingleSwitch;
+  int nodes_ = 0;
+  std::vector<VertexKind> vertex_kinds_;
+  std::vector<Link> links_;
+  std::vector<std::vector<int>> routes_;  ///< [a * nodes_ + b]
+  std::string desc_;
+};
+
+}  // namespace brickx::netsim

@@ -86,6 +86,9 @@ struct FlowEvent {
   std::uint64_t bytes;
   double depart;  ///< sender NIC finished injecting
   double arrive;  ///< receiver-visible arrival of the last byte
+  /// Virtual time the send was posted (depart − post = NIC queueing +
+  /// injection). Kept last so older aggregate initializers still compile.
+  double post = 0.0;
 };
 
 enum class MetricKind : std::uint8_t { Counter, Gauge, Hist };

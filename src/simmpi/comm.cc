@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "netsim/fabric.h"
 #include "obs/obs.h"
 
 namespace brickx::mpi {
@@ -89,28 +90,34 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
     clock_.advance(rt_->touch(rank_, buf, bytes, /*write=*/false));
   }
 
-  // Sender-side NIC serialization. The receiver-side memory space adds its
-  // latency at wait(); bandwidth is modeled once, here (our experiments use
-  // symmetric spaces on both endpoints).
+  // Hand the message to the fabric for departure/arrival timing. The
+  // receiver-side memory space adds its latency at wait(); bandwidth is
+  // modeled once, here (our experiments use symmetric spaces on both
+  // endpoints). With the default flat fabric this is bit-identical to the
+  // original sender-NIC serialization.
   const MemSpace sspace = rt_->classify(buf);
-  const LinkParams lp = m.link(rank_, dest, sspace, MemSpace::Host);
-  const double dep = std::max(clock_.now(), nic_free_);
-  nic_free_ = dep + static_cast<double>(bytes) / lp.bw;
-  env.arrival = nic_free_ + lp.alpha;
+  netsim::Fabric& fab = *rt_->fabric_;
+  const LinkParams lp =
+      m.adjust(fab.local(rank_, dest) ? m.intra_node : m.inter_node, sspace,
+               MemSpace::Host);
+  const double post = clock_.now();
+  const netsim::SendTiming tm =
+      fab.send(rank_, dest, bytes, lp.alpha, lp.bw, post);
+  env.arrival = tm.arrival;
 
   counters_.msgs_sent += 1;
   counters_.bytes_sent += static_cast<std::int64_t>(bytes);
   if (obs::RankLog* lg = obs::ambient_log())
     lg->flow(obs::FlowEvent{rank_, dest, tag,
-                            static_cast<std::uint64_t>(bytes), nic_free_,
-                            env.arrival});
+                            static_cast<std::uint64_t>(bytes), tm.inject_end,
+                            env.arrival, post});
   if (++inflight_ > counters_.max_inflight_reqs)
     counters_.max_inflight_reqs = inflight_;
 
   Request req;
   req.state_ = std::make_shared<Request::State>();
   req.state_->kind = Request::State::Kind::Send;
-  req.state_->send_complete = nic_free_;
+  req.state_->send_complete = tm.inject_end;
 
   rt_->deliver(dest, std::move(env));
   return req;
@@ -214,6 +221,9 @@ std::vector<double> Comm::allgather(double v) {
     const std::int64_t gen = rt_->coll_generation_;
     rt_->coll_slots_[static_cast<std::size_t>(rank_)] = x;
     if (++rt_->coll_arrived_ == rt_->nranks_) {
+      // Every other rank is parked in the wait below: a globally quiescent
+      // point, so the fabric can close its contention round race-free.
+      rt_->fabric_->epoch();
       rt_->coll_snapshot_ = rt_->coll_slots_;
       rt_->coll_arrived_ = 0;
       ++rt_->coll_generation_;
@@ -266,6 +276,7 @@ std::int64_t Comm::allreduce_sum(std::int64_t v) {
 Runtime::Runtime(int nranks, NetModel model)
     : nranks_(nranks), model_(model) {
   BX_CHECK(nranks >= 1, "Runtime needs at least one rank");
+  fabric_ = netsim::make_flat_fabric(nranks, model_.ranks_per_node);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -276,8 +287,14 @@ Runtime::Runtime(int nranks, NetModel model)
 
 Runtime::~Runtime() = default;
 
+void Runtime::set_fabric(std::unique_ptr<netsim::Fabric> fabric) {
+  BX_CHECK(fabric != nullptr, "set_fabric: null fabric");
+  fabric_ = std::move(fabric);
+}
+
 void Runtime::run(const std::function<void(Comm&)>& body) {
   g_abort.store(false);
+  fabric_->reset();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
   threads.reserve(static_cast<std::size_t>(nranks_));

@@ -16,6 +16,10 @@ namespace brickx::obs {
 class Collector;
 }  // namespace brickx::obs
 
+namespace brickx::netsim {
+class Fabric;
+}  // namespace brickx::netsim
+
 namespace brickx::mpi {
 
 class Runtime;
@@ -126,8 +130,7 @@ class Comm {
   int size_;
   VClock clock_;
   CommCounters counters_;
-  double nic_free_ = 0.0;  ///< sender-side NIC serialization horizon
-  int inflight_ = 0;       ///< currently pending Requests (send + recv)
+  int inflight_ = 0;  ///< currently pending Requests (send + recv)
 };
 
 /// Hooks the GPU simulator installs so message buffers in device/unified
@@ -171,6 +174,14 @@ class Runtime {
   [[nodiscard]] int size() const { return nranks_; }
 
   void set_mem_hooks(MemHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Replace the fabric that times message departure/arrival. The default
+  /// is the flat model (netsim::FlatFabric), bit-identical to the original
+  /// per-sender NIC serialization; install a contention fabric to route
+  /// messages over a topology. Must not be called while run() is active;
+  /// the fabric must cover `size()` ranks.
+  void set_fabric(std::unique_ptr<netsim::Fabric> fabric);
+  [[nodiscard]] netsim::Fabric& fabric() const { return *fabric_; }
 
   /// Install an obs Collector: every rank thread of subsequent run() calls
   /// is bound to its RankLog, so comm/datatype/gpusim instrumentation lands
@@ -220,6 +231,7 @@ class Runtime {
   int nranks_;
   NetModel model_;
   MemHooks hooks_;
+  std::unique_ptr<netsim::Fabric> fabric_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Collective scratch (barrier generation protocol in comm.cc).

@@ -55,12 +55,9 @@ struct NetModel {
 
   [[nodiscard]] int node_of(int rank) const { return rank / ranks_per_node; }
 
-  /// Effective link for a message between `src` and `dst` ranks whose
-  /// buffers live in `s` (sender side) and `d` (receiver side).
-  [[nodiscard]] LinkParams link(int src, int dst, MemSpace s,
-                                MemSpace d) const {
-    LinkParams lp =
-        node_of(src) == node_of(dst) ? intra_node : inter_node;
+  /// Memory-space adjustments applied to a base link (sender side first,
+  /// then receiver side — the order is part of the timing contract).
+  [[nodiscard]] LinkParams adjust(LinkParams lp, MemSpace s, MemSpace d) const {
     auto apply = [&lp](MemSpace m, double a_dev, double f_dev, double a_um,
                        double f_um) {
       if (m == MemSpace::Device) {
@@ -76,6 +73,14 @@ struct NetModel {
     apply(d, device_alpha_extra, device_bw_factor, um_alpha_extra,
           um_bw_factor);
     return lp;
+  }
+
+  /// Effective link for a message between `src` and `dst` ranks whose
+  /// buffers live in `s` (sender side) and `d` (receiver side).
+  [[nodiscard]] LinkParams link(int src, int dst, MemSpace s,
+                                MemSpace d) const {
+    return adjust(node_of(src) == node_of(dst) ? intra_node : inter_node, s,
+                  d);
   }
 };
 

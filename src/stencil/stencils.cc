@@ -15,6 +15,8 @@ int symmetry_class(int dz, int dy, int dx) {
   if (a > b) std::swap(a, b);
   if (b > c) std::swap(b, c);
   if (a > b) std::swap(a, b);
+  // c is the largest after sorting; reject before indexing the LUT.
+  BX_CHECK(c <= 2, "offset outside the 5^3 cube");
   // Perfect hash over sorted triples from {0,1,2}.
   static constexpr int lut[3][3][3] = {
       // a == 0

@@ -1,0 +1,240 @@
+// Fabric-layer tests: the FlatFabric must reproduce the legacy Comm timing
+// arithmetic bit-for-bit (the regression the whole netsim integration hangs
+// on), the ContentionFabric must reduce to it on uncongested paths, and
+// harness runs over either fabric must be bit-deterministic.
+
+#include <memory>
+
+#include "common/error.h"
+#include "gtest/gtest.h"
+#include "harness/experiment.h"
+#include "model/machine.h"
+#include "netsim/fabric.h"
+
+namespace brickx {
+namespace {
+
+using netsim::FabricKind;
+using netsim::MapKind;
+using netsim::SendTiming;
+
+constexpr double kAlpha = 3.5e-6;
+constexpr double kBw = 9.0e9;
+
+// ---------------------------------------------------------------------------
+// FlatFabric: the legacy arithmetic, verbatim
+// ---------------------------------------------------------------------------
+
+TEST(FlatFabric, ReproducesLegacyCommTiming) {
+  // The pre-netsim Comm::isend_impl kept one nic_free horizon per sender:
+  //   dep = max(t_ready, nic_free); nic_free = dep + bytes/bw;
+  //   arrival = nic_free + alpha; send_complete = nic_free.
+  // Replay a sequence and check every intermediate with exact equality.
+  auto fab = netsim::make_flat_fabric(4, 1);
+  double nic_free = 0.0;
+  const struct {
+    std::size_t bytes;
+    double ready;
+  } msgs[] = {{4096, 1.0e-6}, {65536, 1.5e-6}, {128, 9.0e-4}};
+  for (const auto& m : msgs) {
+    const double dep = std::max(m.ready, nic_free);
+    nic_free = dep + static_cast<double>(m.bytes) / kBw;
+    const SendTiming tm = fab->send(0, 1, m.bytes, kAlpha, kBw, m.ready);
+    EXPECT_DOUBLE_EQ(tm.inject_start, dep);
+    EXPECT_DOUBLE_EQ(tm.inject_end, nic_free);
+    EXPECT_DOUBLE_EQ(tm.arrival, nic_free + kAlpha);
+    EXPECT_EQ(tm.hops, 0);
+  }
+}
+
+TEST(FlatFabric, SendersSerializeIndependently) {
+  auto fab = netsim::make_flat_fabric(2, 1);
+  // Rank 0 loads its NIC; rank 1's first send must be untouched by it.
+  (void)fab->send(0, 1, 1 << 20, kAlpha, kBw, 0.0);
+  const SendTiming tm = fab->send(1, 0, 256, kAlpha, kBw, 2.0e-6);
+  EXPECT_DOUBLE_EQ(tm.inject_start, 2.0e-6);
+  EXPECT_DOUBLE_EQ(tm.arrival, 2.0e-6 + 256.0 / kBw + kAlpha);
+}
+
+TEST(FlatFabric, LocalityFollowsRanksPerNode) {
+  auto fab = netsim::make_flat_fabric(8, 4);
+  EXPECT_TRUE(fab->local(0, 3));
+  EXPECT_FALSE(fab->local(3, 4));
+  EXPECT_TRUE(fab->local(5, 7));
+}
+
+TEST(FlatFabric, ResetClearsNicHorizons) {
+  auto fab = netsim::make_flat_fabric(2, 1);
+  (void)fab->send(0, 1, 1 << 20, kAlpha, kBw, 0.0);
+  fab->reset();
+  const SendTiming tm = fab->send(0, 1, 512, kAlpha, kBw, 0.0);
+  EXPECT_DOUBLE_EQ(tm.inject_start, 0.0);
+  EXPECT_EQ(fab->stats().messages, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ContentionFabric: reduces to flat when nothing contends
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<netsim::Fabric> single_switch_fabric(int nranks, int rpn) {
+  // hop_latency = alpha/2 so an uncongested two-hop route through the
+  // switch costs exactly the flat model's inter-node alpha.
+  return netsim::make_fabric(FabricKind::SingleSwitch, MapKind::Block, nranks,
+                             rpn, kBw, kAlpha / 2.0, kAlpha, {});
+}
+
+TEST(ContentionFabric, IntraNodeMatchesFlatExactly) {
+  auto routed = single_switch_fabric(8, 4);
+  auto flat = netsim::make_flat_fabric(8, 4);
+  ASSERT_TRUE(routed->local(0, 3));
+  const SendTiming a = routed->send(0, 3, 8192, kAlpha, kBw, 1.0e-6);
+  const SendTiming b = flat->send(0, 3, 8192, kAlpha, kBw, 1.0e-6);
+  EXPECT_DOUBLE_EQ(a.inject_start, b.inject_start);
+  EXPECT_DOUBLE_EQ(a.inject_end, b.inject_end);
+  EXPECT_DOUBLE_EQ(a.arrival, b.arrival);
+  EXPECT_EQ(a.hops, 0);
+}
+
+TEST(ContentionFabric, UncongestedInterNodeMatchesFlat) {
+  // First round: sharing factors are all 1, so a lone inter-node message
+  // over the single switch times exactly like the flat model.
+  auto routed = single_switch_fabric(8, 4);
+  auto flat = netsim::make_flat_fabric(8, 4);
+  ASSERT_FALSE(routed->local(0, 4));
+  const SendTiming a = routed->send(0, 4, 8192, kAlpha, kBw, 1.0e-6);
+  const SendTiming b = flat->send(0, 4, 8192, kAlpha, kBw, 1.0e-6);
+  EXPECT_DOUBLE_EQ(a.inject_start, b.inject_start);
+  EXPECT_DOUBLE_EQ(a.inject_end, b.inject_end);
+  EXPECT_DOUBLE_EQ(a.arrival, b.arrival);
+  EXPECT_EQ(a.hops, 2);
+}
+
+TEST(ContentionFabric, SharedUplinkSlowsNextRound) {
+  // Two ranks on node 0 both blast node 1: their flows share the node-0
+  // uplink, so after epoch() the sharing factor is ~2 and the next round's
+  // injection runs at half rate.
+  auto fab = single_switch_fabric(4, 2);
+  const SendTiming before = fab->send(0, 2, 1 << 20, kAlpha, kBw, 0.0);
+  (void)fab->send(1, 3, 1 << 20, kAlpha, kBw, 0.0);
+  fab->epoch();
+  const SendTiming after = fab->send(0, 2, 1 << 20, kAlpha, kBw, 10.0);
+  const double dur_before = before.inject_end - before.inject_start;
+  const double dur_after = after.inject_end - after.inject_start;
+  EXPECT_GT(dur_after, 1.5 * dur_before);
+  const netsim::FabricStats s = fab->stats();
+  EXPECT_EQ(s.fabric_messages, 3);
+  EXPECT_GE(s.max_link_sharing, 2.0);
+}
+
+TEST(ContentionFabric, EmptyEpochKeepsFactors) {
+  // Collectives call epoch() more than once per round (each allgather's
+  // gather closes the round, the next finds it empty); an empty round must
+  // not reset the sharing factors back to 1.
+  auto fab = single_switch_fabric(4, 2);
+  (void)fab->send(0, 2, 1 << 20, kAlpha, kBw, 0.0);
+  (void)fab->send(1, 3, 1 << 20, kAlpha, kBw, 0.0);
+  fab->epoch();
+  fab->epoch();  // empty
+  const SendTiming tm = fab->send(0, 2, 1 << 20, kAlpha, kBw, 10.0);
+  const double serial = static_cast<double>(1 << 20) / kBw;
+  EXPECT_GT(tm.inject_end - tm.inject_start, 1.5 * serial);
+}
+
+// ---------------------------------------------------------------------------
+// Harness-level regressions
+// ---------------------------------------------------------------------------
+
+harness::Config small_config() {
+  harness::Config cfg;
+  cfg.machine = model::theta();
+  cfg.rank_dims = {2, 2, 2};
+  cfg.subdomain = Vec3::fill(16);
+  cfg.brick = 8;
+  cfg.ghost = 8;
+  cfg.method = harness::Method::Layout;
+  cfg.timesteps = 4;
+  cfg.warmup_exchanges = 1;
+  cfg.execute_kernels = false;
+  return cfg;
+}
+
+void expect_identical(const harness::Result& a, const harness::Result& b) {
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.comm_per_step, b.comm_per_step);
+  EXPECT_EQ(a.calc_per_step, b.calc_per_step);
+  EXPECT_EQ(a.wait.avg(), b.wait.avg());
+  EXPECT_EQ(a.msgs_per_rank, b.msgs_per_rank);
+  EXPECT_EQ(a.wire_bytes_per_rank, b.wire_bytes_per_rank);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.queue_s_per_msg, b.queue_s_per_msg);
+  EXPECT_EQ(a.max_link_sharing, b.max_link_sharing);
+}
+
+TEST(HarnessFabric, FlatRunsAreBitDeterministic) {
+  const harness::Config cfg = small_config();
+  const harness::Result a = harness::run(cfg);
+  const harness::Result b = harness::run(cfg);
+  expect_identical(a, b);
+  // Flat fabric reports no routed-fabric observability.
+  EXPECT_EQ(a.avg_hops, 0.0);
+  EXPECT_EQ(a.max_link_sharing, 0.0);
+  EXPECT_EQ(a.busiest_link_util, 0.0);
+}
+
+TEST(HarnessFabric, ContentionRunsAreBitDeterministic) {
+  harness::Config cfg = small_config();
+  cfg.machine.net.ranks_per_node = 2;
+  cfg.fabric = netsim::FabricKind::FatTree;
+  cfg.mapping = netsim::MapKind::Greedy;
+  const harness::Result a = harness::run(cfg);
+  const harness::Result b = harness::run(cfg);
+  expect_identical(a, b);
+  EXPECT_GT(a.avg_hops, 0.0);
+  EXPECT_GE(a.max_link_sharing, 1.0);
+}
+
+TEST(HarnessFabric, ContentionNeverBeatsFlat) {
+  harness::Config flat_cfg = small_config();
+  flat_cfg.machine.net.ranks_per_node = 2;
+  harness::Config routed_cfg = flat_cfg;
+  routed_cfg.fabric = netsim::FabricKind::SingleSwitch;
+  const harness::Result flat = harness::run(flat_cfg);
+  const harness::Result routed = harness::run(routed_cfg);
+  EXPECT_GE(routed.comm_per_step, flat.comm_per_step);
+}
+
+TEST(HarnessFabric, MappingMovesCutVolumeAndCommTime) {
+  // A 2x4x4 grid with 8 ranks per node gives the mapping real room: block
+  // fills whole z-planes, round-robin deals neighbors apart, and greedy
+  // rediscovers a low-cut clustering from the exchange graph. (An 8-rank
+  // 2^3 grid is useless here — with periodic wrap it is nearly a complete
+  // graph, so every mapping cuts about the same volume.)
+  harness::Config cfg = small_config();
+  cfg.rank_dims = {2, 4, 4};
+  const int rpn = 8;
+  cfg.machine.net.ranks_per_node = rpn;
+  cfg.fabric = netsim::FabricKind::FatTree;
+  const auto graph = harness::exchange_comm_graph(cfg);
+  const int nranks = static_cast<int>(cfg.rank_dims.prod());
+
+  const double cut_greedy =
+      netsim::cut_bytes(netsim::greedy_map(nranks, rpn, graph), graph);
+  const double cut_rr =
+      netsim::cut_bytes(netsim::round_robin_map(nranks, rpn), graph);
+  EXPECT_LT(cut_greedy, cut_rr);
+
+  cfg.mapping = netsim::MapKind::Greedy;
+  const harness::Result greedy = harness::run(cfg);
+  cfg.mapping = netsim::MapKind::RoundRobin;
+  const harness::Result rr = harness::run(cfg);
+  EXPECT_LT(greedy.comm_per_step, rr.comm_per_step);
+}
+
+TEST(HarnessFabric, RanksPerNodeMustBePositive) {
+  harness::Config cfg = small_config();
+  cfg.machine.net.ranks_per_node = 0;
+  EXPECT_THROW((void)harness::run(cfg), brickx::Error);
+}
+
+}  // namespace
+}  // namespace brickx

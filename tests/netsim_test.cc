@@ -1,0 +1,299 @@
+// netsim unit tests: topology route invariants, fair-share conservation /
+// monotonicity / determinism, and mapping validity.
+
+#include <algorithm>
+#include <random>
+
+#include "gtest/gtest.h"
+#include "netsim/fairshare.h"
+#include "netsim/mapping.h"
+#include "netsim/topology.h"
+
+namespace brickx::netsim {
+namespace {
+
+constexpr double kBw = 1e9;
+constexpr double kLat = 1e-6;
+
+/// Every precomputed route must chain: start at `a`, each link's dst is the
+/// next link's src, end at `b`. In switched topologies the interior
+/// vertices must all be switches (`switched` = true); in the torus the
+/// terminal nodes route for each other.
+void expect_routes_chain(const Topology& t, bool switched = true) {
+  for (int a = 0; a < t.nodes(); ++a) {
+    for (int b = 0; b < t.nodes(); ++b) {
+      const auto& r = t.route(a, b);
+      if (a == b) {
+        EXPECT_TRUE(r.empty());
+        continue;
+      }
+      ASSERT_FALSE(r.empty()) << a << "->" << b;
+      int at = a;
+      for (int id : r) {
+        const Link& l = t.links()[static_cast<std::size_t>(id)];
+        EXPECT_EQ(l.src, at) << a << "->" << b;
+        at = l.dst;
+      }
+      EXPECT_EQ(at, b);
+      if (switched) {
+        for (std::size_t i = 1; i < r.size(); ++i) {
+          const Link& l = t.links()[static_cast<std::size_t>(r[i])];
+          EXPECT_EQ(t.vertex_kind(l.src), VertexKind::Switch);
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, SingleSwitchRoutesAreTwoHops) {
+  const Topology t = Topology::single_switch(5, kBw, kLat);
+  expect_routes_chain(t);
+  for (int a = 0; a < 5; ++a)
+    for (int b = 0; b < 5; ++b)
+      if (a != b) {
+        EXPECT_EQ(t.hop_count(a, b), 2);
+      }
+  EXPECT_DOUBLE_EQ(t.path_latency(t.route(0, 3)), 2 * kLat);
+}
+
+TEST(Topology, FatTreeHopCounts) {
+  // 8 nodes, 2 per leaf, 2 spines: same leaf = 2 hops, cross-leaf = 4.
+  const Topology t = Topology::fat_tree(8, 2, 2, kBw, kLat);
+  expect_routes_chain(t);
+  EXPECT_EQ(t.hop_count(0, 1), 2);   // same leaf
+  EXPECT_EQ(t.hop_count(0, 2), 4);   // via a spine
+  EXPECT_EQ(t.hop_count(6, 1), 4);
+}
+
+TEST(Topology, FatTreeHopSymmetry) {
+  const Topology t = Topology::fat_tree(8, 2, 2, kBw, kLat);
+  for (int a = 0; a < t.nodes(); ++a)
+    for (int b = 0; b < t.nodes(); ++b)
+      EXPECT_EQ(t.hop_count(a, b), t.hop_count(b, a));
+}
+
+TEST(Topology, TorusMinimalRouting) {
+  const Topology t = Topology::torus3d(4, 3, 2, kBw, kLat);
+  expect_routes_chain(t, /*switched=*/false);
+  // Node ids are x + 4*(y + 3*z). 0 -> +1 in x: one hop.
+  EXPECT_EQ(t.hop_count(0, 1), 1);
+  // 0 -> (3,0,0): one hop the wrap-around way, not three.
+  EXPECT_EQ(t.hop_count(0, 3), 1);
+  // 0 -> (2,0,0): distance 2 either way (tie); still minimal.
+  EXPECT_EQ(t.hop_count(0, 2), 2);
+  // 0 -> (1,1,1): one hop per axis.
+  EXPECT_EQ(t.hop_count(0, 1 + 4 * (1 + 3 * 1)), 3);
+  for (int a = 0; a < t.nodes(); ++a)
+    for (int b = 0; b < t.nodes(); ++b)
+      EXPECT_EQ(t.hop_count(a, b), t.hop_count(b, a));
+}
+
+TEST(Topology, DragonflyMinimalRoutes) {
+  const Topology t = Topology::dragonfly(3, 2, 2, kBw, kLat);
+  expect_routes_chain(t);
+  EXPECT_EQ(t.nodes(), 12);
+  // Same router: up, down.
+  EXPECT_EQ(t.hop_count(0, 1), 2);
+  // Same group, other router: up, local, down.
+  EXPECT_EQ(t.hop_count(0, 2), 3);
+  // Cross-group: at most up + local + global + local + down.
+  for (int a = 0; a < t.nodes(); ++a)
+    for (int b = 0; b < t.nodes(); ++b)
+      if (a != b) {
+        EXPECT_LE(t.hop_count(a, b), 5);
+      }
+}
+
+TEST(Topology, DeterministicConstruction) {
+  const Topology t1 = Topology::dragonfly(4, 2, 2, kBw, kLat);
+  const Topology t2 = Topology::dragonfly(4, 2, 2, kBw, kLat);
+  ASSERT_EQ(t1.links().size(), t2.links().size());
+  for (int a = 0; a < t1.nodes(); ++a)
+    for (int b = 0; b < t1.nodes(); ++b)
+      EXPECT_EQ(t1.route(a, b), t2.route(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Fair share
+// ---------------------------------------------------------------------------
+
+TEST(FairShare, SingleFlowRunsAtLinkRate) {
+  std::vector<Flow> flows(1);
+  flows[0].start = 1.0;
+  flows[0].bytes = 2e9;
+  flows[0].route = {0};
+  const auto fin = solve_fair_share(flows, {kBw});
+  EXPECT_DOUBLE_EQ(fin[0], 1.0 + 2.0);
+}
+
+TEST(FairShare, TwoFlowsHalveThenRecover) {
+  // Both start at 0 on the same 1 GB/s link with 1 GB each: they share at
+  // 0.5 GB/s until t=2 when both finish together.
+  std::vector<Flow> flows(2);
+  for (int i = 0; i < 2; ++i) {
+    flows[static_cast<std::size_t>(i)].bytes = 1e9;
+    flows[static_cast<std::size_t>(i)].route = {0};
+    flows[static_cast<std::size_t>(i)].src = i;
+  }
+  const auto fin = solve_fair_share(flows, {kBw});
+  EXPECT_DOUBLE_EQ(fin[0], 2.0);
+  EXPECT_DOUBLE_EQ(fin[1], 2.0);
+}
+
+TEST(FairShare, StaggeredFlowsAnalytic) {
+  // Flow A: 2 GB at t=0. Flow B: 1 GB at t=1. [0,1): A alone at 1 GB/s
+  // (1 GB left). [1,?): both at 0.5 — A and B drain their 1 GB in 2 s.
+  std::vector<Flow> flows(2);
+  flows[0].bytes = 2e9;
+  flows[0].route = {0};
+  flows[0].src = 0;
+  flows[1].start = 1.0;
+  flows[1].bytes = 1e9;
+  flows[1].route = {0};
+  flows[1].src = 1;
+  const auto fin = solve_fair_share(flows, {kBw});
+  EXPECT_DOUBLE_EQ(fin[0], 3.0);
+  EXPECT_DOUBLE_EQ(fin[1], 3.0);
+}
+
+TEST(FairShare, ConservationOnSharedLink) {
+  // Total bytes / link rate lower-bounds the last finish; with all flows on
+  // one link it is exact.
+  std::vector<Flow> flows(5);
+  double total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    auto& f = flows[static_cast<std::size_t>(i)];
+    f.bytes = 1e8 * (i + 1);
+    f.route = {0};
+    f.src = i;
+    total += f.bytes;
+  }
+  const auto fin = solve_fair_share(flows, {kBw});
+  const double last = *std::max_element(fin.begin(), fin.end());
+  EXPECT_DOUBLE_EQ(last, total / kBw);
+}
+
+TEST(FairShare, MaxMinRespectsTightestLink) {
+  // Flow 0 crosses links {0,1}; flow 1 crosses {1}. Link 1 is the
+  // bottleneck: each gets 0.5 GB/s there even though link 0 has headroom.
+  std::vector<Flow> flows(2);
+  flows[0].bytes = 1e9;
+  flows[0].route = {0, 1};
+  flows[0].src = 0;
+  flows[1].bytes = 1e9;
+  flows[1].route = {1};
+  flows[1].src = 1;
+  std::vector<LinkUse> use(2);
+  const auto fin = solve_fair_share(flows, {10 * kBw, kBw}, &use);
+  EXPECT_DOUBLE_EQ(fin[0], 2.0);
+  EXPECT_DOUBLE_EQ(fin[1], 2.0);
+  EXPECT_DOUBLE_EQ(use[1].mean_sharing(), 2.0);
+  EXPECT_EQ(use[1].max_concurrent, 2);
+}
+
+TEST(FairShare, MonotonicInLoad) {
+  // Adding a competing flow never finishes the original flow earlier.
+  std::vector<Flow> base(1);
+  base[0].bytes = 1e9;
+  base[0].route = {0};
+  const double alone = solve_fair_share(base, {kBw})[0];
+  std::vector<Flow> both = base;
+  both.push_back(Flow{});
+  both[1].bytes = 5e8;
+  both[1].route = {0};
+  both[1].src = 1;
+  const double contended = solve_fair_share(both, {kBw})[0];
+  EXPECT_GE(contended, alone);
+}
+
+TEST(FairShare, DeterministicUnderInputShuffle) {
+  // The canonical (start, src, seq) ordering makes the result independent
+  // of the order flows were appended in — the property the contention
+  // fabric's multi-threaded callers rely on.
+  std::mt19937 rng(7);
+  std::vector<Flow> flows(40);
+  for (int i = 0; i < 40; ++i) {
+    auto& f = flows[static_cast<std::size_t>(i)];
+    f.start = static_cast<double>(rng() % 100) * 1e-3;
+    f.bytes = static_cast<double>(1 + rng() % 1000) * 1e6;
+    f.route = {static_cast<int>(rng() % 4)};
+    f.src = i % 8;
+    f.seq = i / 8;
+  }
+  std::vector<std::size_t> perm(flows.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<Flow> shuffled;
+  for (std::size_t i : perm) shuffled.push_back(flows[i]);
+
+  const auto a = solve_fair_share(flows, {kBw, kBw, kBw, kBw});
+  const auto b = solve_fair_share(shuffled, {kBw, kBw, kBw, kBw});
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    EXPECT_EQ(a[perm[i]], b[i]) << "flow " << perm[i];
+}
+
+TEST(FairShare, ZeroByteFlowsFinishAtStart) {
+  std::vector<Flow> flows(1);
+  flows[0].start = 3.0;
+  flows[0].route = {0};
+  EXPECT_DOUBLE_EQ(solve_fair_share(flows, {kBw})[0], 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Mapping
+// ---------------------------------------------------------------------------
+
+void expect_valid_map(const std::vector<int>& m, int nranks, int rpn) {
+  ASSERT_EQ(m.size(), static_cast<std::size_t>(nranks));
+  const int nodes = (nranks + rpn - 1) / rpn;
+  std::vector<int> fill(static_cast<std::size_t>(nodes), 0);
+  for (int node : m) {
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, nodes);
+    ++fill[static_cast<std::size_t>(node)];
+  }
+  for (int f : fill) EXPECT_LE(f, rpn);
+}
+
+std::vector<CommEdge> ring_graph(int n) {
+  std::vector<CommEdge> g;
+  for (int i = 0; i < n; ++i)
+    g.push_back(CommEdge{i, (i + 1) % n, 100.0});
+  return g;
+}
+
+TEST(Mapping, AllStrategiesProduceValidAssignments) {
+  const auto g = ring_graph(12);
+  for (MapKind k : {MapKind::Block, MapKind::RoundRobin, MapKind::Greedy})
+    expect_valid_map(make_map(k, 12, 4, g), 12, 4);
+}
+
+TEST(Mapping, BlockMatchesFlatNodeOf) {
+  const auto m = block_map(12, 4);
+  for (int r = 0; r < 12; ++r) EXPECT_EQ(m[static_cast<std::size_t>(r)], r / 4);
+}
+
+TEST(Mapping, GreedyBeatsRoundRobinOnARing) {
+  // On a ring, contiguous blocks cut exactly one edge per node boundary;
+  // round-robin cuts every edge. Greedy should rediscover the block-like
+  // optimum from the graph alone.
+  const auto g = ring_graph(16);
+  const double cut_rr = cut_bytes(round_robin_map(16, 4), g);
+  const double cut_greedy = cut_bytes(greedy_map(16, 4, g), g);
+  EXPECT_LT(cut_greedy, cut_rr);
+  EXPECT_DOUBLE_EQ(cut_greedy, cut_bytes(block_map(16, 4), g));
+}
+
+TEST(Mapping, GreedyIsDeterministic) {
+  const auto g = ring_graph(24);
+  EXPECT_EQ(greedy_map(24, 6, g), greedy_map(24, 6, g));
+}
+
+TEST(Mapping, ParseRoundTrips) {
+  for (MapKind k : {MapKind::Block, MapKind::RoundRobin, MapKind::Greedy})
+    EXPECT_EQ(parse_mapping(map_name(k)), k);
+  EXPECT_FALSE(parse_mapping("nope").has_value());
+}
+
+}  // namespace
+}  // namespace brickx::netsim
