@@ -128,6 +128,35 @@ inline void apply_fabric(const ArgParser& ap, harness::Config& cfg) {
   cfg.mapping = *mapping;
 }
 
+/// Register the shared fault-injection flag. Call before ap.parse().
+inline void add_fault_flags(ArgParser& ap) {
+  ap.add("--faults",
+         "seeded message-fault schedule, e.g. "
+         "\"delay=0.3,seed=7,max-delay=1e-5\" (keys: delay drop duplicate "
+         "reorder truncate corrupt seed max-delay; default none). Corrupting "
+         "kinds abort the run with a \"fault detected\" diagnostic; "
+         "delay/reorder only perturb virtual time",
+         "none");
+}
+
+/// Apply --faults to a Config. Callers that loop over configs should print
+/// the schedule once via announce_faults so output produced under injected
+/// faults says so.
+inline void apply_faults(const ArgParser& ap, harness::Config& cfg) {
+  const auto spec = mpi::parse_fault_spec(ap.get("--faults"));
+  BX_CHECK(spec.has_value(), "malformed --faults (see --help)");
+  cfg.faults = *spec;
+}
+
+/// Print the active --faults schedule (nothing when it is empty, keeping
+/// default output byte-identical for the golden regression tests).
+inline void announce_faults(const ArgParser& ap) {
+  const auto spec = mpi::parse_fault_spec(ap.get("--faults"));
+  BX_CHECK(spec.has_value(), "malformed --faults (see --help)");
+  if (spec->any())
+    std::printf("fault schedule: %s\n\n", mpi::describe(*spec).c_str());
+}
+
 /// Register the shared observability flags. Call before ap.parse().
 inline void add_obs_flags(ArgParser& ap) {
   ap.add("--trace-out",

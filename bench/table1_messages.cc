@@ -16,9 +16,11 @@ int main(int argc, char** argv) {
   ArgParser ap("table1_messages", "Table 1: messages vs dimensionality");
   ap.add("-s", "subdomain dim for the measured-counters table", "32");
   add_fabric_flags(ap);
+  add_fault_flags(ap);
   add_obs_flags(ap);
   ap.parse(argc, argv);
   ObsGuard obs_guard(ap);
+  announce_faults(ap);
 
   banner("Table 1",
          "Messages vs dimensionality. 'achieved' is the message count of "
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
                       Method::Layout, Method::MemMap}) {
     harness::Config cfg = k1_config(dim, meth);
     apply_fabric(ap, cfg);
+    apply_faults(ap, cfg);
     const harness::Result r = run(cfg);
     auto& row = m.row()
                     .cell(harness::method_name(meth))

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: the full tier-1 suite on the default preset, then the
+# fast `unit`-labeled tests again under ASan+UBSan (the sanitizer pass
+# skips slow/fuzz sweeps to keep wall time bounded; run them by hand with
+# `ctest --preset asan-ubsan` when touching the runtime or exchangers).
+#
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs=${1:-$(nproc)}
+
+echo "=== default preset: configure + build ==="
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+
+echo "=== default preset: full test suite ==="
+ctest --preset default -j "$jobs"
+
+echo "=== asan-ubsan preset: configure + build ==="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+
+echo "=== asan-ubsan preset: unit-labeled tests ==="
+ctest --preset asan-ubsan -j "$jobs" -L unit
+
+echo "ci.sh: all green"

@@ -1,0 +1,171 @@
+// check_fuzz: differential conformance fuzzer (src/check).
+//
+// Each iteration draws a random valid problem (draw_config), runs it
+// through all five exchange implementations under the differential oracle,
+// and alternates fault-injection meta-checks: benign (delay/reorder)
+// schedules must be invisible in the data, corrupting schedules must be
+// detected. The first failing config is greedily shrunk before reporting,
+// so the reproducer printed is close to minimal.
+//
+// Bounded mode (the tier-1 ctest entry):   check_fuzz --iters=200 --seed=1
+// Soak mode (EXPERIMENTS.md):              check_fuzz --iters=0 --seed=$RANDOM
+//   (--iters=0 means run until a failure or the process is killed)
+//
+// A single config can be replayed with --config="<serialized>" (the line a
+// failure report prints), optionally with --faults="drop=0.02,seed=9".
+
+#include <cstdio>
+#include <string>
+
+#include "check/fuzz.h"
+#include "check/oracle.h"
+#include "common/argparse.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace {
+
+using brickx::conformance::FuzzConfig;
+
+/// Draw the fault spec exercised alongside iteration `i`: a third of the
+/// iterations run fault-free, a third benign schedules, a third corrupting
+/// ones — all derived from the iteration's own rng.
+std::optional<brickx::mpi::FaultSpec> draw_faults(brickx::Rng& rng, long i) {
+  switch (i % 3) {
+    case 0:
+      return std::nullopt;
+    case 1: {  // benign: delay and/or reorder only
+      brickx::mpi::FaultSpec spec;
+      spec.seed = rng.next() | 1;
+      spec.delay = 0.1 + 0.4 * rng.uniform();
+      if (rng.below(2) == 0) spec.reorder = 0.2 * rng.uniform();
+      spec.max_delay = 1e-6 + 1e-4 * rng.uniform();
+      return spec;
+    }
+    default: {  // corrupting: one corrupting kind plus background delay
+      brickx::mpi::FaultSpec spec;
+      spec.seed = rng.next() | 1;
+      spec.delay = 0.1 * rng.uniform();
+      const double p = 0.02 + 0.1 * rng.uniform();
+      switch (rng.below(4)) {
+        case 0:
+          spec.drop = p;
+          break;
+        case 1:
+          spec.duplicate = p;
+          break;
+        case 2:
+          spec.truncate = p;
+          break;
+        default:
+          spec.corrupt = p;
+          break;
+      }
+      return spec;
+    }
+  }
+}
+
+int report_failure(const FuzzConfig& cfg, const std::string& diagnosis,
+                   const std::function<bool(const FuzzConfig&)>& still_fails,
+                   long iter) {
+  std::fprintf(stderr, "check_fuzz: FAIL at iteration %ld\n  %s\n", iter,
+               diagnosis.c_str());
+  std::fprintf(stderr, "  failing config: %s\n",
+               brickx::conformance::serialize_config(cfg).c_str());
+  // A candidate that blows up with an infrastructure error is not a
+  // reproduction of *this* failure — skip it rather than crash the shrink.
+  auto safe = [&](const FuzzConfig& c) {
+    try {
+      return still_fails(c);
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  const FuzzConfig small = brickx::conformance::shrink(cfg, safe);
+  std::fprintf(stderr, "  shrunk config:  %s\n",
+               brickx::conformance::serialize_config(small).c_str());
+  std::fprintf(stderr,
+               "  replay with: check_fuzz --config=\"%s\"\n",
+               brickx::conformance::serialize_config(small).c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  brickx::ArgParser ap("check_fuzz",
+                       "differential conformance + fault-injection fuzzer");
+  ap.add("--iters", "iterations to run (0 = soak until failure)", "50");
+  ap.add("--seed", "base seed; iteration i uses seed + i", "1");
+  ap.add("--config", "replay one serialized config instead of fuzzing", "");
+  ap.add("--faults", "fault spec for --config replay (simmpi/fault.h)", "");
+  ap.add_flag("--verbose", "print each drawn config and progress");
+  try {
+    ap.parse(argc, argv);
+  } catch (const brickx::Error& e) {
+    std::fprintf(stderr, "check_fuzz: %s\n%s", e.what(), ap.usage().c_str());
+    return 2;
+  }
+  const long iters = ap.get_int("--iters");
+  const auto base_seed = static_cast<std::uint64_t>(ap.get_int("--seed"));
+  const bool verbose = ap.get_flag("--verbose");
+
+  if (const std::string one = ap.get("--config"); !one.empty()) {
+    const auto cfg = brickx::conformance::parse_config(one);
+    if (!cfg) {
+      std::fprintf(stderr, "check_fuzz: malformed --config\n");
+      return 2;
+    }
+    const auto spec = brickx::mpi::parse_fault_spec(ap.get("--faults"));
+    if (!spec) {
+      std::fprintf(stderr, "check_fuzz: malformed --faults\n");
+      return 2;
+    }
+    if (spec->any()) {
+      const auto rep = brickx::conformance::run_fault_oracle(*cfg, *spec);
+      std::printf("fault oracle: %s%s%s\n", rep.ok ? "OK" : "FAIL",
+                  rep.ok ? "" : " — ", rep.diagnosis.c_str());
+      return rep.ok ? 0 : 1;
+    }
+    const auto rep = brickx::conformance::run_oracle(*cfg);
+    std::printf("oracle: %s%s%s\n", rep.ok ? "OK" : "FAIL",
+                rep.ok ? "" : " — ", rep.diagnosis.c_str());
+    return rep.ok ? 0 : 1;
+  }
+
+  long fault_checks = 0;
+  for (long i = 0; iters == 0 || i < iters; ++i) {
+    brickx::Rng rng(base_seed + static_cast<std::uint64_t>(i));
+    const FuzzConfig cfg = brickx::conformance::draw_config(rng);
+    if (verbose)
+      std::fprintf(stderr, "iter %ld: %s\n", i,
+                   brickx::conformance::serialize_config(cfg).c_str());
+
+    const auto rep = brickx::conformance::run_oracle(cfg);
+    if (!rep.ok)
+      return report_failure(
+          cfg, rep.diagnosis,
+          [](const FuzzConfig& c) { return !brickx::conformance::run_oracle(c).ok; },
+          i);
+
+    if (const auto spec = draw_faults(rng, i)) {
+      ++fault_checks;
+      const auto frep = brickx::conformance::run_fault_oracle(cfg, *spec);
+      if (!frep.ok)
+        return report_failure(
+            cfg, frep.diagnosis,
+            [&](const FuzzConfig& c) {
+              return !brickx::conformance::run_fault_oracle(c, *spec).ok;
+            },
+            i);
+    }
+    if (verbose && i % 25 == 24)
+      std::fprintf(stderr, "check_fuzz: %ld iterations clean\n", i + 1);
+  }
+  std::printf(
+      "check_fuzz: OK — %ld configs x 5 methods conform; %ld fault "
+      "schedules behaved (seed %llu)\n",
+      iters, fault_checks, static_cast<unsigned long long>(base_seed));
+  return 0;
+}

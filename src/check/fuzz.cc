@@ -1,0 +1,249 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+namespace brickx::conformance {
+
+namespace {
+
+constexpr std::int64_t kBrickChoices[] = {2, 4, 8};
+
+std::int64_t ghost_for(const Vec3& brick) {
+  std::int64_t g = brick[0];
+  for (int a = 1; a < 3; ++a) g = std::lcm(g, brick[a]);
+  return g;
+}
+
+}  // namespace
+
+bool config_valid(const FuzzConfig& cfg) {
+  for (int a = 0; a < 3; ++a) {
+    if (cfg.rank_dims[a] < 1 || cfg.brick[a] < 1) return false;
+    if (cfg.ghost % cfg.brick[a] != 0) return false;
+    if (cfg.subdomain[a] < 2 * cfg.ghost) return false;
+    if (cfg.subdomain[a] % cfg.ghost != 0) return false;
+  }
+  return cfg.ghost >= 1 && cfg.rounds >= 1 && cfg.ranks_per_node >= 1;
+}
+
+FuzzConfig draw_config(Rng& rng) {
+  FuzzConfig cfg;
+  cfg.seed = rng.next() | 1;  // never zero
+  for (int a = 0; a < 3; ++a) cfg.brick[a] = kBrickChoices[rng.below(3)];
+  cfg.ghost = ghost_for(cfg.brick);
+  // Multiplier 2 makes the interior slab along that axis empty (a
+  // degenerate regime the oracle checks with relaxed message counts);
+  // 3 and 4 keep every surface region non-empty, where the exact
+  // 98/42/26 structure must hold.
+  for (int a = 0; a < 3; ++a)
+    cfg.subdomain[a] =
+        (2 + static_cast<std::int64_t>(rng.below(3))) * cfg.ghost;
+  // Small worlds keep single-process simulation fast while still covering
+  // self-neighbors (1 along an axis), flat grids and full 3D corners.
+  static const Vec3 kGrids[] = {{1, 1, 1}, {2, 1, 1}, {1, 2, 1}, {1, 1, 2},
+                                {2, 2, 1}, {2, 1, 2}, {2, 2, 2}, {4, 1, 1}};
+  cfg.rank_dims = kGrids[rng.below(8)];
+  cfg.rounds = 1 + static_cast<int>(rng.below(3));
+  // 0 twice: host pages are the common case; big pages stress padding.
+  static const std::size_t kPages[] = {0, 0, 16384, 65536};
+  cfg.page_size = kPages[rng.below(4)];
+  cfg.ranks_per_node = 1 + static_cast<int>(rng.below(2));
+  static const netsim::FabricKind kFabrics[] = {
+      netsim::FabricKind::Flat,         netsim::FabricKind::Flat,
+      netsim::FabricKind::SingleSwitch, netsim::FabricKind::FatTree,
+      netsim::FabricKind::Torus3d,      netsim::FabricKind::Dragonfly};
+  cfg.fabric = kFabrics[rng.below(6)];
+  static const netsim::MapKind kMaps[] = {netsim::MapKind::Block,
+                                          netsim::MapKind::RoundRobin,
+                                          netsim::MapKind::Greedy};
+  cfg.mapping = kMaps[rng.below(3)];
+  return cfg;
+}
+
+std::string serialize_config(const FuzzConfig& cfg) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "seed=%llu,ranks=%lldx%lldx%lld,brick=%lldx%lldx%lld,ghost=%lld,"
+      "sub=%lldx%lldx%lld,rounds=%d,page=%zu,rpn=%d,fabric=%s,map=%s",
+      static_cast<unsigned long long>(cfg.seed),
+      static_cast<long long>(cfg.rank_dims[0]),
+      static_cast<long long>(cfg.rank_dims[1]),
+      static_cast<long long>(cfg.rank_dims[2]),
+      static_cast<long long>(cfg.brick[0]),
+      static_cast<long long>(cfg.brick[1]),
+      static_cast<long long>(cfg.brick[2]),
+      static_cast<long long>(cfg.ghost),
+      static_cast<long long>(cfg.subdomain[0]),
+      static_cast<long long>(cfg.subdomain[1]),
+      static_cast<long long>(cfg.subdomain[2]), cfg.rounds, cfg.page_size,
+      cfg.ranks_per_node, netsim::fabric_name(cfg.fabric),
+      netsim::map_name(cfg.mapping));
+  return buf;
+}
+
+namespace {
+
+bool parse_triple(std::string_view v, Vec3& out) {
+  long long a = 0, b = 0, c = 0;
+  if (std::sscanf(std::string(v).c_str(), "%lldx%lldx%lld", &a, &b, &c) != 3)
+    return false;
+  out = {a, b, c};
+  return true;
+}
+
+}  // namespace
+
+std::optional<FuzzConfig> parse_config(std::string_view s) {
+  FuzzConfig cfg;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    std::string_view item = s.substr(0, comma);
+    s = comma == std::string_view::npos ? std::string_view{}
+                                        : s.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view val = item.substr(eq + 1);
+    const std::string vs(val);
+    try {
+      if (key == "seed") {
+        cfg.seed = std::stoull(vs);
+      } else if (key == "ranks") {
+        if (!parse_triple(val, cfg.rank_dims)) return std::nullopt;
+      } else if (key == "brick") {
+        if (!parse_triple(val, cfg.brick)) return std::nullopt;
+      } else if (key == "ghost") {
+        cfg.ghost = std::stoll(vs);
+      } else if (key == "sub") {
+        if (!parse_triple(val, cfg.subdomain)) return std::nullopt;
+      } else if (key == "rounds") {
+        cfg.rounds = std::stoi(vs);
+      } else if (key == "page") {
+        cfg.page_size = static_cast<std::size_t>(std::stoull(vs));
+      } else if (key == "rpn") {
+        cfg.ranks_per_node = std::stoi(vs);
+      } else if (key == "fabric") {
+        auto f = netsim::parse_fabric(val);
+        if (!f) return std::nullopt;
+        cfg.fabric = *f;
+      } else if (key == "map") {
+        auto m = netsim::parse_mapping(val);
+        if (!m) return std::nullopt;
+        cfg.mapping = *m;
+      } else {
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (!config_valid(cfg)) return std::nullopt;
+  return cfg;
+}
+
+namespace {
+
+/// Candidate single-step simplifications of `cfg`, most aggressive first.
+/// Each candidate is valid by construction.
+std::vector<FuzzConfig> shrink_candidates(const FuzzConfig& cfg) {
+  std::vector<FuzzConfig> out;
+  auto push = [&](FuzzConfig c) {
+    if (config_valid(c) && serialize_config(c) != serialize_config(cfg))
+      out.push_back(c);
+  };
+  // Fewer exchange rounds.
+  if (cfg.rounds > 1) {
+    FuzzConfig c = cfg;
+    c.rounds = 1;
+    push(c);
+  }
+  // Plain timing model and node shape.
+  if (cfg.fabric != netsim::FabricKind::Flat) {
+    FuzzConfig c = cfg;
+    c.fabric = netsim::FabricKind::Flat;
+    c.mapping = netsim::MapKind::Block;
+    push(c);
+  }
+  if (cfg.ranks_per_node != 1) {
+    FuzzConfig c = cfg;
+    c.ranks_per_node = 1;
+    push(c);
+  }
+  // No page padding.
+  if (cfg.page_size != 0) {
+    FuzzConfig c = cfg;
+    c.page_size = 0;
+    push(c);
+  }
+  // Collapse the rank grid one axis at a time, largest first.
+  for (int a = 0; a < 3; ++a) {
+    if (cfg.rank_dims[a] > 1) {
+      FuzzConfig c = cfg;
+      c.rank_dims[a] = cfg.rank_dims[a] / 2;
+      push(c);
+    }
+  }
+  // Smallest subdomain (2 * ghost per axis), then per-axis halving.
+  {
+    FuzzConfig c = cfg;
+    for (int a = 0; a < 3; ++a) c.subdomain[a] = 2 * cfg.ghost;
+    push(c);
+  }
+  for (int a = 0; a < 3; ++a) {
+    if (cfg.subdomain[a] > 2 * cfg.ghost) {
+      FuzzConfig c = cfg;
+      c.subdomain[a] -= cfg.ghost;
+      push(c);
+    }
+  }
+  // Smaller bricks (ghost and subdomain re-derived so the config stays
+  // valid; smaller ghost shrinks the whole problem).
+  {
+    FuzzConfig c = cfg;
+    bool changed = false;
+    for (int a = 0; a < 3; ++a) {
+      if (c.brick[a] > 2) {
+        c.brick[a] /= 2;
+        changed = true;
+      }
+    }
+    if (changed) {
+      const std::int64_t g = ghost_for(c.brick);
+      for (int a = 0; a < 3; ++a) {
+        const std::int64_t mult =
+            std::max<std::int64_t>(2, cfg.subdomain[a] / cfg.ghost);
+        c.subdomain[a] = mult * g;
+      }
+      c.ghost = g;
+      push(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FuzzConfig shrink(const FuzzConfig& cfg,
+                  const std::function<bool(const FuzzConfig&)>& still_fails,
+                  int budget) {
+  FuzzConfig best = cfg;
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    for (const FuzzConfig& cand : shrink_candidates(best)) {
+      if (budget-- <= 0) break;
+      if (still_fails(cand)) {
+        best = cand;
+        improved = true;
+        break;  // restart from the simpler config
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace brickx::conformance

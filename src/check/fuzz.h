@@ -1,0 +1,70 @@
+#pragma once
+
+// Randomized problem configurations for the differential conformance
+// oracle (src/check/oracle.h) and their greedy minimizer.
+//
+// A FuzzConfig is a complete, *valid-by-construction* description of one
+// seeded exchange problem: rank grid, per-axis brick extents, ghost depth
+// (always a multiple of every brick extent), subdomain (always large
+// enough that no surface region is empty — the regime where the paper's
+// exact message counts 98/42/26 hold), exchange rounds, MemMap emulated
+// page size, and the netsim fabric/mapping that time the messages.
+//
+// Configs serialize to a single "key=value,..." line so a failing draw can
+// be reported, replayed (parse_config) and archived byte-for-byte.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "netsim/fabric.h"
+#include "netsim/mapping.h"
+
+namespace brickx::conformance {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;      ///< fill-pattern seed (not the draw seed)
+  Vec3 rank_dims{2, 1, 1};     ///< process grid; prod == world size
+  Vec3 brick{4, 4, 4};         ///< per-axis brick extents
+  std::int64_t ghost = 4;      ///< ghost width; multiple of every brick[a]
+  Vec3 subdomain{8, 8, 8};     ///< cells per rank; each >= 2 * ghost
+  int rounds = 1;              ///< back-to-back exchange rounds (fresh data)
+  std::size_t page_size = 0;   ///< MemMap emulated page size (0 = host)
+  int ranks_per_node = 1;      ///< node shape seen by the fabric
+  netsim::FabricKind fabric = netsim::FabricKind::Flat;
+  netsim::MapKind mapping = netsim::MapKind::Block;
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(rank_dims.prod()); }
+};
+
+/// Draw a valid random config. Every choice comes from `rng`, so the
+/// sequence of configs is fully determined by the Rng seed.
+FuzzConfig draw_config(Rng& rng);
+
+/// One-line "key=value,..." form, parseable by parse_config. Stable field
+/// order, so equal configs serialize identically.
+std::string serialize_config(const FuzzConfig& cfg);
+
+/// Inverse of serialize_config; std::nullopt on malformed input or on a
+/// config violating the validity constraints above.
+std::optional<FuzzConfig> parse_config(std::string_view s);
+
+/// Structural validity (the constraints draw_config guarantees). parse
+/// rejects invalid configs; shrink only proposes valid ones.
+bool config_valid(const FuzzConfig& cfg);
+
+/// Greedily minimize a failing config: repeatedly try simplifying steps
+/// (fewer rounds, flat fabric, fewer/smaller ranks, no page padding,
+/// smaller subdomain, smaller bricks) and keep any step where
+/// `still_fails` returns true, until no step helps or `budget` evaluations
+/// are spent. The predicate is invoked on candidate configs only — never
+/// on the input itself (the caller already knows it fails).
+FuzzConfig shrink(const FuzzConfig& cfg,
+                  const std::function<bool(const FuzzConfig&)>& still_fails,
+                  int budget = 64);
+
+}  // namespace brickx::conformance

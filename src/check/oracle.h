@@ -1,0 +1,65 @@
+#pragma once
+
+// Differential conformance oracle: run the same seeded ghost-exchange
+// problem through every implementation the paper evaluates — Basic,
+// Layout, MemMap (bricks) and the YASK-like packing / MPI_Types array
+// baselines — and require
+//
+//   * bit-identical post-exchange ghost frames across all five, matching
+//     the analytic fill function cell-for-cell;
+//   * the paper's message-count structure: 98 Basic / 42 Layout /
+//     26 MemMap sends per rank when no surface region is empty, the
+//     Eq. 1 lower bound, and memmap <= layout <= basic;
+//   * payload accounting: every method moves exactly the ghost-frame
+//     volume per exchange; MemMap wire bytes >= payload with the padding
+//     percentage consistent with Table 2's formula;
+//   * obs counter symmetry: summed over ranks, msgs_sent == msgs_recv
+//     and bytes_sent == bytes_recv, and rank counters agree with the
+//     exchangers' own send accounting.
+//
+// The fault oracle re-runs one method under a seeded simmpi fault
+// schedule (simmpi/fault.h) and checks the *meta*-property: benign
+// schedules (delay/reorder) leave delivered data bit-identical and only
+// shift virtual time, while corrupting schedules (drop/duplicate/
+// truncate/corrupt) are always detected or quarantined — never silent.
+
+#include <string>
+
+#include "check/fuzz.h"
+#include "simmpi/fault.h"
+
+namespace brickx::conformance {
+
+struct OracleReport {
+  bool ok = true;
+  std::string diagnosis;  ///< first failed invariant; empty when ok
+
+  // Observed structure (per rank, per exchange round) for reporting.
+  std::int64_t basic_msgs = 0;
+  std::int64_t layout_msgs = 0;
+  std::int64_t memmap_msgs = 0;
+  std::int64_t payload_bytes = 0;
+  std::int64_t memmap_wire_bytes = 0;
+  int methods_compared = 0;
+};
+
+/// Run the full differential oracle on one config. Never throws on a
+/// conformance failure — failures come back as ok == false with a
+/// diagnosis; only infrastructure errors (e.g. mmap exhaustion) propagate.
+OracleReport run_oracle(const FuzzConfig& cfg);
+
+struct FaultOracleReport {
+  bool ok = true;
+  std::string diagnosis;
+  bool error_raised = false;     ///< the faulty run threw
+  bool fault_diagnosed = false;  ///< ... with a "fault detected:" message
+  mpi::FaultCounts counts;       ///< injector counters after the run
+};
+
+/// Exercise the fault-injection meta-property on `cfg` (Layout method)
+/// under `spec`. A reference run without faults provides the expected
+/// frames and virtual times.
+FaultOracleReport run_fault_oracle(const FuzzConfig& cfg,
+                                   const mpi::FaultSpec& spec);
+
+}  // namespace brickx::conformance

@@ -51,6 +51,15 @@ class Exchanger {
   }
   [[nodiscard]] std::int64_t send_byte_count() const;
 
+  /// Visit the planned receive ranges as (peer rank, byte offset into
+  /// storage, byte length). Lets the write-set tests prove at the *plan*
+  /// level that every ghost byte has exactly one writer — overlapping
+  /// receives could otherwise hide behind page padding or identical data.
+  template <typename F>
+  void visit_recv_ranges(F&& fn) const {
+    for (const Wire& w : recvs_) fn(w.rank, w.offset, w.bytes);
+  }
+
  private:
   struct Wire {
     int rank;            ///< peer

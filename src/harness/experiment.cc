@@ -181,6 +181,14 @@ Result run(const Config& cfg) {
                                       inter.bw, inter.alpha / 2.0, inter.alpha,
                                       exchange_comm_graph(cfg)));
   }
+  // Seeded message-fault schedule (off by default: no injector installed,
+  // so the runtime skips the integrity layer entirely and behavior is
+  // byte-identical to fault-free builds).
+  std::optional<mpi::FaultInjector> faults;
+  if (cfg.faults.any()) {
+    faults.emplace(cfg.faults);
+    rt.set_fault_injector(&*faults);
+  }
   // Span/metric sink for this experiment; every rank thread binds to its
   // RankLog inside rt.run. A no-op null sink when BRICKX_OBS is off.
   obs::Collector col(nranks);
@@ -661,6 +669,7 @@ Result run(const Config& cfg) {
     res.max_inflight_reqs =
         std::max(res.max_inflight_reqs, rt.final_counters(rk).max_inflight_reqs);
   res.validated = validate && all_valid;
+  if (faults) res.fault_counts = faults->counts();
 
   if (cfg.fabric != netsim::FabricKind::Flat) {
     // Fabric-level observability: only for routed fabrics, so the default

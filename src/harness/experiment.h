@@ -8,6 +8,7 @@
 #include "model/machine.h"
 #include "netsim/fabric.h"
 #include "netsim/mapping.h"
+#include "simmpi/fault.h"
 
 namespace brickx::harness {
 
@@ -77,6 +78,12 @@ struct Config {
   /// flat model's node assignment; Greedy minimizes inter-node traffic over
   /// the cartesian exchange graph.
   netsim::MapKind mapping = netsim::MapKind::Block;
+  /// Deterministic message-fault schedule (simmpi/fault.h). Empty (the
+  /// default) keeps the runtime on its zero-overhead path. Delay-only
+  /// schedules perturb timing but never results; corrupting schedules make
+  /// run() throw with a "fault detected" diagnostic rather than return
+  /// silently wrong data — see src/check and DESIGN.md §8.
+  mpi::FaultSpec faults{};
 };
 
 /// Per-timestep phase decomposition, exactly the artifact's five metrics:
@@ -105,6 +112,8 @@ struct Result {
   double queue_s_per_msg = 0;   ///< mean NIC queueing delay per message
   double max_link_sharing = 0;  ///< peak mean flows sharing one link
   double busiest_link_util = 0; ///< hottest link's busy fraction of the run
+  /// What the fault schedule did (all zero when cfg.faults is empty).
+  mpi::FaultCounts fault_counts{};
 };
 
 /// The 26-direction periodic cartesian exchange graph of `cfg`: one edge

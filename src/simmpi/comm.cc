@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <optional>
@@ -59,7 +60,7 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
   const NetModel& m = rt_->model_;
   clock_.advance(m.send_overhead);
 
-  Runtime::Envelope env;
+  Envelope env;
   env.src = rank_;
   env.tag = tag;
   env.data.resize(bytes);
@@ -119,8 +120,94 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
   req.state_->kind = Request::State::Kind::Send;
   req.state_->send_complete = tm.inject_end;
 
-  rt_->deliver(dest, std::move(env));
+  // Fault seam: with an injector installed, stamp the integrity header
+  // (sequence + checksum of the payload as sent) and let the seeded
+  // schedule perturb the envelope. None of this touches the virtual clock
+  // except an injected Delay, which moves only the arrival.
+  bool duplicate = false, hold = false;
+  if (FaultInjector* fi = rt_->fault_) {
+    env.sent_bytes = bytes;
+    env.seq = ++send_seq_[{dest, tag}];
+    env.checksum = checksum_bytes(env.data.data(), env.data.size());
+    const FaultInjector::Decision d = fi->decide(rank_, dest, tag, bytes);
+    switch (d.kind) {
+      case FaultKind::None:
+        break;
+      case FaultKind::Delay:
+        env.arrival += d.delay;
+        break;
+      case FaultKind::Drop:
+        env.dropped = true;
+        env.data.clear();
+        break;
+      case FaultKind::Duplicate:
+        duplicate = true;
+        break;
+      case FaultKind::Reorder:
+        hold = true;
+        break;
+      case FaultKind::Truncate:
+        env.data.resize(d.truncate_to);
+        break;
+      case FaultKind::Corrupt:
+        env.data[d.corrupt_at] ^= std::byte{0x2a};
+        break;
+    }
+  }
+  if (hold) {
+    // Reordered: parked until the next send to this peer (below) or the
+    // next wait/collective flush point. The arrival time was already
+    // fixed above, so only delivery order shifts — which (src, tag)
+    // matching absorbs unless two messages share an edge, where the
+    // receiver's sequence check fires.
+    held_.emplace_back(dest, std::move(env));
+  } else {
+    if (duplicate) rt_->deliver(dest, env);  // replayed copy, same seq
+    rt_->deliver(dest, std::move(env));
+    flush_held_to(dest);
+  }
   return req;
+}
+
+void Comm::flush_held() {
+  for (auto& [dest, env] : held_) rt_->deliver(dest, std::move(env));
+  held_.clear();
+}
+
+void Comm::flush_held_to(int dest) {
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->first == dest) {
+      rt_->deliver(dest, std::move(it->second));
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Comm::verify_envelope(const Envelope& env, std::size_t want_bytes,
+                           int src, int tag) {
+  auto diag = [&](const std::string& what) {
+    rt_->fault_->note_detected();
+    char ctx[96];
+    std::snprintf(ctx, sizeof ctx, " (src=%d dst=%d tag=%d seq=%llu)", src,
+                  rank_, tag, static_cast<unsigned long long>(env.seq));
+    brickx::fail("fault detected: " + what + ctx);
+  };
+  if (env.dropped)
+    diag("message dropped in transit (delivery timeout)");
+  std::uint64_t& last = recv_seq_[{src, tag}];
+  if (env.seq <= last)
+    diag("duplicate or replayed message (sequence regression)");
+  if (env.seq != last + 1) diag("out-of-order message (sequence gap)");
+  last = env.seq;
+  if (env.sent_bytes != want_bytes)
+    diag("payload size mismatch against the posted receive");
+  if (env.data.size() != env.sent_bytes)
+    diag("truncated payload (" + std::to_string(env.data.size()) + " of " +
+         std::to_string(env.sent_bytes) + " bytes arrived)");
+  if (checksum_bytes(env.data.data(), env.data.size()) != env.checksum)
+    diag("payload corruption (checksum mismatch)");
 }
 
 Request Comm::irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
@@ -145,6 +232,10 @@ Request Comm::irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
 void Comm::wait(Request& req) {
   BX_CHECK(req.valid(), "wait on an empty Request");
   obs::ObsSpan op_span(obs::Cat::Wait, "mpi_wait");
+  // Before this rank can block, everything it still holds back (reorder
+  // faults) must reach the wire — the flush point that keeps fault
+  // schedules deadlock-free.
+  if (!held_.empty()) flush_held();
   auto& st = *req.state_;
   BX_CHECK(!st.done, "Request already completed");
   st.done = true;
@@ -154,8 +245,12 @@ void Comm::wait(Request& req) {
     req.state_.reset();
     return;
   }
-  Runtime::Envelope env = rt_->match(rank_, st.peer, st.tag);
-  BX_CHECK(env.data.size() == st.bytes, "receive size mismatch");
+  Envelope env = rt_->match(rank_, st.peer, st.tag);
+  if (rt_->fault_ != nullptr) {
+    verify_envelope(env, st.bytes, st.peer, st.tag);
+  } else {
+    BX_CHECK(env.data.size() == st.bytes, "receive size mismatch");
+  }
 
   const NetModel& m = rt_->model_;
   const MemSpace dspace = rt_->classify(st.buf);
@@ -215,6 +310,7 @@ struct CollResult {
 
 std::vector<double> Comm::allgather(double v) {
   obs::ObsSpan span(obs::Cat::Collective, "allgather");
+  if (!held_.empty()) flush_held();  // collectives are a fault flush point
   // First round: gather values. Second round: synchronize clocks.
   auto gather = [this](double x) {
     std::unique_lock lk(rt_->coll_mu_);
@@ -233,7 +329,7 @@ std::vector<double> Comm::allgather(double v) {
         return rt_->coll_generation_ != gen || g_abort.load();
       });
       if (g_abort.load() && rt_->coll_generation_ == gen)
-        brickx::fail("collective aborted: another rank failed");
+        throw AbortedError("collective aborted: another rank failed");
     }
     return rt_->coll_snapshot_;
   };
@@ -308,6 +404,10 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
         obs_guard.emplace(&collector_->log(r), comm.clock().time_ptr());
       try {
         body(comm);
+        // Reordered envelopes still held after the body ends would strand
+        // their receivers (other ranks may still be draining); release
+        // them before this thread parks.
+        comm.flush_held();
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         g_abort.store(true);
@@ -333,9 +433,33 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
     }
     std::lock_guard lk(coll_mu_);
     coll_arrived_ = 0;
+  } else if (fault_ != nullptr) {
+    // Sweep undelivered envelopes (e.g. a Duplicate's replay no receive
+    // ever matched) so the next run starts clean, and account for them:
+    // an unconsumed fault is quarantined, never silently absorbed.
+    std::int64_t left = 0;
+    for (auto& mb : mailboxes_) {
+      std::lock_guard lk(mb->mu);
+      left += static_cast<std::int64_t>(mb->queue.size());
+      mb->queue.clear();
+    }
+    if (left > 0) fault_->note_leftover(left);
   }
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // Prefer a primary error: ranks torn down *because* another rank threw
+  // report AbortedError, which must not mask the original diagnosis.
+  std::exception_ptr primary, secondary;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const AbortedError&) {
+      if (!secondary) secondary = e;
+    } catch (...) {
+      if (!primary) primary = e;
+    }
+  }
+  if (primary) std::rethrow_exception(primary);
+  if (secondary) std::rethrow_exception(secondary);
 }
 
 void Runtime::deliver(int dest, Envelope env) {
@@ -345,7 +469,7 @@ void Runtime::deliver(int dest, Envelope env) {
   mb.cv.notify_all();
 }
 
-Runtime::Envelope Runtime::match(int self, int src, int tag) {
+Envelope Runtime::match(int self, int src, int tag) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock lk(mb.mu);
   while (true) {
@@ -357,7 +481,7 @@ Runtime::Envelope Runtime::match(int self, int src, int tag) {
       }
     }
     if (g_abort.load())
-      brickx::fail("receive aborted: another rank failed");
+      throw AbortedError("receive aborted: another rank failed");
     mb.cv.wait(lk);
   }
 }

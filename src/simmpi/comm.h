@@ -5,11 +5,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "simmpi/datatype.h"
+#include "simmpi/fault.h"
 #include "simmpi/netmodel.h"
 
 namespace brickx::obs {
@@ -24,6 +28,14 @@ namespace brickx::mpi {
 
 class Runtime;
 class Comm;
+
+/// Secondary failure: this rank was torn down because *another* rank threw
+/// first. Runtime::run rethrows a primary (non-Aborted) error when one
+/// exists, so the original diagnosis is never masked by teardown noise.
+class AbortedError : public brickx::Error {
+ public:
+  using brickx::Error::Error;
+};
 
 /// Per-rank virtual clock, in seconds. Compute and communication both
 /// advance it; the harness reads phase deltas from it. Wall time never
@@ -70,6 +82,21 @@ struct CommCounters {
   /// waited) — how deep this rank keeps the NIC pipeline.
   std::int64_t max_inflight_reqs = 0;
   void reset() { *this = CommCounters{}; }
+};
+
+/// One in-flight message as the runtime's mailboxes carry it. The
+/// integrity fields (seq / checksum / sent_bytes / dropped) are stamped and
+/// verified only while a FaultInjector is installed on the Runtime; they
+/// are inert otherwise.
+struct Envelope {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> data;
+  double arrival = 0.0;  ///< receiver-visible virtual arrival time
+  std::uint64_t seq = 0;        ///< per (src, dst, tag) send ordinal, from 1
+  std::uint64_t checksum = 0;   ///< FNV-1a of the payload as sent
+  std::size_t sent_bytes = 0;   ///< payload size before any truncation
+  bool dropped = false;         ///< payload lost in transit (fault)
 };
 
 /// An MPI_Comm-like communicator bound to the calling rank. Each rank
@@ -125,12 +152,25 @@ class Comm {
   Request irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
                      int src, int tag);
 
+  // Fault-injection support (all no-ops unless the Runtime has an injector
+  // installed; see simmpi/fault.h). The sequence maps are per-edge message
+  // ordinals of the integrity layer; held_ parks envelopes a Reorder fault
+  // displaced until the next send to the same peer (or the next wait /
+  // collective — flush points that keep the simulation deadlock-free).
+  void flush_held();
+  void flush_held_to(int dest);
+  void verify_envelope(const Envelope& env, std::size_t want_bytes, int src,
+                       int tag);
+
   Runtime* rt_;
   int rank_;
   int size_;
   VClock clock_;
   CommCounters counters_;
   int inflight_ = 0;  ///< currently pending Requests (send + recv)
+  std::map<std::pair<int, int>, std::uint64_t> send_seq_;  ///< (dest, tag)
+  std::map<std::pair<int, int>, std::uint64_t> recv_seq_;  ///< (src, tag)
+  std::vector<std::pair<int, Envelope>> held_;  ///< (dest, reordered env)
 };
 
 /// Hooks the GPU simulator installs so message buffers in device/unified
@@ -190,6 +230,15 @@ class Runtime {
   void set_collector(obs::Collector* c) { collector_ = c; }
   [[nodiscard]] obs::Collector* collector() const { return collector_; }
 
+  /// Install a deterministic message-fault injector (simmpi/fault.h):
+  /// envelopes gain sequence numbers and payload checksums, receives verify
+  /// them, and the injector's seeded schedule perturbs messages in flight.
+  /// Pass nullptr to detach (the default: zero overhead, byte-identical
+  /// behavior to pre-fault builds). The injector must outlive the runs it
+  /// covers; the caller keeps ownership and reads counts() afterwards.
+  void set_fault_injector(FaultInjector* fi) { fault_ = fi; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return fault_; }
+
   /// Legacy trace API, now a shim over the obs flow log: enables an
   /// internally owned Collector. Off by default.
   void enable_trace(bool on = true);
@@ -206,12 +255,6 @@ class Runtime {
  private:
   friend class Comm;
 
-  struct Envelope {
-    int src;
-    int tag;
-    std::vector<std::byte> data;
-    double arrival;  ///< receiver-visible virtual arrival time
-  };
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
@@ -247,6 +290,7 @@ class Runtime {
 
   obs::Collector* collector_ = nullptr;
   std::unique_ptr<obs::Collector> owned_trace_;  ///< backs enable_trace()
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace brickx::mpi

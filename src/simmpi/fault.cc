@@ -1,0 +1,219 @@
+#include "simmpi/fault.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+
+namespace brickx::mpi {
+
+namespace {
+
+// splitmix64 finalizer: the hash behind the interleaving-independent
+// schedule (same mixer as common/rng.h, applied to a keyed state).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t edge_hash(std::uint64_t seed, int src, int dst, int tag,
+                        std::uint64_t ordinal, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ (salt * 0xd6e8feb86659fd93ull));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  return mix64(h ^ ordinal);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* fault_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::None:
+      return "none";
+    case FaultKind::Delay:
+      return "delay";
+    case FaultKind::Drop:
+      return "drop";
+    case FaultKind::Duplicate:
+      return "duplicate";
+    case FaultKind::Reorder:
+      return "reorder";
+    case FaultKind::Truncate:
+      return "truncate";
+    case FaultKind::Corrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+bool FaultSpec::any() const {
+  return delay > 0 || drop > 0 || duplicate > 0 || reorder > 0 ||
+         truncate > 0 || corrupt > 0;
+}
+
+bool FaultSpec::corrupting() const {
+  return drop > 0 || duplicate > 0 || truncate > 0 || corrupt > 0;
+}
+
+std::optional<FaultSpec> parse_fault_spec(std::string_view s) {
+  FaultSpec spec;
+  if (s.empty() || s == "none") return spec;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    std::string_view item = s.substr(0, comma);
+    s = comma == std::string_view::npos ? std::string_view{}
+                                        : s.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = item.substr(0, eq);
+    const std::string val(item.substr(eq + 1));
+    try {
+      if (key == "seed") {
+        spec.seed = std::stoull(val);
+      } else if (key == "max-delay") {
+        spec.max_delay = std::stod(val);
+      } else {
+        double* p = key == "delay"       ? &spec.delay
+                    : key == "drop"      ? &spec.drop
+                    : key == "duplicate" ? &spec.duplicate
+                    : key == "reorder"   ? &spec.reorder
+                    : key == "truncate"  ? &spec.truncate
+                    : key == "corrupt"   ? &spec.corrupt
+                                         : nullptr;
+        if (p == nullptr) return std::nullopt;
+        *p = std::stod(val);
+        if (*p < 0.0 || *p > 1.0) return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (spec.delay + spec.drop + spec.duplicate + spec.reorder + spec.truncate +
+          spec.corrupt >
+      1.0 + 1e-12)
+    return std::nullopt;
+  return spec;
+}
+
+std::string describe(const FaultSpec& spec) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "seed=%llu,delay=%g,drop=%g,duplicate=%g,reorder=%g,"
+                "truncate=%g,corrupt=%g,max-delay=%g",
+                static_cast<unsigned long long>(spec.seed), spec.delay,
+                spec.drop, spec.duplicate, spec.reorder, spec.truncate,
+                spec.corrupt, spec.max_delay);
+  return buf;
+}
+
+std::uint64_t checksum_bytes(const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {
+  BX_CHECK(spec_.delay + spec_.drop + spec_.duplicate + spec_.reorder +
+                   spec_.truncate + spec_.corrupt <=
+               1.0 + 1e-12,
+           "fault probabilities must sum to at most 1");
+  BX_CHECK(spec_.max_delay > 0, "max_delay must be positive");
+}
+
+FaultInjector::Decision FaultInjector::decide(int src, int dst, int tag,
+                                              std::size_t bytes) {
+  std::uint64_t ordinal;
+  {
+    std::lock_guard lk(mu_);
+    ordinal = edge_ordinal_[{src, dst, tag}]++;
+    ++counts_.messages;
+  }
+  const double u = to_unit(edge_hash(spec_.seed, src, dst, tag, ordinal, 1));
+  Decision d;
+  double acc = 0.0;
+  const struct {
+    FaultKind kind;
+    double p;
+  } table[] = {
+      {FaultKind::Delay, spec_.delay},         {FaultKind::Drop, spec_.drop},
+      {FaultKind::Duplicate, spec_.duplicate}, {FaultKind::Reorder, spec_.reorder},
+      {FaultKind::Truncate, spec_.truncate},   {FaultKind::Corrupt, spec_.corrupt},
+  };
+  for (const auto& row : table) {
+    acc += row.p;
+    if (row.p > 0 && u < acc) {
+      d.kind = row.kind;
+      break;
+    }
+  }
+  if (bytes == 0 &&
+      (d.kind == FaultKind::Truncate || d.kind == FaultKind::Corrupt))
+    d.kind = FaultKind::None;
+  if (d.kind == FaultKind::None) return d;
+
+  const std::uint64_t h2 = edge_hash(spec_.seed, src, dst, tag, ordinal, 2);
+  std::lock_guard lk(mu_);
+  switch (d.kind) {
+    case FaultKind::Delay:
+      // Uniform in (0, max_delay]: never exactly zero, so a fired delay
+      // always moves the arrival.
+      d.delay = spec_.max_delay * (1.0 - to_unit(h2));
+      ++counts_.delayed;
+      break;
+    case FaultKind::Drop:
+      ++counts_.dropped;
+      break;
+    case FaultKind::Duplicate:
+      ++counts_.duplicated;
+      break;
+    case FaultKind::Reorder:
+      ++counts_.reordered;
+      break;
+    case FaultKind::Truncate:
+      d.truncate_to = static_cast<std::size_t>(h2 % bytes);
+      ++counts_.truncated;
+      break;
+    case FaultKind::Corrupt:
+      d.corrupt_at = static_cast<std::size_t>(h2 % bytes);
+      ++counts_.corrupted;
+      break;
+    case FaultKind::None:
+      break;
+  }
+  return d;
+}
+
+FaultCounts FaultInjector::counts() const {
+  std::lock_guard lk(mu_);
+  return counts_;
+}
+
+void FaultInjector::note_detected() {
+  std::lock_guard lk(mu_);
+  ++counts_.detected;
+}
+
+void FaultInjector::note_leftover(std::int64_t n) {
+  std::lock_guard lk(mu_);
+  counts_.leftover += n;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lk(mu_);
+  edge_ordinal_.clear();
+  counts_ = FaultCounts{};
+}
+
+}  // namespace brickx::mpi

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
+#include <utility>
 
 #include "common/rng.h"
 #include "core/cell_array.h"
@@ -169,6 +171,97 @@ TEST_P(RandomGeometry, ExchangeIsAlwaysExact) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeometry, ::testing::Range(1, 25));
 
 // ---------------------------------------------------------------------------
+// Exchange write-set properties: an exchange writes the ghost frame and
+// nothing else. Interior (owned) cells stay bitwise untouched; every ghost
+// cell flips from a sentinel to the correct value while the bytes received
+// equal exactly one message set — one 8-byte write per ghost cell for the
+// unpadded exchangers, so no cell can have been written twice.
+// ---------------------------------------------------------------------------
+
+class ExchangeWriteSet : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeWriteSet, InteriorUntouchedAndGhostsWrittenExactlyOnce) {
+  const int method = GetParam();  // 0 Layout, 1 Basic, 2 MemMap
+  Runtime rt(2, NetModel{});
+  rt.run([&](Comm& comm) {
+    Cart<3> cart(comm, {2, 1, 1});
+    const Vec3 N{12, 12, 12};
+    const std::int64_t ghost = 4;
+    const Vec3 G = Vec3::fill(ghost);
+    BrickDecomp<3> dec(N, ghost, {4, 4, 4}, surface3d());
+    BrickStorage store = method == 2 ? dec.mmap_alloc(1) : dec.allocate(1);
+    const Vec3 ext{2 * N[0], N[1], N[2]};
+    const Vec3 off = cart.coords() * N;
+    auto f = [&](Vec3 g) {
+      for (int a = 0; a < 3; ++a) g[a] = ((g[a] % ext[a]) + ext[a]) % ext[a];
+      return static_cast<double>((g[2] * ext[1] + g[1]) * ext[0] + g[0]) + 0.5;
+    };
+    auto is_own = [&](const Vec3& p) {
+      for (int a = 0; a < 3; ++a)
+        if (p[a] < 0 || p[a] >= N[a]) return false;
+      return true;
+    };
+    constexpr double kSentinel = -7.25;  // f never produces it
+    CellArray3 frame(Box<3>{Vec3{0, 0, 0} - G, N + G});
+    for_each(frame.box(), [&](const Vec3& p) {
+      frame.at(p) = is_own(p) ? f(p + off) : kSentinel;
+    });
+    cells_to_bricks(dec, frame, store, 0);
+
+    const auto ranks_tbl = populate(cart, dec);
+    comm.counters().reset();
+    std::int64_t wire = 0;
+    switch (method) {
+      case 0: {
+        Exchanger<3> ex(dec, store, ranks_tbl, Exchanger<3>::Mode::Layout);
+        ex.exchange(comm);
+        wire = ex.send_byte_count();
+        break;
+      }
+      case 1: {
+        Exchanger<3> ex(dec, store, ranks_tbl, Exchanger<3>::Mode::Basic);
+        ex.exchange(comm);
+        wire = ex.send_byte_count();
+        break;
+      }
+      default: {
+        ExchangeView<3> ev(dec, store, ranks_tbl);
+        ev.exchange(comm);
+        wire = ev.send_byte_count();
+      }
+    }
+
+    CellArray3 got(frame.box());
+    bricks_to_cells(dec, store, 0, got);
+    std::int64_t interior_touched = 0, ghost_unwritten = 0, ghost_wrong = 0;
+    for_each(got.box(), [&](const Vec3& p) {
+      if (is_own(p)) {
+        if (got.at(p) != f(p + off)) ++interior_touched;
+      } else if (got.at(p) == kSentinel) {
+        ++ghost_unwritten;
+      } else if (got.at(p) != f(p + off)) {
+        ++ghost_wrong;
+      }
+    });
+    EXPECT_EQ(interior_touched, 0) << "exchange wrote into owned cells";
+    EXPECT_EQ(ghost_unwritten, 0) << "ghost cells the exchange never filled";
+    EXPECT_EQ(ghost_wrong, 0);
+    // Receive accounting closes the exactly-once argument: everything that
+    // arrived is one exchange's wire volume, which for the unpadded
+    // exchangers is precisely one double per ghost cell.
+    const std::int64_t ghost_cells = (N + G * 2).prod() - N.prod();
+    EXPECT_EQ(comm.counters().bytes_recv, wire);
+    if (method == 2) {
+      EXPECT_GE(wire, ghost_cells * 8);  // page padding rides along
+    } else {
+      EXPECT_EQ(wire, ghost_cells * 8);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ExchangeWriteSet, ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------------
 // Structural invariants under sweeps of ghost depth and layout.
 // ---------------------------------------------------------------------------
 
@@ -255,6 +348,41 @@ TEST(PlanInvariants, ChunkTableIsGapFreeAndOrdered) {
       }
       EXPECT_EQ(at, s.bytes());
     }
+  }
+}
+
+TEST(PlanInvariants, RecvPlanIsDisjointAndCoversGhostChunksExactly) {
+  // Plan-level companion to ExchangeWriteSet: the receive ranges must be
+  // pairwise disjoint in storage and their union must be exactly the ghost
+  // chunks' payload — one writer per ghost byte by construction, not just
+  // by observed effect.
+  BrickDecomp<3> dec({16, 24, 16}, 8, {8, 8, 8}, surface3d());
+  BrickStorage st = dec.allocate(1);
+  const std::vector<int> nbr(dec.neighbor_order().size(), 0);
+  const auto& chunks = st.chunks();
+  const auto ghost_first = static_cast<std::size_t>(dec.ghost_first_ordinal());
+  const std::size_t ghost_begin = chunks[ghost_first].offset;
+  std::size_t ghost_bytes = 0;
+  for (std::size_t o = ghost_first; o < chunks.size(); ++o)
+    ghost_bytes += chunks[o].bytes;
+
+  for (auto mode : {Exchanger<3>::Mode::Layout, Exchanger<3>::Mode::Basic}) {
+    Exchanger<3> ex(dec, st, nbr, mode);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    ex.visit_recv_ranges([&](int, std::size_t off, std::size_t len) {
+      ranges.emplace_back(off, len);
+    });
+    std::sort(ranges.begin(), ranges.end());
+    std::size_t total = 0, prev_end = ghost_begin;
+    for (const auto& [off, len] : ranges) {
+      EXPECT_GE(off, prev_end) << "overlapping or pre-ghost receive range";
+      prev_end = off + len;
+      total += len;
+    }
+    EXPECT_LE(prev_end, st.bytes());
+    // Disjoint ranges inside the ghost span summing to its full payload
+    // (allocate() pads nothing) can only be an exact partition of it.
+    EXPECT_EQ(total, ghost_bytes);
   }
 }
 

@@ -341,5 +341,80 @@ TEST(Harness, SingleRankRuns) {
   EXPECT_TRUE(run(cfg).validated);
 }
 
+// ---- node-model validation -------------------------------------------------
+
+namespace rpn_test {
+
+Config cheap_config() {
+  Config cfg = small_config(Method::Layout, false);
+  cfg.timesteps = 1;
+  cfg.execute_kernels = false;
+  cfg.validate = false;
+  return cfg;
+}
+
+}  // namespace rpn_test
+
+TEST(Harness, RanksPerNodeMustBePositive) {
+  for (int rpn : {0, -1, -16}) {
+    Config cfg = rpn_test::cheap_config();
+    cfg.machine.net.ranks_per_node = rpn;
+    EXPECT_THROW((void)run(cfg), Error) << "ranks_per_node " << rpn;
+  }
+}
+
+TEST(Harness, NonDivisibleWorldWarnsButRuns) {
+  // 8 ranks over ranks_per_node = 3: the last node runs underfilled; the
+  // harness must say so on stderr and still produce a result.
+  Config cfg = rpn_test::cheap_config();
+  cfg.machine.net.ranks_per_node = 3;
+  ::testing::internal::CaptureStderr();
+  const Result r = run(cfg);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_NE(err.find("not a multiple of ranks_per_node"), std::string::npos)
+      << "stderr was: " << err;
+}
+
+TEST(Harness, DivisibleWorldDoesNotWarn) {
+  Config cfg = rpn_test::cheap_config();
+  cfg.machine.net.ranks_per_node = 4;  // divides the 2x2x2 world evenly
+  ::testing::internal::CaptureStderr();
+  (void)run(cfg);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("ranks_per_node"), std::string::npos)
+      << "unexpected warning: " << err;
+}
+
+// ---- fault schedules through the harness front door ------------------------
+
+TEST(Harness, DelayOnlyFaultScheduleKeepsResultsExact) {
+  Config cfg = small_config(Method::Layout, false);
+  cfg.faults.delay = 1.0;
+  cfg.faults.max_delay = 1e-4;
+  cfg.faults.seed = 3;
+  const Result r = run(cfg);
+  EXPECT_TRUE(r.validated);  // data is untouched by pure delays
+  EXPECT_GT(r.fault_counts.delayed, 0);
+  EXPECT_EQ(r.fault_counts.detected, 0);
+  // Delays can only push virtual time out, never pull it in.
+  const Result clean = run(small_config(Method::Layout, false));
+  EXPECT_GE(r.total_seconds, clean.total_seconds);
+  EXPECT_EQ(clean.fault_counts.messages, 0);  // empty spec: no injector
+}
+
+TEST(Harness, CorruptingFaultScheduleIsDetectedNotSilent) {
+  Config cfg = small_config(Method::Layout, false);
+  cfg.faults.corrupt = 1.0;
+  cfg.faults.seed = 3;
+  try {
+    (void)run(cfg);
+    FAIL() << "corrupted exchange completed without a diagnostic";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fault detected"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace brickx::harness

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "simmpi/comm.h"
+#include "simmpi/fault.h"
+
+namespace brickx::mpi {
+namespace {
+
+NetModel quiet() { return NetModel{}; }
+
+// ---------------------------------------------------------------- spec ----
+
+TEST(FaultSpec, ParseEmptyAndNoneAreAllZero) {
+  for (const char* s : {"", "none"}) {
+    auto spec = parse_fault_spec(s);
+    ASSERT_TRUE(spec.has_value()) << s;
+    EXPECT_FALSE(spec->any());
+    EXPECT_FALSE(spec->corrupting());
+  }
+}
+
+TEST(FaultSpec, ParseFullSpec) {
+  auto spec = parse_fault_spec(
+      "delay=0.25,drop=0.1,duplicate=0.05,reorder=0.05,truncate=0.01,"
+      "corrupt=0.02,seed=42,max-delay=1e-6");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->delay, 0.25);
+  EXPECT_DOUBLE_EQ(spec->drop, 0.1);
+  EXPECT_DOUBLE_EQ(spec->duplicate, 0.05);
+  EXPECT_DOUBLE_EQ(spec->reorder, 0.05);
+  EXPECT_DOUBLE_EQ(spec->truncate, 0.01);
+  EXPECT_DOUBLE_EQ(spec->corrupt, 0.02);
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_DOUBLE_EQ(spec->max_delay, 1e-6);
+  EXPECT_TRUE(spec->any());
+  EXPECT_TRUE(spec->corrupting());
+}
+
+TEST(FaultSpec, DelayOnlyIsNotCorrupting) {
+  auto spec = parse_fault_spec("delay=0.5,reorder=0.5");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->any());
+  EXPECT_FALSE(spec->corrupting());
+}
+
+TEST(FaultSpec, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_fault_spec("delay").has_value());
+  EXPECT_FALSE(parse_fault_spec("delay=").has_value());
+  EXPECT_FALSE(parse_fault_spec("delay=banana").has_value());
+  EXPECT_FALSE(parse_fault_spec("frobnicate=0.5").has_value());
+  EXPECT_FALSE(parse_fault_spec("delay=1.5").has_value());
+  EXPECT_FALSE(parse_fault_spec("delay=-0.1").has_value());
+  // Probabilities summing above 1 are rejected.
+  EXPECT_FALSE(parse_fault_spec("delay=0.7,drop=0.7").has_value());
+}
+
+TEST(FaultSpec, DescribeRoundTrips) {
+  auto spec = parse_fault_spec("delay=0.3,corrupt=0.01,seed=7");
+  ASSERT_TRUE(spec.has_value());
+  auto again = parse_fault_spec(describe(*spec));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_DOUBLE_EQ(again->delay, spec->delay);
+  EXPECT_DOUBLE_EQ(again->corrupt, spec->corrupt);
+  EXPECT_EQ(again->seed, spec->seed);
+}
+
+// ------------------------------------------------------------ checksum ----
+
+TEST(FaultChecksum, DistinguishesPayloads) {
+  const char a[] = "hello, fabric";
+  char b[sizeof a];
+  std::memcpy(b, a, sizeof a);
+  EXPECT_EQ(checksum_bytes(a, sizeof a), checksum_bytes(b, sizeof a));
+  b[4] ^= 0x01;
+  EXPECT_NE(checksum_bytes(a, sizeof a), checksum_bytes(b, sizeof a));
+  // Empty ranges hash to the FNV offset basis, consistently.
+  EXPECT_EQ(checksum_bytes(a, 0), checksum_bytes(b, 0));
+}
+
+// ------------------------------------------------------------ injector ----
+
+TEST(FaultInjector, ScheduleIsDeterministicPerEdgeOrdinal) {
+  FaultSpec spec;
+  spec.seed = 99;
+  spec.delay = 0.2;
+  spec.drop = 0.2;
+  spec.corrupt = 0.2;
+  FaultInjector a(spec), b(spec);
+  // Interleave edges differently across the two injectors; per-edge
+  // decisions must match anyway because the schedule keys on the per-edge
+  // ordinal, not global arrival order.
+  std::vector<FaultKind> seq_a, seq_b;
+  for (int i = 0; i < 64; ++i) {
+    seq_a.push_back(a.decide(0, 1, 5, 256).kind);
+    a.decide(2, 3, 7, 256);  // noise on another edge
+  }
+  for (int i = 0; i < 64; ++i) {
+    b.decide(2, 3, 7, 256);  // noise first this time
+    seq_b.push_back(b.decide(0, 1, 5, 256).kind);
+  }
+  EXPECT_EQ(seq_a, seq_b);
+}
+
+TEST(FaultInjector, SeedChangesSchedule) {
+  FaultSpec s1, s2;
+  s1.delay = s2.delay = 0.5;
+  s1.seed = 1;
+  s2.seed = 2;
+  FaultInjector a(s1), b(s2);
+  int differs = 0;
+  for (int i = 0; i < 128; ++i) {
+    if (a.decide(0, 1, 0, 64).kind != b.decide(0, 1, 0, 64).kind) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjector, CertainProbabilityFiresAlways) {
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  FaultInjector fi(spec);
+  for (int i = 0; i < 16; ++i) {
+    auto d = fi.decide(0, 1, 3, 128);
+    EXPECT_EQ(d.kind, FaultKind::Corrupt);
+    EXPECT_LT(d.corrupt_at, 128u);
+  }
+  EXPECT_EQ(fi.counts().corrupted, 16);
+  EXPECT_EQ(fi.counts().messages, 16);
+}
+
+TEST(FaultInjector, ZeroByteMessagesAreNeverTruncatedOrCorrupted) {
+  FaultSpec spec;
+  spec.truncate = 0.5;
+  spec.corrupt = 0.5;
+  FaultInjector fi(spec);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(fi.decide(0, 1, 0, 0).kind, FaultKind::None);
+  EXPECT_EQ(fi.counts().injected(), 0);
+}
+
+TEST(FaultInjector, ResetRestartsTheSchedule) {
+  FaultSpec spec;
+  spec.delay = 0.4;
+  FaultInjector fi(spec);
+  std::vector<FaultKind> first;
+  for (int i = 0; i < 32; ++i) first.push_back(fi.decide(1, 0, 9, 8).kind);
+  fi.reset();
+  EXPECT_EQ(fi.counts().messages, 0);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(fi.decide(1, 0, 9, 8).kind, first[static_cast<std::size_t>(i)]);
+}
+
+TEST(FaultInjector, RejectsOverfullProbabilities) {
+  FaultSpec spec;
+  spec.delay = 0.8;
+  spec.drop = 0.8;
+  EXPECT_THROW(FaultInjector{spec}, brickx::Error);
+}
+
+// ------------------------------------------------------- runtime seam ----
+
+// Exchange a deterministic payload between two ranks and return what rank 1
+// received plus both final virtual times.
+struct PingResult {
+  std::vector<int> received;
+  double vtime0 = 0.0;
+  double vtime1 = 0.0;
+};
+
+PingResult ping(FaultInjector* fi, int nmsgs = 4) {
+  Runtime rt(2, quiet());
+  rt.set_fault_injector(fi);
+  std::vector<int> got;
+  rt.run([&](Comm& c) {
+    std::vector<int> buf(64);
+    for (int m = 0; m < nmsgs; ++m) {
+      if (c.rank() == 0) {
+        std::iota(buf.begin(), buf.end(), m * 1000);
+        c.send(buf.data(), buf.size() * sizeof(int), 1, m);
+      } else {
+        c.recv(buf.data(), buf.size() * sizeof(int), 0, m);
+        got.insert(got.end(), buf.begin(), buf.end());
+      }
+    }
+  });
+  PingResult r;
+  r.received = std::move(got);
+  r.vtime0 = rt.final_vtime(0);
+  r.vtime1 = rt.final_vtime(1);
+  return r;
+}
+
+TEST(FaultRuntime, DelayOnlyLeavesDataIdenticalAndShiftsTime) {
+  const PingResult clean = ping(nullptr);
+
+  FaultSpec spec;
+  spec.delay = 1.0;  // every message delayed
+  spec.max_delay = 1e-3;
+  FaultInjector fi(spec);
+  const PingResult faulty = ping(&fi);
+
+  EXPECT_EQ(faulty.received, clean.received);  // bit-identical data
+  EXPECT_EQ(fi.counts().delayed, fi.counts().messages);
+  EXPECT_EQ(fi.counts().detected, 0);
+  // The receiver's clock must have moved; delays only ever add time.
+  EXPECT_GT(faulty.vtime1, clean.vtime1);
+  EXPECT_GE(faulty.vtime0, clean.vtime0);
+}
+
+TEST(FaultRuntime, DelayScheduleIsReproducible) {
+  FaultSpec spec;
+  spec.delay = 0.5;
+  spec.seed = 1234;
+  FaultInjector f1(spec), f2(spec);
+  const PingResult a = ping(&f1);
+  const PingResult b = ping(&f2);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_DOUBLE_EQ(a.vtime0, b.vtime0);
+  EXPECT_DOUBLE_EQ(a.vtime1, b.vtime1);
+  EXPECT_EQ(f1.counts().delayed, f2.counts().delayed);
+}
+
+TEST(FaultRuntime, CorruptionIsDetectedNotSilent) {
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  FaultInjector fi(spec);
+  try {
+    ping(&fi);
+    FAIL() << "corrupted payload went undetected";
+  } catch (const brickx::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fault detected"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_GE(fi.counts().detected, 1);
+}
+
+TEST(FaultRuntime, DropSurfacesAsDeliveryTimeout) {
+  FaultSpec spec;
+  spec.drop = 1.0;
+  FaultInjector fi(spec);
+  try {
+    ping(&fi);
+    FAIL() << "dropped payload went undetected";
+  } catch (const brickx::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("dropped in transit"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_GE(fi.counts().detected, 1);
+}
+
+TEST(FaultRuntime, TruncationIsDetected) {
+  FaultSpec spec;
+  spec.truncate = 1.0;
+  FaultInjector fi(spec);
+  try {
+    ping(&fi);
+    FAIL() << "truncated payload went undetected";
+  } catch (const brickx::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated payload"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_GE(fi.counts().detected, 1);
+}
+
+TEST(FaultRuntime, DuplicateOnSharedEdgeTripsSequenceCheck) {
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  FaultInjector fi(spec);
+  // Two messages on the SAME (src, dst, tag) edge: the duplicated replay of
+  // message 1 sits in the mailbox and matches the second receive, where its
+  // stale sequence number is caught.
+  Runtime rt(2, quiet());
+  rt.set_fault_injector(&fi);
+  EXPECT_THROW(rt.run([](Comm& c) {
+    int x = 7;
+    if (c.rank() == 0) {
+      c.send(&x, sizeof x, 1, 0);
+      c.send(&x, sizeof x, 1, 0);
+    } else {
+      c.recv(&x, sizeof x, 0, 0);
+      c.recv(&x, sizeof x, 0, 0);
+    }
+  }),
+               brickx::Error);
+  EXPECT_GE(fi.counts().detected, 1);
+}
+
+TEST(FaultRuntime, UnconsumedDuplicateIsSweptAsLeftover) {
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  FaultInjector fi(spec);
+  Runtime rt(2, quiet());
+  rt.set_fault_injector(&fi);
+  int got = 0;
+  rt.run([&](Comm& c) {
+    int x = 11;
+    if (c.rank() == 0)
+      c.send(&x, sizeof x, 1, 0);
+    else
+      c.recv(&got, sizeof got, 0, 0);
+  });
+  EXPECT_EQ(got, 11);  // the first copy arrived intact
+  EXPECT_EQ(fi.counts().duplicated, 1);
+  EXPECT_EQ(fi.counts().leftover, 1);  // the replay was quarantined
+  EXPECT_EQ(fi.counts().detected, 0);
+}
+
+TEST(FaultRuntime, ReorderAcrossTagsIsBenign) {
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  FaultInjector fi(spec);
+  Runtime rt(2, quiet());
+  rt.set_fault_injector(&fi);
+  int a = 0, b = 0;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      int x = 1, y = 2;
+      // Both sends are held back; wait() is the flush point that finally
+      // releases them, so the run cannot deadlock.
+      Request r1 = c.isend(&x, sizeof x, 1, 0);
+      Request r2 = c.isend(&y, sizeof y, 1, 1);
+      c.wait(r1);
+      c.wait(r2);
+    } else {
+      // Receive in the opposite tag order to exercise (src, tag) matching
+      // against the shuffled mailbox.
+      c.recv(&b, sizeof b, 0, 1);
+      c.recv(&a, sizeof a, 0, 0);
+    }
+  });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(fi.counts().reordered, 2);
+  EXPECT_EQ(fi.counts().detected, 0);
+  EXPECT_EQ(fi.counts().leftover, 0);
+}
+
+TEST(FaultRuntime, NoInjectorMeansNoIntegrityOverheadOrBehaviorChange) {
+  // Two fault-free runs (injector absent) are bit-identical — the seam is
+  // inert by default.
+  const PingResult a = ping(nullptr);
+  const PingResult b = ping(nullptr);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_DOUBLE_EQ(a.vtime1, b.vtime1);
+}
+
+TEST(FaultRuntime, CollectivesFlushHeldMessages) {
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  FaultInjector fi(spec);
+  Runtime rt(2, quiet());
+  rt.set_fault_injector(&fi);
+  int got = 0;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      int x = 5;
+      Request r = c.isend(&x, sizeof x, 1, 0);
+      (void)c.allgather(1.0);  // flush point: releases the held envelope
+      c.wait(r);
+    } else {
+      (void)c.allgather(1.0);
+      c.recv(&got, sizeof got, 0, 0);
+    }
+  });
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(fi.counts().detected, 0);
+}
+
+}  // namespace
+}  // namespace brickx::mpi
