@@ -20,7 +20,7 @@ echo "=== asan-ubsan preset: configure + build ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 
-echo "=== asan-ubsan preset: unit-labeled tests ==="
-ctest --preset asan-ubsan -j "$jobs" -L unit
+echo "=== asan-ubsan preset: unit- and persistent-labeled tests ==="
+ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent'
 
 echo "ci.sh: all green"

@@ -82,8 +82,33 @@ std::size_t PackExchanger::pack(const CellArray3& field) {
   return bytes;
 }
 
+void PackExchanger::make_persistent(mpi::Comm& comm) {
+  BX_CHECK(!pset_.bound(), "pack exchanger already bound");
+  BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
+  for (NMsg& m : msgs_)
+    pset_.add_recv(comm.recv_init(m.rbuf.data(),
+                                  m.rbuf.size() * sizeof(double), m.rank,
+                                  m.recv_tag));
+  for (NMsg& m : msgs_)
+    pset_.add_send(comm.send_init(m.sbuf.data(),
+                                  m.sbuf.size() * sizeof(double), m.rank,
+                                  m.send_tag));
+  pset_.mark_bound();
+}
+
+PlanCost PackExchanger::setup_cost() const {
+  PlanCost c;
+  c.regions = static_cast<std::int64_t>(msgs_.size());  // one box pair each
+  c.messages = static_cast<std::int64_t>(2 * msgs_.size());
+  return c;
+}
+
 void PackExchanger::start(mpi::Comm& comm) {
   BX_CHECK(pending_.empty(), "previous exchange still in flight");
+  if (pset_.bound()) {
+    pset_.start_all();
+    return;
+  }
   for (NMsg& m : msgs_)
     pending_.push_back(comm.irecv(m.rbuf.data(),
                                   m.rbuf.size() * sizeof(double), m.rank,
@@ -94,7 +119,13 @@ void PackExchanger::start(mpi::Comm& comm) {
                                   m.send_tag));
 }
 
-void PackExchanger::finish(mpi::Comm& comm) { comm.waitall(pending_); }
+void PackExchanger::finish(mpi::Comm& comm) {
+  if (pset_.bound()) {
+    pset_.wait_all();
+    return;
+  }
+  comm.waitall(pending_);
+}
 
 std::size_t PackExchanger::unpack(CellArray3& field) {
   std::size_t bytes = 0;
@@ -143,8 +174,38 @@ MpiTypesExchanger::MpiTypesExchanger(const Vec3& domain, std::int64_t ghost,
   }
 }
 
+void MpiTypesExchanger::make_persistent(mpi::Comm& comm, CellArray3& field) {
+  BX_CHECK(!pset_.bound(), "types exchanger already bound");
+  BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
+  bound_field_ = field.raw().data();
+  for (NMsg& m : msgs_)
+    pset_.add_recv(
+        comm.recv_init(field.raw().data(), m.rtype, m.rank, m.recv_tag));
+  for (NMsg& m : msgs_)
+    pset_.add_send(
+        comm.send_init(field.raw().data(), m.stype, m.rank, m.send_tag));
+  pset_.mark_bound();
+}
+
+PlanCost MpiTypesExchanger::setup_cost() const {
+  PlanCost c;
+  c.regions = static_cast<std::int64_t>(msgs_.size());  // one box pair each
+  c.messages = static_cast<std::int64_t>(2 * msgs_.size());
+  c.dt_blocks = datatype_block_count();
+  return c;
+}
+
 void MpiTypesExchanger::start(mpi::Comm& comm, CellArray3& field) {
   BX_CHECK(pending_.empty(), "previous exchange still in flight");
+  if (pset_.bound()) {
+    // Persistent MPI freezes the buffer address at init; replaying against
+    // a different field would silently exchange the wrong data.
+    BX_CHECK(field.raw().data() == bound_field_,
+             "persistent MPI_Types exchange started on a different field "
+             "than the one bound by make_persistent");
+    pset_.start_all();
+    return;
+  }
   for (NMsg& m : msgs_)
     pending_.push_back(
         comm.irecv(field.raw().data(), m.rtype, m.rank, m.recv_tag));
@@ -153,7 +214,13 @@ void MpiTypesExchanger::start(mpi::Comm& comm, CellArray3& field) {
         comm.isend(field.raw().data(), m.stype, m.rank, m.send_tag));
 }
 
-void MpiTypesExchanger::finish(mpi::Comm& comm) { comm.waitall(pending_); }
+void MpiTypesExchanger::finish(mpi::Comm& comm) {
+  if (pset_.bound()) {
+    pset_.wait_all();
+    return;
+  }
+  comm.waitall(pending_);
+}
 
 void MpiTypesExchanger::exchange(mpi::Comm& comm, CellArray3& field) {
   start(comm, field);

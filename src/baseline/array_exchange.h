@@ -6,6 +6,7 @@
 #include "common/bitset.h"
 #include "common/vec.h"
 #include "core/cell_array.h"
+#include "core/exchange_plan.h"
 #include "simmpi/comm.h"
 #include "simmpi/datatype.h"
 
@@ -34,6 +35,16 @@ class PackExchanger {
                 const std::vector<BitSet>& dirs,
                 const std::vector<int>& neighbor_ranks);
 
+  /// Bind the staging buffers to persistent requests; pack/unpack still run
+  /// per round (the data movement is the point of this baseline), only the
+  /// message posting is replayed.
+  void make_persistent(mpi::Comm& comm);
+  [[nodiscard]] bool persistent() const { return pset_.bound(); }
+
+  /// Modeled cost of building the per-neighbor schedule (box derivation +
+  /// message init; no datatypes, no views).
+  [[nodiscard]] PlanCost setup_cost() const;
+
   /// Copy surface cells into the send buffers; returns bytes copied.
   std::size_t pack(const CellArray3& field);
   void start(mpi::Comm& comm);
@@ -61,6 +72,7 @@ class PackExchanger {
     std::vector<double> sbuf, rbuf;
   };
   std::vector<NMsg> msgs_;
+  PersistentSet pset_;
   std::vector<mpi::Request> pending_;
 };
 
@@ -73,6 +85,16 @@ class MpiTypesExchanger {
                     const std::vector<BitSet>& dirs,
                     const std::vector<int>& neighbor_ranks,
                     const CellArray3& field_shape);
+
+  /// Bind the committed datatypes to persistent requests anchored at
+  /// `field`'s raw buffer. Persistent MPI freezes the buffer address, so
+  /// subsequent start() calls must pass the same field (checked).
+  void make_persistent(mpi::Comm& comm, CellArray3& field);
+  [[nodiscard]] bool persistent() const { return pset_.bound(); }
+
+  /// Modeled cost of building the plan: datatype commit dominates (one
+  /// entry per contiguous block of the subarray walks), plus message init.
+  [[nodiscard]] PlanCost setup_cost() const;
 
   void start(mpi::Comm& comm, CellArray3& field);
   void finish(mpi::Comm& comm);
@@ -93,6 +115,8 @@ class MpiTypesExchanger {
     mpi::Datatype stype, rtype;
   };
   std::vector<NMsg> msgs_;
+  PersistentSet pset_;
+  const double* bound_field_ = nullptr;  ///< raw() base make_persistent froze
   std::vector<mpi::Request> pending_;
 };
 

@@ -60,6 +60,9 @@ FuzzConfig draw_config(Rng& rng) {
                                           netsim::MapKind::RoundRobin,
                                           netsim::MapKind::Greedy};
   cfg.mapping = kMaps[rng.below(3)];
+  // Drawn last so earlier fields keep their historical draw sequence for a
+  // given Rng seed (stable replays of archived configs).
+  cfg.persistent = rng.below(2) == 1;
   return cfg;
 }
 
@@ -68,7 +71,8 @@ std::string serialize_config(const FuzzConfig& cfg) {
   std::snprintf(
       buf, sizeof buf,
       "seed=%llu,ranks=%lldx%lldx%lld,brick=%lldx%lldx%lld,ghost=%lld,"
-      "sub=%lldx%lldx%lld,rounds=%d,page=%zu,rpn=%d,fabric=%s,map=%s",
+      "sub=%lldx%lldx%lld,rounds=%d,page=%zu,rpn=%d,fabric=%s,map=%s,"
+      "persist=%d",
       static_cast<unsigned long long>(cfg.seed),
       static_cast<long long>(cfg.rank_dims[0]),
       static_cast<long long>(cfg.rank_dims[1]),
@@ -81,7 +85,7 @@ std::string serialize_config(const FuzzConfig& cfg) {
       static_cast<long long>(cfg.subdomain[1]),
       static_cast<long long>(cfg.subdomain[2]), cfg.rounds, cfg.page_size,
       cfg.ranks_per_node, netsim::fabric_name(cfg.fabric),
-      netsim::map_name(cfg.mapping));
+      netsim::map_name(cfg.mapping), cfg.persistent ? 1 : 0);
   return buf;
 }
 
@@ -134,6 +138,10 @@ std::optional<FuzzConfig> parse_config(std::string_view s) {
         auto m = netsim::parse_mapping(val);
         if (!m) return std::nullopt;
         cfg.mapping = *m;
+      } else if (key == "persist") {
+        const int v = std::stoi(vs);
+        if (v != 0 && v != 1) return std::nullopt;
+        cfg.persistent = v == 1;
       } else {
         return std::nullopt;
       }
@@ -159,6 +167,12 @@ std::vector<FuzzConfig> shrink_candidates(const FuzzConfig& cfg) {
   if (cfg.rounds > 1) {
     FuzzConfig c = cfg;
     c.rounds = 1;
+    push(c);
+  }
+  // Back to the ad-hoc replay path.
+  if (cfg.persistent) {
+    FuzzConfig c = cfg;
+    c.persistent = false;
     push(c);
   }
   // Plain timing model and node shape.

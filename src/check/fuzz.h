@@ -37,6 +37,11 @@ struct FuzzConfig {
   int ranks_per_node = 1;      ///< node shape seen by the fabric
   netsim::FabricKind fabric = netsim::FabricKind::Flat;
   netsim::MapKind mapping = netsim::MapKind::Block;
+  /// Replay each method over persistent requests (build-once plans bound
+  /// with make_persistent) instead of ad-hoc isend/irecv. Drawn randomly so
+  /// the oracle cross-checks both paths — including under fault injection,
+  /// where plan handles must survive a faulted round without dangling.
+  bool persistent = false;
 
   [[nodiscard]] int nranks() const { return static_cast<int>(rank_dims.prod()); }
 };

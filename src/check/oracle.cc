@@ -127,6 +127,10 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
         pack.emplace(N, g, dirs, nbrs);
       else
         types.emplace(N, g, dirs, nbrs, field);
+      if (cfg.persistent) {
+        if (pack) pack->make_persistent(comm);
+        if (types) types->make_persistent(comm, field);
+      }
       for (int round = 0; round < cfg.rounds; ++round) {
         fill_own(field, round);
         if (pack)
@@ -157,6 +161,12 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
       ex.emplace(dec, store, ranks_tbl,
                  m == M::Basic ? Exchanger<3>::Mode::Basic
                                : Exchanger<3>::Mode::Layout);
+    if (cfg.persistent) {
+      // Bound plan handles must also survive a faulted round (the throw
+      // unwinds through the Persistent destructors while in flight).
+      if (ev) ev->make_persistent(comm);
+      if (ex) ex->make_persistent(comm);
+    }
 
     CellArray3 own(Box<3>{{0, 0, 0}, N});
     CellArray3 fr(frame_box);

@@ -76,8 +76,11 @@ Exchanger<D>::Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
   const bool merge = mode == Mode::Layout;
   const auto& chunks = storage.chunks();
 
-  // Sends: for each direction, runs of surface chunks.
+  // Sends: for each direction, runs of surface chunks. Each scan over the
+  // region table and each message built is one-time plan work, tallied into
+  // the plan's setup cost.
   for (std::size_t v = 0; v < nbrs.size(); ++v) {
+    plan_.cost.regions += dec.surface_region_count();
     const auto groups = plan_send_groups(dec, storage, nbrs[v], merge);
     BX_CHECK(static_cast<int>(groups.size()) <= kRunTagStride,
              "tag space too small for run count");
@@ -85,11 +88,11 @@ Exchanger<D>::Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
       const auto& g = groups[k];
       const auto& first = chunks[static_cast<std::size_t>(g.front())];
       const auto& last = chunks[static_cast<std::size_t>(g.back())];
-      sends_.push_back(Wire{neighbor_ranks[v],
-                            static_cast<int>(v) * kRunTagStride +
-                                static_cast<int>(k),
-                            first.offset,
-                            last.offset + last.bytes - first.offset});
+      plan_.sends.push_back(PlanWire{neighbor_ranks[v],
+                                     static_cast<int>(v) * kRunTagStride +
+                                         static_cast<int>(k),
+                                     first.offset,
+                                     last.offset + last.bytes - first.offset});
     }
   }
 
@@ -111,6 +114,7 @@ Exchanger<D>::Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
       }
       brickx::fail("ghost chunk not found for (nu, sigma)");
     };
+    plan_.cost.regions += dec.surface_region_count();
     const auto groups = plan_send_groups(dec, storage, from_dir, merge);
     for (std::size_t k = 0; k < groups.size(); ++k) {
       const auto& g = groups[k];
@@ -126,34 +130,58 @@ Exchanger<D>::Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
       const std::size_t span = last.offset + last.bytes - first.offset;
       BX_CHECK(span == expect,
                "ghost chunk group is not contiguous where the sender merged");
-      recvs_.push_back(Wire{neighbor_ranks[v],
-                            from_v * kRunTagStride + static_cast<int>(k),
-                            first.offset, span});
+      plan_.recvs.push_back(PlanWire{neighbor_ranks[v],
+                                     from_v * kRunTagStride +
+                                         static_cast<int>(k),
+                                     first.offset, span});
     }
   }
+  plan_.cost.messages +=
+      static_cast<std::int64_t>(plan_.sends.size() + plan_.recvs.size());
+}
+
+template <int D>
+void Exchanger<D>::make_persistent(mpi::Comm& comm) {
+  BX_CHECK(!pset_.bound(), "exchanger already bound to persistent requests");
+  BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
+  for (const PlanWire& w : plan_.recvs)
+    pset_.add_recv(
+        comm.recv_init(storage_->data() + w.offset, w.bytes, w.rank, w.tag));
+  for (const PlanWire& w : plan_.sends)
+    pset_.add_send(
+        comm.send_init(storage_->data() + w.offset, w.bytes, w.rank, w.tag));
+  pset_.mark_bound();
 }
 
 template <int D>
 void Exchanger<D>::start(mpi::Comm& comm) {
   BX_CHECK(pending_.empty(), "previous exchange still in flight");
-  pending_.reserve(sends_.size() + recvs_.size());
-  for (const Wire& w : recvs_)
+  if (pset_.bound()) {
+    pset_.start_all();
+    return;
+  }
+  pending_.reserve(plan_.sends.size() + plan_.recvs.size());
+  for (const PlanWire& w : plan_.recvs)
     pending_.push_back(
         comm.irecv(storage_->data() + w.offset, w.bytes, w.rank, w.tag));
-  for (const Wire& w : sends_)
+  for (const PlanWire& w : plan_.sends)
     pending_.push_back(
         comm.isend(storage_->data() + w.offset, w.bytes, w.rank, w.tag));
 }
 
 template <int D>
 void Exchanger<D>::finish(mpi::Comm& comm) {
+  if (pset_.bound()) {
+    pset_.wait_all();
+    return;
+  }
   comm.waitall(pending_);
 }
 
 template <int D>
 std::int64_t Exchanger<D>::send_byte_count() const {
   std::int64_t n = 0;
-  for (const Wire& w : sends_) n += static_cast<std::int64_t>(w.bytes);
+  for (const PlanWire& w : plan_.sends) n += static_cast<std::int64_t>(w.bytes);
   return n;
 }
 
@@ -175,6 +203,7 @@ NetworkFloorExchanger<D>::NetworkFloorExchanger(
   std::size_t total = 0;
   std::vector<std::size_t> send_bytes(nbrs.size(), 0);
   for (std::size_t v = 0; v < nbrs.size(); ++v) {
+    plan_.cost.regions += dec.surface_region_count();
     for (const auto& g : plan_send_groups(dec, storage, nbrs[v], true))
       for (int o : g) {
         const auto& c = storage.chunks()[static_cast<std::size_t>(o)];
@@ -186,37 +215,61 @@ NetworkFloorExchanger<D>::NetworkFloorExchanger(
   std::size_t at = 0;
   for (std::size_t v = 0; v < nbrs.size(); ++v) {
     if (send_bytes[v] == 0) continue;
-    sends_.push_back(
-        Wire{neighbor_ranks[v], static_cast<int>(v), at, send_bytes[v]});
+    plan_.sends.push_back(
+        PlanWire{neighbor_ranks[v], static_cast<int>(v), at, send_bytes[v]});
     at += send_bytes[v];
     // The matching receive has the same volume by symmetry of the
     // decomposition (neighbor at ν sends toward flip(ν), same geometry).
     const int from_tag = dec.neighbor_ordinal(nbrs[v].flipped());
-    recvs_.push_back(Wire{neighbor_ranks[v], from_tag, at, send_bytes[v]});
+    plan_.recvs.push_back(
+        PlanWire{neighbor_ranks[v], from_tag, at, send_bytes[v]});
     at += send_bytes[v];
   }
+  plan_.cost.messages +=
+      static_cast<std::int64_t>(plan_.sends.size() + plan_.recvs.size());
+}
+
+template <int D>
+void NetworkFloorExchanger<D>::make_persistent(mpi::Comm& comm) {
+  BX_CHECK(!pset_.bound(), "exchanger already bound to persistent requests");
+  BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
+  for (const PlanWire& w : plan_.recvs)
+    pset_.add_recv(
+        comm.recv_init(scratch_.data() + w.offset, w.bytes, w.rank, w.tag));
+  for (const PlanWire& w : plan_.sends)
+    pset_.add_send(
+        comm.send_init(scratch_.data() + w.offset, w.bytes, w.rank, w.tag));
+  pset_.mark_bound();
 }
 
 template <int D>
 void NetworkFloorExchanger<D>::start(mpi::Comm& comm) {
   BX_CHECK(pending_.empty(), "previous exchange still in flight");
-  for (const Wire& w : recvs_)
+  if (pset_.bound()) {
+    pset_.start_all();
+    return;
+  }
+  for (const PlanWire& w : plan_.recvs)
     pending_.push_back(
         comm.irecv(scratch_.data() + w.offset, w.bytes, w.rank, w.tag));
-  for (const Wire& w : sends_)
+  for (const PlanWire& w : plan_.sends)
     pending_.push_back(
         comm.isend(scratch_.data() + w.offset, w.bytes, w.rank, w.tag));
 }
 
 template <int D>
 void NetworkFloorExchanger<D>::finish(mpi::Comm& comm) {
+  if (pset_.bound()) {
+    pset_.wait_all();
+    return;
+  }
   comm.waitall(pending_);
 }
 
 template <int D>
 std::int64_t NetworkFloorExchanger<D>::send_byte_count() const {
   std::int64_t n = 0;
-  for (const Wire& w : sends_) n += static_cast<std::int64_t>(w.bytes);
+  for (const PlanWire& w : plan_.sends) n += static_cast<std::int64_t>(w.bytes);
   return n;
 }
 

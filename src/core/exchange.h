@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/decomp.h"
+#include "core/exchange_plan.h"
 #include "simmpi/cart.h"
 #include "simmpi/comm.h"
 
@@ -23,8 +24,11 @@ std::vector<int> populate(const mpi::Cart<D>& cart, const BrickDecomp<D>& dec);
 ///  * Mode::Basic sends each (region, neighbor) instance separately
 ///    (98 messages in 3D) — the unoptimized reference from Section 3.2.
 ///
-/// Messages are planned once at construction and replayed each timestep
-/// (the pattern is Static).
+/// The message schedule is frozen once at construction into an
+/// ExchangePlan (the pattern is Static) and replayed each timestep — either
+/// ad hoc (fresh isend/irecv per round) or, after make_persistent(), over
+/// persistent requests. Both replay paths are bit-identical in exchanged
+/// bytes, counters and virtual time.
 template <int D>
 class Exchanger {
  public:
@@ -34,6 +38,13 @@ class Exchanger {
   /// allocated from `dec` (chunk geometry must match).
   Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
             const std::vector<int>& neighbor_ranks, Mode mode);
+
+  /// Bind the frozen plan to persistent requests on `comm`: every wire gets
+  /// a Comm::send_init/recv_init, and subsequent rounds replay via
+  /// Persistent::start/wait. Call at most once, before any exchange round
+  /// is in flight.
+  void make_persistent(mpi::Comm& comm);
+  [[nodiscard]] bool persistent() const { return pset_.bound(); }
 
   /// Post receives then sends (paper's communication start).
   void start(mpi::Comm& comm);
@@ -45,9 +56,13 @@ class Exchanger {
     finish(comm);
   }
 
+  /// The frozen schedule and the modeled cost of building it.
+  [[nodiscard]] const ExchangePlan& plan() const { return plan_; }
+  [[nodiscard]] PlanCost setup_cost() const { return plan_.cost; }
+
   /// Messages sent per exchange by this rank (Fig. 4 / Table 1 accounting).
   [[nodiscard]] std::int64_t send_message_count() const {
-    return static_cast<std::int64_t>(sends_.size());
+    return static_cast<std::int64_t>(plan_.sends.size());
   }
   [[nodiscard]] std::int64_t send_byte_count() const;
 
@@ -57,18 +72,13 @@ class Exchanger {
   /// receives could otherwise hide behind page padding or identical data.
   template <typename F>
   void visit_recv_ranges(F&& fn) const {
-    for (const Wire& w : recvs_) fn(w.rank, w.offset, w.bytes);
+    for (const PlanWire& w : plan_.recvs) fn(w.rank, w.offset, w.bytes);
   }
 
  private:
-  struct Wire {
-    int rank;            ///< peer
-    int tag;
-    std::size_t offset;  ///< into storage
-    std::size_t bytes;
-  };
   BrickStorage* storage_;
-  std::vector<Wire> sends_, recvs_;
+  ExchangePlan plan_;
+  PersistentSet pset_;
   std::vector<mpi::Request> pending_;
 };
 
@@ -88,6 +98,10 @@ class NetworkFloorExchanger {
                         const std::vector<int>& neighbor_ranks,
                         bool padded = false);
 
+  /// Bind the per-neighbor scratch wires to persistent requests.
+  void make_persistent(mpi::Comm& comm);
+  [[nodiscard]] bool persistent() const { return pset_.bound(); }
+
   void start(mpi::Comm& comm);
   void finish(mpi::Comm& comm);
   void exchange(mpi::Comm& comm) {
@@ -95,20 +109,18 @@ class NetworkFloorExchanger {
     finish(comm);
   }
 
+  [[nodiscard]] const ExchangePlan& plan() const { return plan_; }
+  [[nodiscard]] PlanCost setup_cost() const { return plan_.cost; }
+
   [[nodiscard]] std::int64_t send_message_count() const {
-    return static_cast<std::int64_t>(sends_.size());
+    return static_cast<std::int64_t>(plan_.sends.size());
   }
   [[nodiscard]] std::int64_t send_byte_count() const;
 
  private:
-  struct Wire {
-    int rank;
-    int tag;
-    std::size_t offset;
-    std::size_t bytes;
-  };
   std::vector<std::byte> scratch_;
-  std::vector<Wire> sends_, recvs_;
+  ExchangePlan plan_;
+  PersistentSet pset_;
   std::vector<mpi::Request> pending_;
 };
 

@@ -53,12 +53,38 @@ ExchangeView<D>::ExchangeView(const BrickDecomp<D>& dec, BrickStorage& storage,
                              dec.neighbor_ordinal(nu.flipped()), rb.build()});
     BX_CHECK(sb.total() == rb.total(),
              "send and receive views disagree in size");
+    // Plan-cost tally: both builders scanned the region table once each.
+    scanned_regions_ += static_cast<std::int64_t>(dec.regions().size());
   }
+}
+
+template <int D>
+PlanCost ExchangeView<D>::setup_cost() const {
+  PlanCost c;
+  c.regions = scanned_regions_;
+  c.messages = static_cast<std::int64_t>(sends_.size() + recvs_.size());
+  c.mmap_segments = view_segment_count();
+  return c;
+}
+
+template <int D>
+void ExchangeView<D>::make_persistent(mpi::Comm& comm) {
+  BX_CHECK(!pset_.bound(), "exchange view already bound to persistent requests");
+  BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
+  for (VWire& w : recvs_)
+    pset_.add_recv(comm.recv_init(w.view.data(), w.view.size(), w.rank, w.tag));
+  for (VWire& w : sends_)
+    pset_.add_send(comm.send_init(w.view.data(), w.view.size(), w.rank, w.tag));
+  pset_.mark_bound();
 }
 
 template <int D>
 void ExchangeView<D>::start(mpi::Comm& comm) {
   BX_CHECK(pending_.empty(), "previous exchange still in flight");
+  if (pset_.bound()) {
+    pset_.start_all();
+    return;
+  }
   for (VWire& w : recvs_)
     pending_.push_back(
         comm.irecv(w.view.data(), w.view.size(), w.rank, w.tag));
@@ -69,6 +95,10 @@ void ExchangeView<D>::start(mpi::Comm& comm) {
 
 template <int D>
 void ExchangeView<D>::finish(mpi::Comm& comm) {
+  if (pset_.bound()) {
+    pset_.wait_all();
+    return;
+  }
   comm.waitall(pending_);
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/decomp.h"
+#include "core/exchange_plan.h"
 #include "memmap/view.h"
 #include "simmpi/comm.h"
 
@@ -23,12 +24,21 @@ class ExchangeView {
   ExchangeView(const BrickDecomp<D>& dec, BrickStorage& storage,
                const std::vector<int>& neighbor_ranks);
 
+  /// Bind every view wire to a persistent request; later rounds replay via
+  /// Persistent::start/wait on the resolved view spans.
+  void make_persistent(mpi::Comm& comm);
+  [[nodiscard]] bool persistent() const { return pset_.bound(); }
+
   void start(mpi::Comm& comm);
   void finish(mpi::Comm& comm);
   void exchange(mpi::Comm& comm) {
     start(comm);
     finish(comm);
   }
+
+  /// Modeled cost of building this plan: mmap view-span resolution
+  /// dominates (one entry per live segment), plus per-message init.
+  [[nodiscard]] PlanCost setup_cost() const;
 
   /// Always 3^D - 1 (minus neighbors with empty payload).
   [[nodiscard]] std::int64_t send_message_count() const {
@@ -61,8 +71,10 @@ class ExchangeView {
     mm::View view;
   };
   std::vector<VWire> sends_, recvs_;
+  PersistentSet pset_;
   std::vector<mpi::Request> pending_;
   std::int64_t payload_bytes_ = 0;
+  std::int64_t scanned_regions_ = 0;
 };
 
 }  // namespace brickx

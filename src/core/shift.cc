@@ -148,12 +148,42 @@ ShiftExchanger<D>::ShiftExchanger(
         i = j;
       }
       BX_CHECK(run <= 64, "tag space too small for shift runs");
+      cost_.regions += static_cast<std::int64_t>(dec.regions().size());
     }
+    cost_.messages += static_cast<std::int64_t>(
+        phases_[static_cast<std::size_t>(a)].sends.size() +
+        phases_[static_cast<std::size_t>(a)].recvs.size());
+  }
+}
+
+template <int D>
+void ShiftExchanger<D>::make_persistent(mpi::Comm& comm) {
+  BX_CHECK(!psets_[0].bound(),
+           "shift exchanger already bound to persistent requests");
+  for (int a = 0; a < D; ++a) {
+    const Phase& phase = phases_[static_cast<std::size_t>(a)];
+    PersistentSet& ps = psets_[static_cast<std::size_t>(a)];
+    for (const Wire& w : phase.recvs)
+      ps.add_recv(
+          comm.recv_init(storage_->data() + w.offset, w.bytes, w.rank, w.tag));
+    for (const Wire& w : phase.sends)
+      ps.add_send(
+          comm.send_init(storage_->data() + w.offset, w.bytes, w.rank, w.tag));
+    ps.mark_bound();
   }
 }
 
 template <int D>
 void ShiftExchanger<D>::exchange(mpi::Comm& comm) {
+  if (psets_[0].bound()) {
+    for (PersistentSet& ps : psets_) {
+      ps.start_all();
+      // Phases are dependent: corner data forwarded in phase a+1 must have
+      // arrived in phase a.
+      ps.wait_all();
+    }
+    return;
+  }
   for (const Phase& phase : phases_) {
     std::vector<mpi::Request> pending;
     pending.reserve(phase.sends.size() + phase.recvs.size());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/decomp.h"
+#include "core/exchange_plan.h"
 #include "simmpi/cart.h"
 #include "simmpi/comm.h"
 
@@ -33,9 +34,17 @@ class ShiftExchanger {
   ShiftExchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
                  const std::vector<std::array<int, 2>>& axis_neighbor_ranks);
 
+  /// Bind every phase's wires to persistent requests (one set per phase;
+  /// the inter-phase waits are unchanged).
+  void make_persistent(mpi::Comm& comm);
+  [[nodiscard]] bool persistent() const { return psets_[0].bound(); }
+
   /// Run all D phases; each phase completes (waits) before the next posts,
   /// which is the synchronization Shift trades for its low message count.
   void exchange(mpi::Comm& comm);
+
+  /// Modeled cost of building the D phase schedules.
+  [[nodiscard]] PlanCost setup_cost() const { return cost_; }
 
   /// Total messages this rank sends per exchange (summed over phases).
   [[nodiscard]] std::int64_t send_message_count() const;
@@ -54,6 +63,8 @@ class ShiftExchanger {
   };
   BrickStorage* storage_;
   std::array<Phase, D> phases_;
+  std::array<PersistentSet, D> psets_;
+  PlanCost cost_;
 };
 
 /// Neighbor ranks along each axis for ShiftExchanger.

@@ -62,7 +62,9 @@ class GpuRegs {
 
 struct RankOut {
   double calc = 0, pack = 0, call = 0, wait = 0, span = 0;
+  double setup = 0, replan = 0;  ///< plan-build time (see DESIGN.md §9)
   std::int64_t msgs = 0, wire = 0, payload = 0;
+  std::int64_t builds = 0;  ///< exchange-plan constructions on this rank
   double padding = 0;
   bool validated = false;
 };
@@ -160,6 +162,9 @@ Result run(const Config& cfg) {
                (is_brick && cfg.method != Method::Shift &&
                 cfg.method != Method::Network && !cfg.memmap_floor_proxy),
            "overlap is supported for the Basic/Layout/MemMap brick methods");
+  BX_CHECK(!(cfg.plan == PlanMode::PerRound && cfg.gpu != GpuMode::None),
+           "the plan-per-round ablation is CPU-only (rebuilding exchangers "
+           "would churn the GPU range registrations)");
 
   // The node model must be coherent with the world size before any fabric
   // (flat or routed) derives node assignments from it.
@@ -229,6 +234,13 @@ Result run(const Config& cfg) {
     std::function<void(const Box<3>&)> compute_fn;
     std::function<double()> host_pack_seconds;  // modeled on-node movement
     std::function<bool()> validate_fn;
+    // Plan lifetime hooks, set per family below: bind_fn binds the frozen
+    // plan(s) to persistent requests (BuildOnce); rebuild_fn reconstructs
+    // the exchanger the upcoming round uses (PerRound); plan_cost_fn
+    // returns the modeled cost of one plan build. replan_fn composes them.
+    std::function<void()> bind_fn, rebuild_fn, replan_fn;
+    std::function<PlanCost()> plan_cost_fn;
+    int plan_copies = 1;  ///< plans built up front (2 for double-buffered)
     int input = 0;  // double-buffer selector
 
     // Brick family state.
@@ -319,6 +331,12 @@ Result run(const Config& cfg) {
             comm.compute(secs);
           }
         };
+        bind_fn = [&] { floor->make_persistent(comm); };
+        // ranks is block-local: rebuild closures outlive it, so copy it in.
+        rebuild_fn = [&, ranks] {
+          floor.emplace(*dec, stores[0], ranks, /*padded=*/true);
+        };
+        plan_cost_fn = [&] { return floor->setup_cost(); };
       } else if (cfg.method == Method::MemMap) {
         // Ghost-cell expansion gives an even steps-per-exchange, so only
         // stores[0] is ever on the exchanging side; building views for it
@@ -349,6 +367,15 @@ Result run(const Config& cfg) {
           evs[0].start(comm);
         };
         finish_fn = [&] { evs[0].finish(comm); };
+        bind_fn = [&] { evs[0].make_persistent(comm); };
+        rebuild_fn = [&, ranks] {
+          // clear-then-emplace: tears down the old mmap views before
+          // stitching fresh ones (PerRound is CPU-only, so no GPU aliases
+          // need re-registering).
+          evs.clear();
+          evs.emplace_back(*dec, stores[0], ranks);
+        };
+        plan_cost_fn = [&] { return evs[0].setup_cost(); };
       } else if (cfg.method == Method::Shift) {
         const auto axis_ranks = shift_neighbors(cart);
         for (auto& st : stores) shs.emplace_back(*dec, st, axis_ranks);
@@ -360,12 +387,24 @@ Result run(const Config& cfg) {
         finish_fn = [&] {
           shs[static_cast<std::size_t>(input)].exchange(comm);
         };
+        bind_fn = [&] {
+          for (auto& sh : shs) sh.make_persistent(comm);
+        };
+        rebuild_fn = [&, axis_ranks] {
+          shs[static_cast<std::size_t>(input)] = ShiftExchanger<3>(
+              *dec, stores[static_cast<std::size_t>(input)], axis_ranks);
+        };
+        plan_cost_fn = [&] { return shs[0].setup_cost(); };
+        plan_copies = 2;
       } else if (cfg.method == Method::Network) {
         floor.emplace(*dec, stores[0], ranks);
         out.msgs = floor->send_message_count();
         out.wire = out.payload = floor->send_byte_count();
         start_fn = [&] { floor->start(comm); };
         finish_fn = [&] { floor->finish(comm); };
+        bind_fn = [&] { floor->make_persistent(comm); };
+        rebuild_fn = [&, ranks] { floor.emplace(*dec, stores[0], ranks); };
+        plan_cost_fn = [&] { return floor->setup_cost(); };
       } else {
         const auto mode = cfg.method == Method::Layout
                               ? Exchanger<3>::Mode::Layout
@@ -375,6 +414,15 @@ Result run(const Config& cfg) {
         out.wire = out.payload = exs[0].send_byte_count();
         start_fn = [&] { exs[static_cast<std::size_t>(input)].start(comm); };
         finish_fn = [&] { exs[static_cast<std::size_t>(input)].finish(comm); };
+        bind_fn = [&] {
+          for (auto& ex : exs) ex.make_persistent(comm);
+        };
+        rebuild_fn = [&, ranks, mode] {
+          exs[static_cast<std::size_t>(input)] = Exchanger<3>(
+              *dec, stores[static_cast<std::size_t>(input)], ranks, mode);
+        };
+        plan_cost_fn = [&] { return exs[0].setup_cost(); };
+        plan_copies = 2;
       }
 
       // Initialize the input field from global coordinates.
@@ -461,6 +509,10 @@ Result run(const Config& cfg) {
           comm.compute(onnode_seconds(
               packer->unpack(fields[static_cast<std::size_t>(input)])));
         };
+        bind_fn = [&] { packer->make_persistent(comm); };
+        // dirs/ranks are block-local; the rebuild closure outlives them.
+        rebuild_fn = [&, dirs, ranks] { packer.emplace(N, g, dirs, ranks); };
+        plan_cost_fn = [&] { return packer->setup_cost(); };
       } else if (cfg.method == Method::MpiTypes) {
         typer.emplace(N, g, dirs, ranks, fields[0]);
         out.msgs = typer->send_message_count();
@@ -469,6 +521,14 @@ Result run(const Config& cfg) {
           typer->start(comm, fields[static_cast<std::size_t>(input)]);
         };
         finish_fn = [&] { typer->finish(comm); };
+        // Persistent MPI freezes the buffer address; binding to fields[0]
+        // is safe because steps_per_exchange is always even, so every
+        // exchange round lands on input == 0 (checked in start()).
+        bind_fn = [&] { typer->make_persistent(comm, fields[0]); };
+        rebuild_fn = [&, dirs, ranks] {
+          typer.emplace(N, g, dirs, ranks, fields[0]);
+        };
+        plan_cost_fn = [&] { return typer->setup_cost(); };
       } else {
         brickx::fail("unsupported array-family method");
       }
@@ -521,6 +581,35 @@ Result run(const Config& cfg) {
       };
     }
 
+    // ---- plan lifetime (DESIGN.md §9) --------------------------------------
+    if (cfg.plan == PlanMode::BuildOnce) {
+      // Bind the frozen plan(s) to persistent requests and charge the
+      // modeled one-time build cost now — before warmup and the barrier
+      // below. The barrier equalizes every rank's clock, so measured
+      // results stay byte-identical to pre-plan builds; the setup cost is
+      // visible only through Result::setup_seconds and the trace.
+      const double t0 = comm.clock().now();
+      {
+        obs::ObsSpan sp(obs::Cat::Setup, "plan_setup", -1);
+        if (bind_fn) bind_fn();
+        if (plan_cost_fn) {
+          double secs = 0;
+          for (int i = 0; i < plan_copies; ++i)
+            secs += plan_cost_fn().seconds(comm.net());
+          comm.compute(secs);
+        }
+      }
+      out.setup = comm.clock().now() - t0;
+      out.builds = plan_copies;
+    } else {
+      out.builds = plan_copies;  // the constructions above
+      replan_fn = [&] {
+        if (rebuild_fn) rebuild_fn();
+        if (plan_cost_fn) comm.compute(plan_cost_fn().seconds(comm.net()));
+        ++out.builds;
+      };
+    }
+
     // ---- the timestep loop -------------------------------------------------
     // Each phase is both delta-accumulated on the virtual clock (works with
     // obs compiled out) and wrapped in a step-tagged ObsSpan; after the loop
@@ -531,6 +620,16 @@ Result run(const Config& cfg) {
     auto one_step = [&](int step, bool measured) {
       const std::int64_t s = step % k;
       const std::int64_t id = measured ? step : -1;
+      if (s == 0 && replan_fn) {
+        // PerRound ablation: tear down and rebuild this round's plan inside
+        // the measured loop, charging the modeled build cost each time.
+        const double r0 = now();
+        {
+          obs::ObsSpan sp(obs::Cat::Setup, "replan", id);
+          replan_fn();
+        }
+        if (measured) out.replan += now() - r0;
+      }
       if (s == 0 && cfg.overlap) {
         // Prior-work overlap: interior cells depend on no ghost data, so
         // they compute while the exchange is in flight; the shell follows
@@ -624,6 +723,9 @@ Result run(const Config& cfg) {
       out.pack = obs::phase_sum(lg, obs::Cat::Pack, "pack");
       out.call = obs::phase_sum(lg, obs::Cat::Call, "call");
       out.wait = obs::phase_sum(lg, obs::Cat::Wait, "wait");
+      // The one-time plan_setup span carries step = -1, so phase_sum only
+      // sees the measured in-loop rebuilds — matching out.replan's deltas.
+      out.replan = obs::phase_sum(lg, obs::Cat::Setup, "replan");
     }
 #endif
     // Per-rank metrics into the obs registry (the thread is still bound).
@@ -638,6 +740,9 @@ Result run(const Config& cfg) {
     obs::hist_add("harness.pack_s", out.pack / steps_d);
     obs::hist_add("harness.call_s", out.call / steps_d);
     obs::hist_add("harness.wait_s", out.wait / steps_d);
+    obs::hist_add("harness.plan_setup_s", out.setup);
+    obs::hist_add("harness.replan_s", out.replan / steps_d);
+    obs::counter_add("plan.builds", out.builds);
 
     if (validate) out.validated = validate_fn();
     outs[static_cast<std::size_t>(comm.rank())] = out;
@@ -652,8 +757,12 @@ Result run(const Config& cfg) {
     res.pack.add(o.pack / steps);
     res.call.add(o.call / steps);
     res.wait.add(o.wait / steps);
+    res.plan_setup.add(o.setup);
+    res.replan_per_step += o.replan / steps / static_cast<double>(nranks);
     all_valid = all_valid && o.validated;
   }
+  res.setup_seconds = res.plan_setup.avg();
+  res.plan_builds_per_rank = outs[0].builds;
   res.total_seconds = outs[0].span;
   res.calc_per_step = res.calc.avg();
   res.comm_per_step = res.pack.avg() + res.call.avg() + res.wait.avg();

@@ -39,6 +39,19 @@ enum class GpuMode {
 
 const char* method_name(Method m);
 
+/// When an exchanger's frozen plan is built relative to the measured rounds
+/// (the abl_persistent ablation axis; see DESIGN.md §9).
+enum class PlanMode {
+  /// Build the plan once before the measured loop, bind it to persistent
+  /// requests, and replay it every round. The modeled setup cost is charged
+  /// pre-measurement and reported separately (Result::setup_seconds).
+  BuildOnce,
+  /// Rebuild the plan at the start of every exchange round inside the
+  /// measured loop — the plan-per-round strawman whose per-step cost lands
+  /// in Result::replan_per_step.
+  PerRound,
+};
+
 struct Config {
   model::Machine machine = model::theta();
   Vec3 rank_dims{2, 2, 2};   ///< process grid (prod == world size)
@@ -84,6 +97,9 @@ struct Config {
   /// run() throw with a "fault detected" diagnostic rather than return
   /// silently wrong data — see src/check and DESIGN.md §8.
   mpi::FaultSpec faults{};
+  /// Plan lifetime: build-once/replay (the default, and byte-identical in
+  /// measured output to pre-plan builds) vs forced plan-per-round.
+  PlanMode plan = PlanMode::BuildOnce;
 };
 
 /// Per-timestep phase decomposition, exactly the artifact's five metrics:
@@ -105,6 +121,13 @@ struct Result {
   std::int64_t bytes_recv_per_rank = 0;
   /// Deepest any rank kept the NIC pipeline (pending isend/irecv Requests).
   std::int64_t max_inflight_reqs = 0;
+  /// Setup vs steady state (DESIGN.md §9). In BuildOnce mode the one-time
+  /// plan cost is charged before the measured loop and reported here; in
+  /// PerRound mode the forced rebuilds land inside measured steps instead.
+  Stats plan_setup;              ///< per-rank one-time plan build seconds
+  double setup_seconds = 0;      ///< plan_setup average over ranks
+  double replan_per_step = 0;    ///< forced in-loop rebuild s/step (PerRound)
+  std::int64_t plan_builds_per_rank = 0;  ///< plan constructions per rank
   bool validated = false;       ///< set when cfg.validate passed
   /// Fabric-level observability, filled for non-flat fabrics (all zero
   /// under the default flat model).

@@ -41,8 +41,9 @@ enum class Cat : std::uint8_t {
   MmapSetup,
   UmMigrate,
   Collective,
+  Setup,  ///< exchange-plan construction (build-once or forced replan)
 };
-inline constexpr int kCatCount = 8;
+inline constexpr int kCatCount = 9;
 
 /// Stable lowercase category string ("calc", "dt_pack", ...).
 inline const char* cat_name(Cat c) {
@@ -63,6 +64,8 @@ inline const char* cat_name(Cat c) {
       return "um_migrate";
     case Cat::Collective:
       return "collective";
+    case Cat::Setup:
+      return "setup";
   }
   return "?";
 }

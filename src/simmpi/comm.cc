@@ -42,7 +42,7 @@ Request Comm::isend(const void* buf, std::size_t bytes, int dest, int tag) {
 
 Request Comm::isend(const void* buf, const Datatype& type, int dest,
                     int tag) {
-  return isend_impl(buf, type.size(), &type, dest, tag);
+  return isend_impl(buf, type.size(), type.flat_ptr(), dest, tag);
 }
 
 Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
@@ -50,11 +50,12 @@ Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
 }
 
 Request Comm::irecv(void* buf, const Datatype& type, int src, int tag) {
-  return irecv_impl(buf, type.size(), &type, src, tag);
+  return irecv_impl(buf, type.size(), type.flat_ptr(), src, tag);
 }
 
 Request Comm::isend_impl(const void* buf, std::size_t bytes,
-                         const Datatype* type, int dest, int tag) {
+                         std::shared_ptr<const FlatType> flat, int dest,
+                         int tag) {
   BX_CHECK(dest >= 0 && dest < size_, "isend: bad destination rank");
   obs::ObsSpan op_span(obs::Cat::Call, "mpi_isend");
   const NetModel& m = rt_->model_;
@@ -64,12 +65,12 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
   env.src = rank_;
   env.tag = tag;
   env.data.resize(bytes);
-  if (type != nullptr) {
+  if (flat != nullptr) {
     // The datatype engine packs internally: real copies, and the virtual
     // clock is charged per block plus copy bandwidth — the MPI_Types cost
     // profile the paper measures.
     obs::ObsSpan dt_span(obs::Cat::DtPack, "dt_gather");
-    const FlatType& ft = type->flat();
+    const FlatType& ft = *flat;
     ft.gather(static_cast<const std::byte*>(buf), env.data.data());
     clock_.advance(static_cast<double>(ft.blocks.size()) *
                        m.dt_block_overhead +
@@ -82,8 +83,8 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
   // Unified-memory buffers may need page migration to be readable by the
   // NIC/host; the gpusim hook charges it. Datatype sends touch each
   // contiguous block at its real offset (not the packed size).
-  if (type != nullptr) {
-    for (const auto& blk : type->flat().blocks)
+  if (flat != nullptr) {
+    for (const auto& blk : flat->blocks)
       clock_.advance(rt_->touch(rank_,
                                 static_cast<const std::byte*>(buf) + blk.offset,
                                 blk.length, /*write=*/false));
@@ -210,8 +211,9 @@ void Comm::verify_envelope(const Envelope& env, std::size_t want_bytes,
     diag("payload corruption (checksum mismatch)");
 }
 
-Request Comm::irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
-                         int src, int tag) {
+Request Comm::irecv_impl(void* buf, std::size_t bytes,
+                         std::shared_ptr<const FlatType> flat, int src,
+                         int tag) {
   BX_CHECK(src >= 0 && src < size_, "irecv: bad source rank");
   obs::ObsSpan op_span(obs::Cat::Call, "mpi_irecv");
   clock_.advance(rt_->model_.recv_overhead);
@@ -223,10 +225,108 @@ Request Comm::irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
   st.kind = Request::State::Kind::Recv;
   st.buf = buf;
   st.bytes = bytes;
-  if (type != nullptr) st.flat = type->flat_ptr();
+  st.flat = std::move(flat);
   st.peer = src;
   st.tag = tag;
   return req;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent requests: frozen message parameters, replayed via the same
+// isend_impl/irecv_impl paths as the ad-hoc calls — the replay round is
+// bit-identical in virtual time and counters by construction.
+// ---------------------------------------------------------------------------
+
+struct Persistent::State {
+  Comm* comm = nullptr;
+  bool is_send = false;
+  const void* sbuf = nullptr;  ///< send source (is_send)
+  void* rbuf = nullptr;        ///< receive destination (!is_send)
+  std::size_t bytes = 0;
+  std::shared_ptr<const FlatType> flat;  ///< null => contiguous
+  int peer = -1;
+  int tag = 0;
+  Request req;  ///< the round in flight, empty between rounds
+};
+
+Persistent Comm::init_impl(bool is_send, const void* buf, std::size_t bytes,
+                           std::shared_ptr<const FlatType> flat, int peer,
+                           int tag) {
+  // Validate now, at plan-build time; replay rounds re-check nothing. No
+  // virtual-clock charge here: modeled setup cost belongs to the plan
+  // layer (NetModel plan_* constants), not to request initialization.
+  BX_CHECK(peer >= 0 && peer < size_,
+           is_send ? "send_init: bad destination rank"
+                   : "recv_init: bad source rank");
+  Persistent p;
+  p.state_ = std::make_shared<Persistent::State>();
+  auto& st = *p.state_;
+  st.comm = this;
+  st.is_send = is_send;
+  if (is_send)
+    st.sbuf = buf;
+  else
+    st.rbuf = const_cast<void*>(buf);
+  st.bytes = bytes;
+  st.flat = std::move(flat);
+  st.peer = peer;
+  st.tag = tag;
+  return p;
+}
+
+Persistent Comm::send_init(const void* buf, std::size_t bytes, int dest,
+                           int tag) {
+  return init_impl(true, buf, bytes, nullptr, dest, tag);
+}
+
+Persistent Comm::recv_init(void* buf, std::size_t bytes, int src, int tag) {
+  return init_impl(false, buf, bytes, nullptr, src, tag);
+}
+
+Persistent Comm::send_init(const void* buf, const Datatype& type, int dest,
+                           int tag) {
+  return init_impl(true, buf, type.size(), type.flat_ptr(), dest, tag);
+}
+
+Persistent Comm::recv_init(void* buf, const Datatype& type, int src,
+                           int tag) {
+  return init_impl(false, buf, type.size(), type.flat_ptr(), src, tag);
+}
+
+bool Persistent::active() const {
+  return state_ != nullptr && state_->req.valid();
+}
+
+void Persistent::start() {
+  if (state_ == nullptr)
+    throw PersistentError("start on an uninitialized persistent request");
+  auto& st = *state_;
+  if (st.req.valid())
+    throw PersistentError(
+        "start on an already-active persistent request (wait first)");
+  st.req = st.is_send
+               ? st.comm->isend_impl(st.sbuf, st.bytes, st.flat, st.peer,
+                                     st.tag)
+               : st.comm->irecv_impl(st.rbuf, st.bytes, st.flat, st.peer,
+                                     st.tag);
+}
+
+void Persistent::wait() {
+  if (state_ == nullptr)
+    throw PersistentError("wait on an uninitialized persistent request");
+  auto& st = *state_;
+  if (!st.req.valid())
+    throw PersistentError(
+        "wait on a persistent request with no round started");
+  st.comm->wait(st.req);  // resets st.req -> inactive, parameters kept
+}
+
+void Persistent::free() {
+  if (state_ == nullptr) return;
+  if (state_->req.valid())
+    throw PersistentError(
+        "free of a persistent request while a round is in flight");
+  state_.reset();
 }
 
 void Comm::wait(Request& req) {

@@ -65,6 +65,51 @@ class Request {
 
  private:
   friend class Comm;
+  friend class Persistent;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Lifecycle misuse of a persistent request (start before init, double
+/// start, wait without start, free while in flight). Typed so tests can
+/// assert the failure mode instead of tripping UB.
+class PersistentError : public brickx::Error {
+ public:
+  using brickx::Error::Error;
+};
+
+/// MPI_Send_init/MPI_Recv_init-style persistent request: the message
+/// parameters (buffer, size/datatype, peer, tag) are frozen once by
+/// Comm::send_init / Comm::recv_init, then each round is just
+/// start() + wait() — the schedule-building work (argument validation,
+/// datatype flattening) never recurs. start() funnels into the exact same
+/// send/receive paths as the ad-hoc isend/irecv, so a replayed round is
+/// bit-identical in virtual time, counters and bytes to an ad-hoc one.
+///
+/// Handles are movable and shareable (shared_ptr semantics); destruction
+/// while a round is in flight is safe (the pending operation is abandoned,
+/// matching a run torn down by an aborting rank), but free() on an active
+/// handle is a typed error, mirroring MPI_Request_free restrictions.
+class Persistent {
+ public:
+  Persistent() = default;
+
+  /// Initialized by send_init/recv_init (may still be inactive).
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  /// A round is in flight: started but not yet waited.
+  [[nodiscard]] bool active() const;
+
+  /// Begin one round. PersistentError if uninitialized or already active.
+  void start();
+  /// Complete the round begun by start(). PersistentError if uninitialized
+  /// or no round is active.
+  void wait();
+  /// Release the frozen parameters. No-op on an empty handle;
+  /// PersistentError while a round is in flight (wait() first).
+  void free();
+
+ private:
+  friend class Comm;
   struct State;
   std::shared_ptr<State> state_;
 };
@@ -121,6 +166,22 @@ class Comm {
   void wait(Request& req);
   void waitall(std::vector<Request>& reqs);
 
+  /// --- persistent requests (build once, replay per round) ----------------
+  ///
+  /// Freeze the message parameters now; replay with Persistent::start /
+  /// Persistent::wait each round. Initialization validates arguments but
+  /// charges nothing to the virtual clock — all modeled cost stays on the
+  /// start/wait path, which is shared verbatim with isend/irecv.
+
+  [[nodiscard]] Persistent send_init(const void* buf, std::size_t bytes,
+                                     int dest, int tag);
+  [[nodiscard]] Persistent recv_init(void* buf, std::size_t bytes, int src,
+                                     int tag);
+  [[nodiscard]] Persistent send_init(const void* buf, const Datatype& type,
+                                     int dest, int tag);
+  [[nodiscard]] Persistent recv_init(void* buf, const Datatype& type, int src,
+                                     int tag);
+
   /// Blocking convenience wrappers.
   void send(const void* buf, std::size_t bytes, int dest, int tag);
   void recv(void* buf, std::size_t bytes, int src, int tag);
@@ -145,12 +206,16 @@ class Comm {
 
  private:
   friend class Runtime;
+  friend class Persistent;
   Comm(Runtime* rt, int rank, int size) : rt_(rt), rank_(rank), size_(size) {}
 
-  Request isend_impl(const void* buf, std::size_t bytes, const Datatype* type,
-                     int dest, int tag);
-  Request irecv_impl(void* buf, std::size_t bytes, const Datatype* type,
-                     int src, int tag);
+  Request isend_impl(const void* buf, std::size_t bytes,
+                     std::shared_ptr<const FlatType> flat, int dest, int tag);
+  Request irecv_impl(void* buf, std::size_t bytes,
+                     std::shared_ptr<const FlatType> flat, int src, int tag);
+  Persistent init_impl(bool is_send, const void* buf, std::size_t bytes,
+                       std::shared_ptr<const FlatType> flat, int peer,
+                       int tag);
 
   // Fault-injection support (all no-ops unless the Runtime has an injector
   // installed; see simmpi/fault.h). The sequence maps are per-edge message

@@ -43,6 +43,18 @@ struct NetModel {
 
   double barrier_alpha = 2.0e-6;  ///< per log2(P) stage
 
+  /// Exchange-plan construction ("setup") costs, charged by the plan layer
+  /// (core/exchange_plan.h) once per plan build — once per configuration in
+  /// build-once mode, once per round when replanning is forced. Persistent
+  /// request init itself charges nothing; these model the schedule work an
+  /// MPI code amortizes with MPI_Send_init/MPI_Recv_init: region-list
+  /// scans, per-message argument marshalling, MPI_Type_commit, and mmap
+  /// view-span resolution.
+  double plan_region_overhead = 2.0e-8;   ///< per surface region scanned
+  double plan_msg_overhead = 1.0e-7;      ///< per message initialized
+  double dt_commit_overhead = 5.0e-8;     ///< per datatype block committed
+  double mmap_segment_overhead = 2.5e-7;  ///< per mmap view segment resolved
+
   /// How many consecutive ranks share a node (V2 uses 6 GPUs/ranks a node).
   int ranks_per_node = 1;
 

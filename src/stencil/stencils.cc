@@ -53,6 +53,19 @@ double Stencil125::coeff(int dz, int dy, int dx) {
   return weights()[static_cast<std::size_t>(symmetry_class(dz, dy, dx))];
 }
 
+const std::array<double, 125>& Stencil125::taps() {
+  static const std::array<double, 125> t = [] {
+    std::array<double, 125> w{};
+    int at = 0;
+    for (int dz = -2; dz <= 2; ++dz)
+      for (int dy = -2; dy <= 2; ++dy)
+        for (int dx = -2; dx <= 2; ++dx)
+          w[static_cast<std::size_t>(at++)] = coeff(dz, dy, dx);
+    return w;
+  }();
+  return t;
+}
+
 template <int BK, int BJ, int BI>
 void apply7_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
                    const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
@@ -89,16 +102,7 @@ void apply125_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
   static_assert(BK >= 2 && BJ >= 2 && BI >= 2,
                 "brick extents must cover the radius-2 neighborhood");
   const Vec3 B{BI, BJ, BK};
-  // Precompute the 125 weights in dz-dy-dx order.
-  static const auto w = [] {
-    std::array<double, 125> t{};
-    int at = 0;
-    for (int dz = -2; dz <= 2; ++dz)
-      for (int dy = -2; dy <= 2; ++dy)
-        for (int dx = -2; dx <= 2; ++dx)
-          t[static_cast<std::size_t>(at++)] = Stencil125::coeff(dz, dy, dx);
-    return t;
-  }();
+  const auto& w = Stencil125::taps();  // 125 weights in dz-dy-dx order
   for (std::int64_t b = 0; b < dec.total_brick_count(); ++b) {
     const Vec3 base = dec.grid_of(b) * B;
     Box<3> clip{base, base + B};
@@ -153,12 +157,16 @@ void apply7_array(const CellArray3& in, CellArray3& out,
 
 void apply125_array(const CellArray3& in, CellArray3& out,
                     const Box<3>& out_cells) {
+  // Read the precomputed tap table: coeff()'s per-call sort + class lookup
+  // used to run 125 times per output cell here.
+  const auto& w = Stencil125::taps();
   for_each(out_cells, [&](const Vec3& p) {
     double acc = 0.0;
+    int at = 0;
     for (int dz = -2; dz <= 2; ++dz)
       for (int dy = -2; dy <= 2; ++dy)
         for (int dx = -2; dx <= 2; ++dx)
-          acc += Stencil125::coeff(dz, dy, dx) *
+          acc += w[static_cast<std::size_t>(at++)] *
                  in.at(p + Vec3{dx, dy, dz});
     out.at(p) = acc;
   });

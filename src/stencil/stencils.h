@@ -31,9 +31,15 @@ struct Stencil125 {
   static constexpr double kFlops = 139.0;
   /// Coefficient for offset class (|dx|,|dy|,|dz|) sorted ascending:
   /// the 10 classes of a 5^3 cube are 000,001,011,111,002,012,112,022,122,222.
+  /// Involves a sort + LUT walk per call — kernels must read taps() instead
+  /// of calling this per tap in their inner loops.
   static double coeff(int dz, int dy, int dx);
   /// Raw class weights (normalized so the 125 taps sum to 1).
   static const std::array<double, 10>& weights();
+  /// All 125 tap coefficients of the 5^3 cube in dz-dy-dx order (dz
+  /// slowest), precomputed once: taps()[((dz+2)*5 + (dy+2))*5 + (dx+2)]
+  /// == coeff(dz, dy, dx).
+  static const std::array<double, 125>& taps();
 };
 
 /// Apply the 7-point stencil over bricked storage: for every brick of `dec`

@@ -9,6 +9,7 @@
 #include <set>
 #include <utility>
 
+#include "baseline/array_exchange.h"
 #include "common/rng.h"
 #include "core/cell_array.h"
 #include "core/exchange.h"
@@ -403,6 +404,137 @@ TEST(PlanInvariants, MirrorVolumesMatchAcrossAllDirections) {
     EXPECT_EQ(bytes_for(nu), bytes_for(nu.flipped())) << nu.str();
   }
 }
+
+// ---------------------------------------------------------------------------
+// Persistent-plan replay: for every exchanger, one cached plan (built once,
+// bound to persistent requests, replayed N rounds) must produce ghost
+// frames bit-identical to N independently rebuilt plans run ad hoc. This is
+// the property the harness's build-once default rests on (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+class PlanReplay : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanReplay, CachedPlanMatchesRebuiltPlans) {
+  // 0 Layout, 1 Basic, 2 MemMap, 3 Shift, 4 YASK/pack, 5 MPI_Types.
+  const int method = GetParam();
+  constexpr int kRounds = 4;
+  constexpr int kRanks = 2;
+  const Vec3 N{8, 8, 8};
+  const std::int64_t ghost = 4;
+  const Vec3 G = Vec3::fill(ghost);
+  const Vec3 ext{kRanks * N[0], N[1], N[2]};
+
+  // Owned cells change every round; ghosts are only ever filled by the
+  // exchange, so a replay that dangles stale plan state shows up as a
+  // stale or missing ghost byte.
+  auto f = [&](Vec3 g, int round) {
+    for (int a = 0; a < 3; ++a) g[a] = ((g[a] % ext[a]) + ext[a]) % ext[a];
+    return static_cast<double>((g[2] * ext[1] + g[1]) * ext[0] + g[0]) +
+           4096.0 * round;
+  };
+  auto is_own = [&](const Vec3& p) {
+    for (int a = 0; a < 3; ++a)
+      if (p[a] < 0 || p[a] >= N[a]) return false;
+    return true;
+  };
+
+  // frames[round * kRanks + rank] = the rank's full ghosted frame.
+  auto run_mode = [&](bool cached) {
+    std::vector<std::vector<double>> frames(kRounds * kRanks);
+    Runtime rt(kRanks, NetModel{});
+    rt.run([&](Comm& comm) {
+      Cart<3> cart(comm, {kRanks, 1, 1});
+      const Vec3 off = cart.coords() * N;
+
+      if (method <= 3) {  // brick family
+        BrickDecomp<3> dec(N, ghost, {4, 4, 4}, surface3d());
+        BrickStorage store = method == 2 ? dec.mmap_alloc(1) : dec.allocate(1);
+        const auto ranks_tbl = populate(cart, dec);
+        std::optional<Exchanger<3>> ex;
+        std::optional<ExchangeView<3>> ev;
+        std::optional<ShiftExchanger<3>> sh;
+        auto build = [&] {
+          switch (method) {
+            case 0:
+              ex.emplace(dec, store, ranks_tbl, Exchanger<3>::Mode::Layout);
+              break;
+            case 1:
+              ex.emplace(dec, store, ranks_tbl, Exchanger<3>::Mode::Basic);
+              break;
+            case 2:
+              ev.emplace(dec, store, ranks_tbl);
+              break;
+            default:
+              sh.emplace(dec, store, shift_neighbors(cart));
+          }
+        };
+        if (cached) {
+          build();
+          if (ex) ex->make_persistent(comm);
+          if (ev) ev->make_persistent(comm);
+          if (sh) sh->make_persistent(comm);
+        }
+        CellArray3 own(Box<3>{{0, 0, 0}, N});
+        CellArray3 frame(Box<3>{Vec3{0, 0, 0} - G, N + G});
+        for (int round = 0; round < kRounds; ++round) {
+          for_each(own.box(),
+                   [&](const Vec3& p) { own.at(p) = f(p + off, round); });
+          cells_to_bricks(dec, own, store, 0);
+          if (!cached) build();  // fresh plan (and datatype/view state)
+          if (ex) ex->exchange(comm);
+          if (ev) ev->exchange(comm);
+          if (sh) sh->exchange(comm);
+          bricks_to_cells(dec, store, 0, frame);
+          frames[static_cast<std::size_t>(round * kRanks + comm.rank())] =
+              frame.raw();
+        }
+      } else {  // array family (pack / datatype baselines)
+        const auto dirs = Cart<3>::all_directions();
+        std::vector<int> nbr;
+        for (const auto& d : dirs) nbr.push_back(cart.neighbor(d));
+        CellArray3 field(Box<3>{Vec3{0, 0, 0} - G, N + G});
+        std::optional<baseline::PackExchanger> packer;
+        std::optional<baseline::MpiTypesExchanger> typer;
+        auto build = [&] {
+          if (method == 4) {
+            packer.emplace(N, ghost, dirs, nbr);
+          } else {
+            typer.emplace(N, ghost, dirs, nbr, field);
+          }
+        };
+        if (cached) {
+          build();
+          if (packer) packer->make_persistent(comm);
+          if (typer) typer->make_persistent(comm, field);
+        }
+        for (int round = 0; round < kRounds; ++round) {
+          for_each(field.box(), [&](const Vec3& p) {
+            if (is_own(p)) field.at(p) = f(p + off, round);
+          });
+          if (!cached) build();
+          if (packer) packer->exchange(comm, field);
+          if (typer) typer->exchange(comm, field);
+          frames[static_cast<std::size_t>(round * kRanks + comm.rank())] =
+              field.raw();
+        }
+      }
+    });
+    return frames;
+  };
+
+  const auto cached = run_mode(true);
+  const auto rebuilt = run_mode(false);
+  ASSERT_EQ(cached.size(), rebuilt.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    ASSERT_FALSE(cached[i].empty());
+    ASSERT_EQ(cached[i], rebuilt[i])
+        << "method " << method << " round " << i / kRanks << " rank "
+        << i % kRanks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exchangers, PlanReplay,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
 
 }  // namespace
 }  // namespace brickx

@@ -177,6 +177,43 @@ TEST(Shell, DegenerateCases) {
       (void)shell_boxes<3>(whole, Box<3>{{-1, 0, 0}, {4, 4, 4}}), Error);
 }
 
+TEST(Stencil125, WeightTableRegression) {
+  // Pin the 10 symmetry-class weights exactly: raw values over the
+  // normalizer computed in the same order as the implementation. Any
+  // coefficient drift (e.g. from reworking the tap-table hoist) breaks
+  // every checked-in expectation downstream of the 125-point kernel.
+  const std::array<double, 10> raw = {0.20,  0.08,  0.04,  0.02,  0.015,
+                                      0.008, 0.004, 0.003, 0.002, 0.001};
+  const int mult[10] = {1, 6, 12, 8, 6, 24, 24, 12, 24, 8};
+  double sum = 0;
+  for (int i = 0; i < 10; ++i)
+    sum += raw[static_cast<std::size_t>(i)] * mult[i];
+  const auto& w = Stencil125::weights();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(w[static_cast<std::size_t>(i)],
+              raw[static_cast<std::size_t>(i)] / sum)
+        << "class " << i;
+}
+
+TEST(Stencil125, TapTableMatchesCoeff) {
+  // The hoisted 5x5x5 table both kernels read must agree entry-for-entry
+  // with the per-call class lookup it replaced, in dz-dy-dx order.
+  const auto& t = Stencil125::taps();
+  int at = 0;
+  double sum = 0;
+  for (int dz = -2; dz <= 2; ++dz)
+    for (int dy = -2; dy <= 2; ++dy)
+      for (int dx = -2; dx <= 2; ++dx) {
+        EXPECT_EQ(t[static_cast<std::size_t>(at)],
+                  Stencil125::coeff(dz, dy, dx))
+            << "tap " << at;
+        sum += t[static_cast<std::size_t>(at)];
+        ++at;
+      }
+  EXPECT_EQ(at, 125);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
 TEST(Expansion, RedundantComputeVolume) {
   // The redundant fraction grows as subdomains shrink — the communication-
   // avoiding tradeoff the paper leans on.
