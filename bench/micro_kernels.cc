@@ -1,20 +1,45 @@
 // Real (wall-clock, single-core) microbenchmarks backing the simulation:
-// brick vs array stencil kernels, pack/unpack copy throughput, datatype
-// gather throughput, and mmap view construction cost. These are the only
-// benches that measure this host rather than the virtual clock.
+// brick vs array stencil kernels (fast-path engine vs naive per-access
+// reference), pack/unpack copy throughput, datatype gather throughput, and
+// mmap view construction cost. These are the only benches that measure
+// this host rather than the virtual clock.
+//
+// Beyond the google-benchmark registrations, two flag-driven modes back
+// the kernel perf trajectory (EXPERIMENTS.md "Real-host microbenchmarks"):
+//
+//   --self-check           bit-exactness sweep: fast vs naive kernels over
+//                          randomized output boxes, every kernel × brick
+//                          size × storage family; exits non-zero on any
+//                          mismatch (the `perf`-labeled ctest smoke).
+//   --json-out=FILE        measure cells/s for every kernel × brick size ×
+//                          path and write the BENCH_kernels.json trajectory
+//                          point (scripts/bench_perf.sh).
+//
+// Without either flag the binary behaves as a plain google-benchmark
+// suite.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "baseline/array_exchange.h"
+#include "common/rng.h"
 #include "core/brick.h"
 #include "core/cell_array.h"
 #include "core/decomp.h"
 #include "core/exchange_view.h"
 #include "memmap/view.h"
 #include "simmpi/cart.h"
+#include "stencil/kernel_engine.h"
 #include "stencil/stencils.h"
+
+#ifndef BRICKX_BUILD_TYPE
+#define BRICKX_BUILD_TYPE "unknown"
+#endif
 
 namespace brickx {
 namespace {
@@ -23,25 +48,40 @@ struct BrickSetup {
   BrickDecomp<3> dec;
   BrickInfo<3> info;
   BrickStorage in, out;
-  BrickSetup(std::int64_t n)
-      : dec({n, n, n}, 8, {8, 8, 8}, surface3d()),
+  BrickSetup(std::int64_t n, std::int64_t b)
+      : dec({n, n, n}, b, {b, b, b}, surface3d()),
         info(dec.brick_info()),
         in(dec.allocate(1)),
-        out(dec.allocate(1)) {}
+        out(dec.allocate(1)) {
+    Rng rng(0xb71c5);
+    for (std::int64_t i = 0; i < dec.total_brick_count(); ++i) {
+      double* p = in.brick(i);
+      for (std::int64_t e = 0; e < dec.elements_per_brick(); ++e)
+        p[e] = rng.uniform() * 2.0 - 1.0;
+    }
+  }
 };
 
+// ---- google-benchmark registrations (interactive use) ----------------------
+
+template <bool Naive>
 void BM_Brick7Point(benchmark::State& state) {
   const std::int64_t n = state.range(0);
-  BrickSetup s(n);
+  BrickSetup s(n, 8);
   Brick<8, 8, 8> bin(&s.info, &s.in, 0), bout(&s.info, &s.out, 0);
   const Box<3> box{{0, 0, 0}, {n, n, n}};
   for (auto _ : state) {
-    stencil::apply7_bricks<8, 8, 8>(s.dec, bout, bin, box);
+    if (Naive) {
+      stencil::apply7_bricks_naive<8, 8, 8>(s.dec, bout, bin, box);
+    } else {
+      stencil::apply7_bricks<8, 8, 8>(s.dec, bout, bin, box);
+    }
     benchmark::ClobberMemory();
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Brick7Point)->Arg(32)->Arg(64);
+BENCHMARK(BM_Brick7Point<false>)->Name("BM_Brick7Point/fast")->Arg(32)->Arg(64);
+BENCHMARK(BM_Brick7Point<true>)->Name("BM_Brick7Point/naive")->Arg(32)->Arg(64);
 
 void BM_Array7Point(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -56,18 +96,24 @@ void BM_Array7Point(benchmark::State& state) {
 }
 BENCHMARK(BM_Array7Point)->Arg(32)->Arg(64);
 
+template <bool Naive>
 void BM_Brick125Point(benchmark::State& state) {
   const std::int64_t n = state.range(0);
-  BrickSetup s(n);
+  BrickSetup s(n, 8);
   Brick<8, 8, 8> bin(&s.info, &s.in, 0), bout(&s.info, &s.out, 0);
   const Box<3> box{{0, 0, 0}, {n, n, n}};
   for (auto _ : state) {
-    stencil::apply125_bricks<8, 8, 8>(s.dec, bout, bin, box);
+    if (Naive) {
+      stencil::apply125_bricks_naive<8, 8, 8>(s.dec, bout, bin, box);
+    } else {
+      stencil::apply125_bricks<8, 8, 8>(s.dec, bout, bin, box);
+    }
     benchmark::ClobberMemory();
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Brick125Point)->Arg(32);
+BENCHMARK(BM_Brick125Point<false>)->Name("BM_Brick125Point/fast")->Arg(32);
+BENCHMARK(BM_Brick125Point<true>)->Name("BM_Brick125Point/naive")->Arg(32);
 
 void BM_PackUnpack(benchmark::State& state) {
   // The on-node data movement the paper eliminates: pack all 26 surface
@@ -141,7 +187,297 @@ void BM_MemMapAliasedWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_MemMapAliasedWrite)->Arg(32)->Arg(64);
 
+// ---- bit-exactness self-check ----------------------------------------------
+
+template <int B>
+bool check_brick_paths(bool use125, std::uint64_t seed) {
+  const std::int64_t g = B, r = use125 ? 2 : 1;
+  BrickDecomp<3> dec({16, 16, 16}, g, Vec3::fill(B), surface3d());
+  BrickInfo<3> info = dec.brick_info();
+  BrickStorage sin = dec.allocate(1);
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < dec.total_brick_count(); ++i) {
+    double* p = sin.brick(i);
+    for (std::int64_t e = 0; e < dec.elements_per_brick(); ++e)
+      p[e] = rng.uniform() * 2.0 - 1.0;
+  }
+  Brick<B, B, B> bin(&info, &sin, 0);
+  const std::vector<Box<3>> boxes = {
+      {{0, 0, 0}, {16, 16, 16}},
+      stencil::expansion_output_box<3>({16, 16, 16}, g, r, 0),
+      {{B, B, B}, {2 * B, 2 * B, 2 * B}},
+      {{1, 2, 3}, {6, 15, 9}},
+      {{0, 0, 0}, {0, 0, 0}}};
+  for (const Box<3>& box : boxes) {
+    BrickStorage fast = dec.allocate(1), naive = dec.allocate(1);
+    Brick<B, B, B> bf(&info, &fast, 0), bn(&info, &naive, 0);
+    if (use125) {
+      stencil::apply125_bricks<B, B, B>(dec, bf, bin, box);
+      stencil::apply125_bricks_naive<B, B, B>(dec, bn, bin, box);
+    } else {
+      stencil::apply7_bricks<B, B, B>(dec, bf, bin, box);
+      stencil::apply7_bricks_naive<B, B, B>(dec, bn, bin, box);
+    }
+    if (std::memcmp(fast.data(), naive.data(), fast.bytes()) != 0) {
+      std::fprintf(stderr,
+                   "self-check FAILED: brick=%d use125=%d box.lo=(%lld,%lld,"
+                   "%lld)\n",
+                   B, use125 ? 1 : 0, static_cast<long long>(box.lo[0]),
+                   static_cast<long long>(box.lo[1]),
+                   static_cast<long long>(box.lo[2]));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool check_array_paths(bool use125) {
+  Rng rng(0xa11a7);
+  const Box<3> frame{{-4, -4, -4}, {14, 14, 14}};
+  CellArray3 in(frame);
+  for_each(frame, [&](const Vec3& p) { in.at(p) = rng.uniform() - 0.5; });
+  const std::vector<Box<3>> boxes = {{{0, 0, 0}, {10, 10, 10}},
+                                     {{-2, -2, -2}, {12, 12, 12}},
+                                     {{1, 3, 2}, {7, 5, 11}},
+                                     {{0, 0, 0}, {0, 0, 0}}};
+  for (const Box<3>& box : boxes) {
+    CellArray3 fast(frame), naive(frame);
+    if (use125) {
+      stencil::apply125_array(in, fast, box);
+      stencil::apply125_array_naive(in, naive, box);
+    } else {
+      stencil::apply7_array(in, fast, box);
+      stencil::apply7_array_naive(in, naive, box);
+    }
+    if (std::memcmp(fast.raw().data(), naive.raw().data(),
+                    fast.raw().size() * sizeof(double)) != 0) {
+      std::fprintf(stderr, "self-check FAILED: array use125=%d\n",
+                   use125 ? 1 : 0);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool run_self_check() {
+  bool ok = true;
+  ok = check_brick_paths<4>(false, 11) && ok;
+  ok = check_brick_paths<8>(false, 12) && ok;
+  ok = check_brick_paths<4>(true, 13) && ok;
+  ok = check_brick_paths<8>(true, 14) && ok;
+  ok = check_array_paths(false) && ok;
+  ok = check_array_paths(true) && ok;
+  std::printf("self-check: %s\n", ok ? "pass" : "FAIL");
+  return ok;
+}
+
+// ---- measured trajectory (--json-out) --------------------------------------
+
+struct KernelPoint {
+  const char* kernel;   ///< "7pt" | "125pt"
+  const char* storage;  ///< "brick" | "array"
+  int brick;            ///< brick extent, 0 for array storage
+  const char* path;     ///< "naive" | "fast"
+  double cells_per_s = 0;
+  std::int64_t iters = 0;
+  double seconds = 0;
+};
+
+/// Time `fn` (one full-domain kernel application over `cells` cells),
+/// doubling the batch until it runs for at least `min_s` seconds.
+template <typename F>
+void measure(KernelPoint& pt, std::int64_t cells, F&& fn) {
+  using clock = std::chrono::steady_clock;
+  constexpr double min_s = 0.15;
+  std::int64_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= min_s) {
+      pt.iters = iters;
+      pt.seconds = s;
+      pt.cells_per_s =
+          static_cast<double>(cells * iters) / (s > 0 ? s : 1e-12);
+      return;
+    }
+    iters = s > 0 ? std::max<std::int64_t>(
+                        iters * 2, static_cast<std::int64_t>(
+                                       static_cast<double>(iters) * min_s /
+                                       s * 1.2))
+                  : iters * 2;
+  }
+}
+
+template <int B>
+void measure_bricks(std::vector<KernelPoint>& out, std::int64_t n) {
+  BrickSetup s(n, B);
+  Brick<B, B, B> bin(&s.info, &s.in, 0), bout(&s.info, &s.out, 0);
+  const Box<3> box{{0, 0, 0}, {n, n, n}};
+  const std::int64_t cells = n * n * n;
+  for (bool use125 : {false, true}) {
+    for (bool naive : {true, false}) {
+      KernelPoint pt{use125 ? "125pt" : "7pt", "brick", B,
+                     naive ? "naive" : "fast", 0, 0, 0};
+      measure(pt, cells, [&] {
+        if (use125) {
+          if (naive) {
+            stencil::apply125_bricks_naive<B, B, B>(s.dec, bout, bin, box);
+          } else {
+            stencil::apply125_bricks<B, B, B>(s.dec, bout, bin, box);
+          }
+        } else if (naive) {
+          stencil::apply7_bricks_naive<B, B, B>(s.dec, bout, bin, box);
+        } else {
+          stencil::apply7_bricks<B, B, B>(s.dec, bout, bin, box);
+        }
+        benchmark::ClobberMemory();
+      });
+      out.push_back(pt);
+    }
+  }
+}
+
+void measure_arrays(std::vector<KernelPoint>& out, std::int64_t n) {
+  CellArray3 in(Box<3>{{-8, -8, -8}, {n + 8, n + 8, n + 8}});
+  CellArray3 o(Box<3>{{-8, -8, -8}, {n + 8, n + 8, n + 8}});
+  Rng rng(0xcafe);
+  for_each(in.box(), [&](const Vec3& p) { in.at(p) = rng.uniform(); });
+  const Box<3> box{{0, 0, 0}, {n, n, n}};
+  const std::int64_t cells = n * n * n;
+  for (bool use125 : {false, true}) {
+    for (bool naive : {true, false}) {
+      KernelPoint pt{use125 ? "125pt" : "7pt", "array", 0,
+                     naive ? "naive" : "fast", 0, 0, 0};
+      measure(pt, cells, [&] {
+        if (use125) {
+          if (naive) {
+            stencil::apply125_array_naive(in, o, box);
+          } else {
+            stencil::apply125_array(in, o, box);
+          }
+        } else if (naive) {
+          stencil::apply7_array_naive(in, o, box);
+        } else {
+          stencil::apply7_array(in, o, box);
+        }
+        benchmark::ClobberMemory();
+      });
+      out.push_back(pt);
+    }
+  }
+}
+
+double find_cells_per_s(const std::vector<KernelPoint>& pts,
+                        const char* kernel, const char* storage, int brick,
+                        const char* path) {
+  for (const auto& p : pts)
+    if (std::strcmp(p.kernel, kernel) == 0 &&
+        std::strcmp(p.storage, storage) == 0 && p.brick == brick &&
+        std::strcmp(p.path, path) == 0)
+      return p.cells_per_s;
+  return 0;
+}
+
+int write_json(const std::string& file, bool self_check_passed) {
+  const std::int64_t n = 32;
+  std::vector<KernelPoint> pts;
+  measure_bricks<4>(pts, n);
+  measure_bricks<8>(pts, n);
+  measure_arrays(pts, n);
+
+  FILE* f = std::fopen(file.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_kernels: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_kernels\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"build_type\": \"%s\",\n", BRICKX_BUILD_TYPE);
+  std::fprintf(f, "  \"domain\": %lld,\n", static_cast<long long>(n));
+  std::fprintf(f, "  \"self_check\": \"%s\",\n",
+               self_check_passed ? "pass" : "not-run");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const KernelPoint& p = pts[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"storage\": \"%s\", \"brick\": "
+                 "%d, \"path\": \"%s\", \"cells_per_s\": %.6e, \"iters\": "
+                 "%lld, \"seconds\": %.4f}%s\n",
+                 p.kernel, p.storage, p.brick, p.path, p.cells_per_s,
+                 static_cast<long long>(p.iters), p.seconds,
+                 i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Headline ratios of the perf trajectory (ISSUE 5 acceptance: the 8^3
+  // 125-point interior fast path must be >= 3x the naive kernel).
+  std::fprintf(f, "  \"speedups\": {\n");
+  const struct {
+    const char* name;
+    const char* kernel;
+    const char* storage;
+    int brick;
+  } pairs[] = {{"brick8_125pt", "125pt", "brick", 8},
+               {"brick8_7pt", "7pt", "brick", 8},
+               {"brick4_125pt", "125pt", "brick", 4},
+               {"brick4_7pt", "7pt", "brick", 4},
+               {"array_125pt", "125pt", "array", 0},
+               {"array_7pt", "7pt", "array", 0}};
+  for (std::size_t i = 0; i < std::size(pairs); ++i) {
+    const auto& pr = pairs[i];
+    const double fast =
+        find_cells_per_s(pts, pr.kernel, pr.storage, pr.brick, "fast");
+    const double naive =
+        find_cells_per_s(pts, pr.kernel, pr.storage, pr.brick, "naive");
+    std::fprintf(f, "    \"%s\": %.2f%s\n", pr.name,
+                 naive > 0 ? fast / naive : 0,
+                 i + 1 < std::size(pairs) ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+
+  for (const auto& p : pts)
+    std::printf("%-6s %-5s b=%d %-5s : %10.3e cells/s  (%lld iters, %.2fs)\n",
+                p.kernel, p.storage, p.brick, p.path, p.cells_per_s,
+                static_cast<long long>(p.iters), p.seconds);
+  const double headline =
+      find_cells_per_s(pts, "125pt", "brick", 8, "fast") /
+      find_cells_per_s(pts, "125pt", "brick", 8, "naive");
+  std::printf("8^3 125-point fast-path speedup: %.2fx\n", headline);
+  std::printf("micro_kernels: wrote %s\n", file.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace brickx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_out;
+  bool self_check = false;
+  std::vector<char*> pass;
+  pass.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json-out=", 0) == 0) {
+      json_out = a.substr(std::strlen("--json-out="));
+    } else if (a == "--self-check") {
+      self_check = true;
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  if (self_check || !json_out.empty()) {
+    bool ok = true;
+    if (self_check) ok = brickx::run_self_check();
+    if (!ok) return 1;
+    if (!json_out.empty()) return brickx::write_json(json_out, self_check);
+    return 0;
+  }
+  int bargc = static_cast<int>(pass.size());
+  benchmark::Initialize(&bargc, pass.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, pass.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Kernel perf trajectory: run the micro_kernels bench with its built-in
+# bit-exactness self-check and write BENCH_kernels.json at the repo root.
+# Commit the refreshed JSON alongside any kernel change so the trajectory
+# (cells/s per kernel x brick size x path, naive vs fast) stays honest.
+#
+# Usage: scripts/bench_perf.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+if [[ ! -x "$build/bench/micro_kernels" ]]; then
+  echo "bench_perf.sh: $build/bench/micro_kernels not found -- build first:" >&2
+  echo "  cmake --preset default && cmake --build --preset default" >&2
+  exit 1
+fi
+
+"$build/bench/micro_kernels" --json-out=BENCH_kernels.json --self-check
+
+echo "bench_perf.sh: wrote BENCH_kernels.json"

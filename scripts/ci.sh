@@ -16,6 +16,13 @@ cmake --build --preset default -j "$jobs"
 echo "=== default preset: full test suite ==="
 ctest --preset default -j "$jobs"
 
+echo "=== default preset: kernel perf smoke ==="
+# Fast/naive bit-exactness gate for the kernel engine (perf-labeled;
+# redundant with the full suite above but kept as an explicit, named gate
+# so kernel regressions fail loudly). The measured trajectory itself is
+# refreshed by hand with scripts/bench_perf.sh.
+ctest --preset default -L perf
+
 echo "=== asan-ubsan preset: configure + build ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"

@@ -62,6 +62,14 @@ class Brick {
                                    i];
   }
 
+  /// Flat base pointer of this field's elements in brick `b` — no
+  /// adjacency resolution, no bounds handling. The fast kernel engine
+  /// resolves neighbor bricks once per brick through info().adjacent()
+  /// and then addresses rows through this pointer directly.
+  [[nodiscard]] double* field_data(std::int64_t b) const {
+    return storage_->brick(b) + elem_offset_;
+  }
+
   // Proxy chain enabling the a[b][k][j][i] syntax of the paper.
   class Proxy2 {
    public:

@@ -27,6 +27,13 @@ struct BrickInfo {
     return static_cast<std::int64_t>(adj.size());
   }
 
+  /// Const view of brick b's neighbor row — the one lookup the fast
+  /// kernel path performs per brick (instead of one per element access).
+  [[nodiscard]] const std::array<std::int32_t, kNeighbors>& adjacent(
+      std::int64_t b) const {
+    return adj[static_cast<std::size_t>(b)];
+  }
+
   /// Direction code from per-axis offsets in {-1, 0, +1}.
   static constexpr int dir_code(const std::array<int, D>& d) {
     int code = 0;

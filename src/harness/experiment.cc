@@ -77,7 +77,13 @@ void compute_bricks(const Config& cfg, const BrickDecomp<3>& dec,
     Brick<B, B, B> bin(&info, &in, 0);
     Brick<B, B, B> bout(&info, &out, 0);
     if (cfg.use125) {
-      stencil::apply125_bricks<B, B, B>(dec, bout, bin, box);
+      if (cfg.naive_kernels) {
+        stencil::apply125_bricks_naive<B, B, B>(dec, bout, bin, box);
+      } else {
+        stencil::apply125_bricks<B, B, B>(dec, bout, bin, box);
+      }
+    } else if (cfg.naive_kernels) {
+      stencil::apply7_bricks_naive<B, B, B>(dec, bout, bin, box);
     } else {
       stencil::apply7_bricks<B, B, B>(dec, bout, bin, box);
     }
@@ -540,15 +546,13 @@ Result run(const Config& cfg) {
 
       compute_fn = [&](const Box<3>& box) {
         if (execute) {
-          if (cfg.use125) {
-            stencil::apply125_array(fields[static_cast<std::size_t>(input)],
-                                    fields[static_cast<std::size_t>(1 - input)],
-                                    box);
-          } else {
-            stencil::apply7_array(fields[static_cast<std::size_t>(input)],
-                                  fields[static_cast<std::size_t>(1 - input)],
-                                  box);
-          }
+          auto* a125 = cfg.naive_kernels ? &stencil::apply125_array_naive
+                                         : &stencil::apply125_array;
+          auto* a7 = cfg.naive_kernels ? &stencil::apply7_array_naive
+                                       : &stencil::apply7_array;
+          (cfg.use125 ? a125 : a7)(
+              fields[static_cast<std::size_t>(input)],
+              fields[static_cast<std::size_t>(1 - input)], box);
         }
         double secs;
         if (cfg.gpu != GpuMode::None) {

@@ -65,6 +65,11 @@ struct Config {
   int warmup_exchanges = 1;    ///< unmeasured leading exchange batches
   std::size_t page_size = 0;   ///< emulated page size for MemMap (0 = host)
   bool execute_kernels = true; ///< actually run the math (not just model it)
+  /// Dispatch the compute phase to the naive per-access reference kernels
+  /// instead of the fast-path engine (DESIGN.md §10). Bit-identical results
+  /// either way — the flag exists for differential testing; wall-clock
+  /// (not virtual-time) cost is the only difference.
+  bool naive_kernels = false;
   bool validate = false;       ///< compare against the global reference
   /// Fig. 10's "No-Layout": fine-grained blocking with lexicographic region
   /// order instead of the optimized surface3d (compute is unaffected —

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/vec.h"
+#include "core/brick.h"
+#include "core/cell_array.h"
+#include "core/decomp.h"
+
+namespace brickx::stencil {
+
+/// The fast-path stencil kernel engine (DESIGN.md §10).
+///
+/// Three structural optimizations over the naive per-access kernels, all
+/// bit-identical to them (the per-cell accumulation order — dz slowest,
+/// dx fastest — is preserved exactly):
+///
+///  1. Brick-range pruning: the brick-grid range intersecting `out_cells`
+///     is derived arithmetically, so only overlapping bricks are visited
+///     instead of every allocated brick of the decomposition.
+///  2. Interior/boundary split: a brick fully covered by `out_cells` whose
+///     required neighbors all exist resolves its neighbor-brick base
+///     pointers once (BrickInfo::adjacent), gathers the radius-r halo into
+///     a contiguous stack tile, and runs a flat `double* __restrict`
+///     triple loop with constant trip counts — no proxy chain, no
+///     per-access adjacency branch. Partially covered (or frame-edge)
+///     bricks keep the clipped per-access `.at()` path.
+///  3. Row-pointer array kernels: the lexicographic (CellArray3) kernels
+///     hoist per-(z, y) row base pointers out of the contiguous x loop.
+
+/// Half-open brick-grid range [lo, hi) of bricks intersecting `out_cells`
+/// (cell coordinates; ghost coordinates allowed), clamped to the allocated
+/// grid [-gb, n + gb). Empty when `out_cells` is empty or lies entirely
+/// outside the allocated frame.
+Box<3> brick_grid_range(const BrickDecomp<3>& dec, const Box<3>& out_cells);
+
+/// Fast 7-point / 125-point brick kernels; drop-in replacements for the
+/// naive apply7_bricks / apply125_bricks bodies (stencils.cc delegates
+/// here). Bit-identical to the naive kernels by construction; verified by
+/// tests/stencil_kernel_test.cc.
+template <int BK, int BJ, int BI>
+void engine_apply7(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
+                   const Brick<BK, BJ, BI>& in, const Box<3>& out_cells);
+
+template <int BK, int BJ, int BI>
+void engine_apply125(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
+                     const Brick<BK, BJ, BI>& in, const Box<3>& out_cells);
+
+/// Fast lexicographic-array kernels (row-pointer inner loops). `in` must
+/// cover `out_cells` expanded by the stencil radius; `out` must cover
+/// `out_cells`.
+void engine_apply7_array(const CellArray3& in, CellArray3& out,
+                         const Box<3>& out_cells);
+void engine_apply125_array(const CellArray3& in, CellArray3& out,
+                           const Box<3>& out_cells);
+
+}  // namespace brickx::stencil

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "stencil/kernel_engine.h"
 
 namespace brickx::stencil {
 
@@ -69,6 +70,20 @@ const std::array<double, 125>& Stencil125::taps() {
 template <int BK, int BJ, int BI>
 void apply7_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
                    const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
+  engine_apply7<BK, BJ, BI>(dec, out, in, out_cells);
+}
+
+template <int BK, int BJ, int BI>
+void apply125_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
+                     const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
+  engine_apply125<BK, BJ, BI>(dec, out, in, out_cells);
+}
+
+template <int BK, int BJ, int BI>
+void apply7_bricks_naive(const BrickDecomp<3>& dec,
+                         const Brick<BK, BJ, BI>& out,
+                         const Brick<BK, BJ, BI>& in,
+                         const Box<3>& out_cells) {
   const auto& c = Stencil7::c;
   const Vec3 B{BI, BJ, BK};
   for (std::int64_t b = 0; b < dec.total_brick_count(); ++b) {
@@ -97,8 +112,10 @@ void apply7_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
 }
 
 template <int BK, int BJ, int BI>
-void apply125_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
-                     const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
+void apply125_bricks_naive(const BrickDecomp<3>& dec,
+                           const Brick<BK, BJ, BI>& out,
+                           const Brick<BK, BJ, BI>& in,
+                           const Box<3>& out_cells) {
   static_assert(BK >= 2 && BJ >= 2 && BI >= 2,
                 "brick extents must cover the radius-2 neighborhood");
   const Vec3 B{BI, BJ, BK};
@@ -141,9 +158,35 @@ template void apply125_bricks<4, 4, 4>(const BrickDecomp<3>&,
 template void apply125_bricks<8, 8, 8>(const BrickDecomp<3>&,
                                        const Brick<8, 8, 8>&,
                                        const Brick<8, 8, 8>&, const Box<3>&);
+template void apply7_bricks_naive<4, 4, 4>(const BrickDecomp<3>&,
+                                           const Brick<4, 4, 4>&,
+                                           const Brick<4, 4, 4>&,
+                                           const Box<3>&);
+template void apply7_bricks_naive<8, 8, 8>(const BrickDecomp<3>&,
+                                           const Brick<8, 8, 8>&,
+                                           const Brick<8, 8, 8>&,
+                                           const Box<3>&);
+template void apply125_bricks_naive<4, 4, 4>(const BrickDecomp<3>&,
+                                             const Brick<4, 4, 4>&,
+                                             const Brick<4, 4, 4>&,
+                                             const Box<3>&);
+template void apply125_bricks_naive<8, 8, 8>(const BrickDecomp<3>&,
+                                             const Brick<8, 8, 8>&,
+                                             const Brick<8, 8, 8>&,
+                                             const Box<3>&);
 
 void apply7_array(const CellArray3& in, CellArray3& out,
                   const Box<3>& out_cells) {
+  engine_apply7_array(in, out, out_cells);
+}
+
+void apply125_array(const CellArray3& in, CellArray3& out,
+                    const Box<3>& out_cells) {
+  engine_apply125_array(in, out, out_cells);
+}
+
+void apply7_array_naive(const CellArray3& in, CellArray3& out,
+                        const Box<3>& out_cells) {
   const auto& c = Stencil7::c;
   for_each(out_cells, [&](const Vec3& p) {
     out.at(p) = c[0] * in.at(p) + c[1] * in.at(p - Vec3{1, 0, 0}) +
@@ -155,8 +198,8 @@ void apply7_array(const CellArray3& in, CellArray3& out,
   });
 }
 
-void apply125_array(const CellArray3& in, CellArray3& out,
-                    const Box<3>& out_cells) {
+void apply125_array_naive(const CellArray3& in, CellArray3& out,
+                          const Box<3>& out_cells) {
   // Read the precomputed tap table: coeff()'s per-call sort + class lookup
   // used to run 125 times per output cell here.
   const auto& w = Stencil125::taps();
@@ -178,13 +221,23 @@ void evolve_reference(CellArray3& field, int steps, bool use125) {
   const int r = use125 ? 2 : 1;
   // Work on a halo-expanded copy so the kernel expression (and therefore
   // the floating-point operation order) is identical to the brick kernels.
+  // The padded scratch and the periodic-wrap gather map are hoisted out of
+  // the timestep loop: allocated/derived once, refilled every step.
+  CellArray3 padded(Box<3>{box.lo - Vec3::fill(r), box.hi + Vec3::fill(r)});
+  std::vector<std::int64_t> wrap_src;
+  wrap_src.reserve(static_cast<std::size_t>(padded.box().volume()));
+  // for_each iterates axis 0 fastest — the raw() storage order — so the
+  // map's position n corresponds to padded.raw()[n].
+  for_each(padded.box(), [&](const Vec3& p) {
+    Vec3 q = p - box.lo;
+    for (int a = 0; a < 3; ++a) q[a] = ((q[a] % ext[a]) + ext[a]) % ext[a];
+    wrap_src.push_back(linearize(q, ext));
+  });
   for (int s = 0; s < steps; ++s) {
-    CellArray3 padded(Box<3>{box.lo - Vec3::fill(r), box.hi + Vec3::fill(r)});
-    for_each(padded.box(), [&](const Vec3& p) {
-      Vec3 q = p - box.lo;
-      for (int a = 0; a < 3; ++a) q[a] = ((q[a] % ext[a]) + ext[a]) % ext[a];
-      padded.at(p) = field.at(q + box.lo);
-    });
+    const double* __restrict f = field.raw().data();
+    double* __restrict pd = padded.raw().data();
+    for (std::size_t n = 0; n < wrap_src.size(); ++n)
+      pd[n] = f[wrap_src[n]];
     if (use125) {
       apply125_array(padded, field, box);
     } else {

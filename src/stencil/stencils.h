@@ -47,6 +47,8 @@ struct Stencil125 {
 /// coordinates allowed), compute the covered cells from `in` into `out`.
 /// Cross-brick reads resolve through the adjacency indirection, so the
 /// physical brick order — the layout — is irrelevant to the result.
+/// Runs the fast-path kernel engine (brick-range pruning + interior tile
+/// loops, DESIGN.md §10); bit-identical to apply7_bricks_naive.
 template <int BK, int BJ, int BI>
 void apply7_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
                    const Brick<BK, BJ, BI>& in, const Box<3>& out_cells);
@@ -57,13 +59,36 @@ template <int BK, int BJ, int BI>
 void apply125_bricks(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
                      const Brick<BK, BJ, BI>& in, const Box<3>& out_cells);
 
+/// The original per-access kernels: iterate every allocated brick, clip it
+/// against `out_cells`, and resolve all taps through Brick::at(). Kept as
+/// the reference implementations the fast engine is differentially tested
+/// against (tests/stencil_kernel_test.cc) and as the naive side of the
+/// micro_kernels perf trajectory.
+template <int BK, int BJ, int BI>
+void apply7_bricks_naive(const BrickDecomp<3>& dec,
+                         const Brick<BK, BJ, BI>& out,
+                         const Brick<BK, BJ, BI>& in, const Box<3>& out_cells);
+template <int BK, int BJ, int BI>
+void apply125_bricks_naive(const BrickDecomp<3>& dec,
+                           const Brick<BK, BJ, BI>& out,
+                           const Brick<BK, BJ, BI>& in,
+                           const Box<3>& out_cells);
+
 /// Lexicographic-array kernels (the YASK/MPI_Types baselines and the
 /// reference): compute `out_cells` of `out` from `in`; both arrays must
-/// cover out_cells expanded by the stencil radius.
+/// cover out_cells expanded by the stencil radius. Fast row-pointer loops;
+/// bit-identical to the *_naive per-cell versions below.
 void apply7_array(const CellArray3& in, CellArray3& out,
                   const Box<3>& out_cells);
 void apply125_array(const CellArray3& in, CellArray3& out,
                     const Box<3>& out_cells);
+
+/// The original for_each + Vec3-arithmetic array kernels (reference side
+/// of the differential tests and the micro_kernels array trajectory).
+void apply7_array_naive(const CellArray3& in, CellArray3& out,
+                        const Box<3>& out_cells);
+void apply125_array_naive(const CellArray3& in, CellArray3& out,
+                          const Box<3>& out_cells);
 
 /// Evolve a fully periodic global domain `steps` times with the 7-point
 /// (radius 1) or 125-point kernel — the ground truth distributed runs are
