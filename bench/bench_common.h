@@ -14,6 +14,7 @@
 #include "common/argparse.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "obs/analyze.h"
 #include "obs/export.h"
 #include "obs/session.h"
 #include "simmpi/cart.h"
@@ -164,6 +165,10 @@ inline void add_obs_flags(ArgParser& ap) {
          "");
   ap.add("--metrics-out",
          "write merged metrics for every run (.csv for CSV, else JSON)", "");
+  ap.add("--analyze-out",
+         "write a critical-path / wait-state analysis of every run (.txt "
+         "for the aligned-text report, else JSON)",
+         "");
 }
 
 /// Collects the traces of all harness::run calls in the enclosing scope and
@@ -173,21 +178,31 @@ class ObsGuard {
  public:
   explicit ObsGuard(const ArgParser& ap)
       : trace_path_(ap.get("--trace-out")),
-        metrics_path_(ap.get("--metrics-out")) {
-    if (!trace_path_.empty() || !metrics_path_.empty())
+        metrics_path_(ap.get("--metrics-out")),
+        analyze_path_(ap.get("--analyze-out")) {
+    if (!trace_path_.empty() || !metrics_path_.empty() ||
+        !analyze_path_.empty())
       scope_.emplace(session_);
   }
   ~ObsGuard() {
     if (!scope_) return;
     scope_.reset();  // deactivate before exporting
+    bool first = true;
     if (!trace_path_.empty()) {
       obs::write_chrome_trace(session_, trace_path_);
       std::printf("\nwrote trace: %s\n", trace_path_.c_str());
+      first = false;
     }
     if (!metrics_path_.empty()) {
       obs::write_metrics(session_, metrics_path_);
-      std::printf("%swrote metrics: %s\n", trace_path_.empty() ? "\n" : "",
+      std::printf("%swrote metrics: %s\n", first ? "\n" : "",
                   metrics_path_.c_str());
+      first = false;
+    }
+    if (!analyze_path_.empty()) {
+      obs::write_analysis(session_, analyze_path_);
+      std::printf("%swrote analysis: %s\n", first ? "\n" : "",
+                  analyze_path_.c_str());
     }
   }
   ObsGuard(const ObsGuard&) = delete;
@@ -196,7 +211,7 @@ class ObsGuard {
   [[nodiscard]] const obs::Session& session() const { return session_; }
 
  private:
-  std::string trace_path_, metrics_path_;
+  std::string trace_path_, metrics_path_, analyze_path_;
   obs::Session session_;
   std::optional<obs::Session::Scope> scope_;
 };

@@ -15,6 +15,7 @@
 #include "common/argparse.h"
 #include "common/error.h"
 #include "harness/experiment.h"
+#include "obs/analyze.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/session.h"
@@ -115,6 +116,27 @@ void render_run(const obs::Session::Run& run) {
     std::printf("  send queueing: %.2f us total, %.3f us/msg over %lld msgs\n",
                 queue_s * 1e6, queue_s * 1e6 / static_cast<double>(nflows),
                 nflows);
+
+  // Critical-path summary: where the end-to-end virtual makespan actually
+  // went, and how much of it perfect compute/communication overlap could
+  // reclaim at best (see obs/analyze.h).
+  const obs::RunAnalysis cp = obs::analyze_run(run);
+  if (cp.makespan > 0.0 && !cp.composition.empty()) {
+    std::string top;
+    for (std::size_t i = 0; i < cp.composition.size() && i < 3; ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s%s %.1f%%", i != 0 ? ", " : "",
+                    cp.composition[i].first.c_str(),
+                    100.0 * cp.composition[i].second / cp.makespan);
+      top += buf;
+    }
+    std::printf(
+        "  critical path: %.2f us%s; top: %s; overlap headroom %.2f us "
+        "(%.1f%%)\n",
+        cp.makespan * 1e6, cp.identity_ok ? "" : " (identity BROKEN)",
+        top.c_str(), cp.overlap_headroom * 1e6,
+        100.0 * cp.overlap_headroom / cp.makespan);
+  }
 
   const auto metrics = obs::merged_metrics(run.logs);
   auto counter = [&](const char* name) -> long long {

@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Kernel perf trajectory: run the micro_kernels bench with its built-in
-# bit-exactness self-check and write BENCH_kernels.json at the repo root.
-# Commit the refreshed JSON alongside any kernel change so the trajectory
-# (cells/s per kernel x brick size x path, naive vs fast) stays honest.
+# Perf trajectories committed at the repo root:
+#   BENCH_kernels.json       -- micro_kernels with its built-in bit-exactness
+#                               self-check (cells/s per kernel x brick size
+#                               x path, naive vs fast)
+#   BENCH_critical_path.json -- trace_analyze --suite: critical-path
+#                               composition, wait states and overlap headroom
+#                               for a fixed roster of method x fabric x fault
+#                               configurations (virtual-time, so the numbers
+#                               are machine-independent and exactly
+#                               reproducible)
+# Commit the refreshed JSON alongside any kernel / runtime / netsim change
+# so the trajectories stay honest.
 #
 # Usage: scripts/bench_perf.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -18,3 +26,12 @@ fi
 "$build/bench/micro_kernels" --json-out=BENCH_kernels.json --self-check
 
 echo "bench_perf.sh: wrote BENCH_kernels.json"
+
+if [[ ! -x "$build/tools/trace_analyze" ]]; then
+  echo "bench_perf.sh: $build/tools/trace_analyze not found -- build first" >&2
+  exit 1
+fi
+
+"$build/tools/trace_analyze" --suite BENCH_critical_path.json -d 32
+
+echo "bench_perf.sh: wrote BENCH_critical_path.json"

@@ -23,11 +23,17 @@ echo "=== default preset: kernel perf smoke ==="
 # refreshed by hand with scripts/bench_perf.sh.
 ctest --preset default -L perf
 
+echo "=== default preset: critical-path analyzer gate ==="
+# Analyzer contract, named so a broken path identity or a drifted report
+# fails loudly: unit tests, the golden text report, and the artifact
+# schema check (all also in the full suite above).
+ctest --preset default -L analyze
+
 echo "=== asan-ubsan preset: configure + build ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 
-echo "=== asan-ubsan preset: unit- and persistent-labeled tests ==="
-ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent'
+echo "=== asan-ubsan preset: unit-, persistent- and analyze-labeled tests ==="
+ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze'
 
 echo "ci.sh: all green"

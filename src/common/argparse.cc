@@ -42,7 +42,16 @@ void ArgParser::parse(int argc, const char* const* argv) {
       has_attached = true;
     }
     auto it = opts_.find(a);
-    if (it == opts_.end()) fail("unknown option: " + a + "\n" + usage());
+    if (it == opts_.end()) {
+      // A mistyped --name=value must never be silently absorbed or die as
+      // an uncaught exception deep in a bench: diagnose on stderr with the
+      // full flag inventory and exit with a distinct status.
+      std::string msg = "error: unknown option: " + a + "\nvalid options:\n";
+      for (const auto& name : order_) msg += "  " + name + "\n";
+      msg += "  -h, --help\n";
+      std::fputs(msg.c_str(), stderr);
+      std::exit(2);
+    }
     if (it->second.is_flag) {
       if (has_attached) fail("flag " + a + " takes no value");
       it->second.seen = true;

@@ -623,7 +623,12 @@ Result run(const Config& cfg) {
     auto now = [&] { return comm.clock().now(); };
     auto one_step = [&](int step, bool measured) {
       const std::int64_t s = step % k;
-      const std::int64_t id = measured ? step : -1;
+      // Measured steps tag spans with their timestep; warmup steps get
+      // distinct ids -2, -3, ... so the critical-path analyzer can keep
+      // per-step phase identity without them ever colliding with measured
+      // steps (phase_sum and the exporters filter on step >= 0 / < 0, so
+      // which negative id a warmup span carries is invisible to them).
+      const std::int64_t id = measured ? step : -2 - step;
       if (s == 0 && replan_fn) {
         // PerRound ablation: tear down and rebuild this round's plan inside
         // the measured loop, charging the modeled build cost each time.
@@ -710,7 +715,9 @@ Result run(const Config& cfg) {
 
     for (int w = 0; w < cfg.warmup_exchanges; ++w)
       for (int s = 0; s < static_cast<int>(k); ++s)
-        one_step(s, /*measured=*/false);
+        // Pass the global warmup ordinal so each warmup step's id is
+        // unique; one_step's `step % k` recovers the within-round phase.
+        one_step(w * static_cast<int>(k) + s, /*measured=*/false);
     comm.barrier();
     const double t_begin = now();
     for (int step = 0; step < cfg.timesteps; ++step)

@@ -113,9 +113,11 @@ SendTiming ContentionFabric::send(int src, int dst, std::size_t bytes,
   // factors. Everything read here is either rank-local or frozen until the
   // next epoch, so timing is independent of thread interleaving.
   double eff = bw;
+  double share = 1.0;
   for (int L : route) {
     const auto l = static_cast<std::size_t>(L);
     eff = std::min(eff, link_bw_[l] / sharing_[l]);
+    share = std::max(share, sharing_[l]);
   }
   const double start = std::max(t_ready, rs.nic_free);
   const double end = start + static_cast<double>(bytes) / eff;
@@ -141,7 +143,8 @@ SendTiming ContentionFabric::send(int src, int dst, std::size_t bytes,
     if (!span_set_ || end > span_max_) span_max_ = end;
     span_set_ = true;
   }
-  return SendTiming{start, end, arrive, static_cast<int>(route.size())};
+  return SendTiming{start, end, arrive, static_cast<int>(route.size()),
+                    share};
 }
 
 void ContentionFabric::epoch() {

@@ -62,6 +62,10 @@ struct SendTiming {
   double inject_end = 0.0;    ///< sender-side completion ("send done")
   double arrival = 0.0;       ///< receiver-visible arrival of the last byte
   int hops = 0;               ///< fabric links traversed (0 = same node)
+  /// Peak link-sharing factor applied along the route (1.0 on the flat
+  /// model and node-local paths). Lets the critical-path analyzer split
+  /// injection time into nominal serialization vs fabric contention.
+  double sharing = 1.0;
 };
 
 /// Aggregate fabric observability, read once per run.

@@ -1,0 +1,271 @@
+#include "obs/analyze.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <tuple>
+
+namespace brickx::obs {
+
+const char* seg_class(SegKind k) {
+  switch (k) {
+    case SegKind::Local:
+      return "local";
+    case SegKind::MsgQueue:
+      return "msg.queue";
+    case SegKind::MsgInject:
+      return "msg.inject";
+    case SegKind::MsgContend:
+      return "msg.contention";
+    case SegKind::MsgWire:
+      return "msg.wire";
+    case SegKind::MsgFault:
+      return "msg.fault_delay";
+    case SegKind::MsgRecvLat:
+      return "msg.recv_latency";
+    case SegKind::Collective:
+      return "collective";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A point on a rank's timeline where its progress may depend on another
+/// rank: a binding receive (done = avail) or a collective exit.
+struct Sync {
+  bool coll = false;
+  std::size_t idx = 0;  ///< recvs() index or collective ordinal
+  double done = 0.0;
+};
+
+struct RankView {
+  std::vector<const SpanEvent*> top;  ///< depth-0 spans, time order
+  std::vector<Sync> syncs;            ///< sorted by done ascending
+  std::ptrdiff_t cursor = -1;         ///< latest not-yet-consumed sync
+};
+
+}  // namespace
+
+RunAnalysis analyze_run(const Session::Run& run) {
+  RunAnalysis out;
+  out.label = run.label;
+  const std::size_t R = run.logs.size();
+  out.nranks = run.nranks > 0 ? run.nranks : static_cast<int>(R);
+  out.rank_seconds.assign(R, 0.0);
+
+  // --- collective alignment: the n-th collective on every rank is the same
+  // rendezvous; if counts disagree (possible only for hand-built logs —
+  // collectives are global in simmpi) skip collective edges entirely.
+  bool colls_ok = R > 0;
+  std::size_t ncoll = R > 0 ? run.logs[0].collectives().size() : 0;
+  for (std::size_t r = 1; r < R; ++r)
+    if (run.logs[r].collectives().size() != ncoll) colls_ok = false;
+  if (!colls_ok) ncoll = 0;
+  std::vector<double> coll_entry_max(ncoll, 0.0);
+  std::vector<int> coll_argmax(ncoll, 0);
+  for (std::size_t n = 0; n < ncoll; ++n) {
+    for (std::size_t r = 0; r < R; ++r) {
+      const double e = run.logs[r].collectives()[n].entry;
+      if (r == 0 || e > coll_entry_max[n]) {  // ties -> lowest rank
+        coll_entry_max[n] = e;
+        coll_argmax[n] = static_cast<int>(r);
+      }
+    }
+  }
+
+  // --- whole-run wait-state taxonomy (independent of the critical path).
+  WaitStates& w = out.waits;
+  w.collectives = static_cast<std::int64_t>(ncoll);
+  for (std::size_t r = 0; r < R; ++r) {
+    const RankLog& log = run.logs[r];
+    for (const FlowEvent& f : log.flows()) {
+      w.queue_s += f.inject_start - f.post;
+      w.contention_s +=
+          std::max(0.0, (f.depart - f.inject_start) - f.inject_nominal);
+      w.max_sharing = std::max(w.max_sharing, f.sharing);
+    }
+    for (const RecvEvent& re : log.recvs()) {
+      w.fault_delay_s += re.fault_delay;
+      w.recv_latency_s += re.avail - re.arrive;
+      if (re.avail > re.wait_start) {
+        ++w.binding_waits;
+        const double waited = re.avail - re.wait_start;
+        const double late =
+            std::min(waited, std::max(0.0, re.post - re.wait_start));
+        w.late_sender_s += late;
+        w.transfer_s += waited - late;
+        if (re.post > re.wait_start) ++w.late_sender_waits;
+      } else {
+        ++w.late_receiver_msgs;
+      }
+    }
+    for (std::size_t n = 0; n < ncoll; ++n)
+      w.coll_skew_s += coll_entry_max[n] - log.collectives()[n].entry;
+  }
+
+  // --- per-rank views: depth-0 spans (already t0-ordered: the log appends
+  // in open order on a monotone clock) and the sync list.
+  std::vector<RankView> views(R);
+  double makespan = 0.0;
+  int anchor = 0;
+  for (std::size_t r = 0; r < R; ++r) {
+    const RankLog& log = run.logs[r];
+    RankView& rv = views[r];
+    double end = 0.0;
+    for (const SpanEvent& s : log.spans()) {
+      end = std::max(end, std::max(s.t0, s.t1));
+      if (s.depth == 0) rv.top.push_back(&s);
+    }
+    const auto& recvs = log.recvs();
+    for (std::size_t i = 0; i < recvs.size(); ++i) {
+      const RecvEvent& re = recvs[i];
+      end = std::max(end, std::max(re.avail, re.wait_start));
+      if (re.avail > re.wait_start && re.src >= 0 &&
+          static_cast<std::size_t>(re.src) < R)
+        rv.syncs.push_back(Sync{false, i, re.avail});
+    }
+    for (std::size_t n = 0; n < ncoll; ++n) {
+      end = std::max(end, log.collectives()[n].exit);
+      rv.syncs.push_back(Sync{true, n, log.collectives()[n].exit});
+    }
+    std::stable_sort(rv.syncs.begin(), rv.syncs.end(),
+                     [](const Sync& a, const Sync& b) { return a.done < b.done; });
+    rv.cursor = static_cast<std::ptrdiff_t>(rv.syncs.size()) - 1;
+    if (end > makespan) {  // ties -> lowest rank
+      makespan = end;
+      anchor = static_cast<int>(r);
+    }
+  }
+  out.makespan = makespan;
+  if (R == 0 || makespan <= 0.0) return out;
+
+  // --- backward walk. Every boundary handed to emit() is a double shared
+  // with its neighbor segment, so the forward path telescopes to exactly
+  // [0, makespan] — that contiguity IS the critical-path identity.
+  auto emit = [&](int rank, SegKind kind, Cat cat, const char* name,
+                  std::int64_t step, double t0, double t1) {
+    if (!(t1 > t0)) return;  // zero-length: neighbors already share t0 == t1
+    out.segments.push_back(PathSegment{rank, kind, cat, name, step, t0, t1});
+  };
+
+  // Attribute the local stretch (a, b] of rank r to its depth-0 spans;
+  // clock time outside any span becomes "untracked" filler.
+  auto emit_local = [&](int r, double a, double b) {
+    const auto& top = views[static_cast<std::size_t>(r)].top;
+    double pos = b;
+    auto it = std::lower_bound(
+        top.begin(), top.end(), b,
+        [](const SpanEvent* s, double t) { return s->t0 < t; });
+    while (it != top.begin() && pos > a) {
+      const SpanEvent* s = *--it;
+      if (s->t1 <= s->t0) continue;  // instant marker / unclosed span
+      if (s->t1 <= a) break;         // depth-0 spans are time-ordered
+      const double hi = std::min(s->t1, pos);
+      const double lo = std::max(s->t0, a);
+      emit(r, SegKind::Local, Cat::Calc, nullptr, -1, hi, pos);  // gap
+      emit(r, SegKind::Local, s->cat, s->name, s->step, lo, hi);
+      pos = lo;
+    }
+    emit(r, SegKind::Local, Cat::Calc, nullptr, -1, a, pos);
+  };
+
+  int cur_r = anchor;
+  double cur_t = makespan;
+  while (cur_t > 0.0) {
+    RankView& rv = views[static_cast<std::size_t>(cur_r)];
+    // Syncs after the current position can never rejoin the path (cur_t is
+    // non-increasing), so skipping them is final — and the strictly
+    // decreasing cursors are what guarantee termination.
+    while (rv.cursor >= 0 &&
+           rv.syncs[static_cast<std::size_t>(rv.cursor)].done > cur_t)
+      --rv.cursor;
+    if (rv.cursor < 0) {
+      emit_local(cur_r, 0.0, cur_t);
+      break;
+    }
+    const Sync s = rv.syncs[static_cast<std::size_t>(rv.cursor--)];
+    emit_local(cur_r, s.done, cur_t);
+    cur_t = s.done;
+    if (s.coll) {
+      // The rendezvous exit is bound by the latest entry; the barrier cost
+      // is billed to the straggler and the walk continues on its timeline.
+      const double em = coll_entry_max[s.idx];
+      emit(coll_argmax[s.idx], SegKind::Collective, Cat::Collective, nullptr,
+           -1, em, cur_t);
+      cur_r = coll_argmax[s.idx];
+      cur_t = em;
+    } else {
+      // Binding receive: route through the sender-side message timeline,
+      // post -> inject_start -> (nominal|contention) -> depart -> wire ->
+      // fault -> arrive -> avail. The chain is monotone by construction;
+      // clamps only guard hand-built or FP-degenerate data.
+      const RecvEvent& re =
+          run.logs[static_cast<std::size_t>(cur_r)].recvs()[s.idx];
+      const int sr = re.src;
+      emit(cur_r, SegKind::MsgRecvLat, Cat::Wait, nullptr, -1, re.arrive,
+           cur_t);
+      const double t_fd = std::max(re.depart, re.arrive - re.fault_delay);
+      emit(sr, SegKind::MsgFault, Cat::Wait, nullptr, -1, t_fd, re.arrive);
+      emit(sr, SegKind::MsgWire, Cat::Wait, nullptr, -1, re.depart, t_fd);
+      const double nom_end =
+          std::min(re.depart,
+                   std::max(re.inject_start,
+                            re.inject_start + re.inject_nominal));
+      emit(sr, SegKind::MsgContend, Cat::Wait, nullptr, -1, nom_end,
+           re.depart);
+      emit(sr, SegKind::MsgInject, Cat::Wait, nullptr, -1, re.inject_start,
+           nom_end);
+      emit(sr, SegKind::MsgQueue, Cat::Wait, nullptr, -1, re.post,
+           re.inject_start);
+      cur_r = sr;
+      cur_t = re.post;
+    }
+  }
+  std::reverse(out.segments.begin(), out.segments.end());
+
+  // --- identity check + aggregates over the forward path.
+  bool ok = true;
+  double expect = 0.0;
+  std::map<std::string, double> comp;
+  std::map<std::tuple<int, int, std::string>, double> attr;
+  for (const PathSegment& seg : out.segments) {
+    ok = ok && seg.t0 == expect;
+    expect = seg.t1;
+    const double d = seg.t1 - seg.t0;
+    out.path_seconds += d;
+    if (seg.rank >= 0 && static_cast<std::size_t>(seg.rank) < R)
+      out.rank_seconds[static_cast<std::size_t>(seg.rank)] += d;
+    if (seg.kind == SegKind::Local) {
+      if (seg.name != nullptr) {
+        comp[cat_name(seg.cat)] += d;
+        std::string phase = seg.name;
+        if (seg.step <= -2) phase += "/warmup";
+        attr[{seg.rank, static_cast<int>(seg.cat), std::move(phase)}] += d;
+        if (seg.cat == Cat::Calc) out.calc_on_path += d;
+      } else {
+        comp["untracked"] += d;
+      }
+    } else {
+      comp[seg_class(seg.kind)] += d;
+      if (seg.kind != SegKind::Collective) out.comm_on_path += d;
+    }
+  }
+  out.identity_ok = ok && expect == makespan;
+  out.overlap_headroom = std::min(out.comm_on_path, out.calc_on_path);
+
+  out.composition.assign(comp.begin(), comp.end());
+  std::stable_sort(out.composition.begin(), out.composition.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  out.attribution.reserve(attr.size());
+  for (const auto& [key, secs] : attr)
+    out.attribution.push_back(RunAnalysis::Attr{
+        std::get<0>(key), static_cast<Cat>(std::get<1>(key)),
+        std::get<2>(key), secs});
+  return out;
+}
+
+}  // namespace brickx::obs

@@ -1,0 +1,142 @@
+#pragma once
+
+// Causal critical-path and wait-state analysis over the obs trace.
+//
+// From one Session::Run (per-rank spans + sender-side FlowEvents +
+// receiver-side RecvEvents + CollEvents) the analyzer builds the implicit
+// causality DAG of the simulated job:
+//
+//  * program-order edges  — each rank's timeline is totally ordered by the
+//    virtual clock (single-writer RankLog, monotone t0);
+//  * message edges        — a binding receive (avail > wait_start) makes the
+//    receiver's progress depend on the sender's post; the RecvEvent carries
+//    the full sender-side timeline (post -> inject -> wire -> arrival), so
+//    no cross-rank pairing is needed;
+//  * collective edges     — the n-th collective on every rank is the same
+//    global rendezvous; its exit is bound by the latest entry (plus the
+//    modeled barrier cost).
+//
+// The critical path is extracted with a backward walk from the anchor
+// (the latest event on any rank, i.e. the virtual makespan) to t = 0:
+// local stretches are attributed to the covering depth-0 spans per
+// (rank x Cat x phase), binding receives route the path through the
+// sender's message timeline (queueing / injection / contention stretch /
+// wire / fault delay / receiver-side latency), and collectives route it
+// through the latest-entering rank. Segment boundaries are shared doubles,
+// so the identity  sum(segment durations) == makespan  holds exactly
+// (telescoping), which analyze_run verifies (identity_ok).
+//
+// Determinism contract: everything here is a pure function of the
+// deterministic virtual-clock data — same Config => byte-identical JSON
+// and text reports (same contract as chrome_trace_json; golden-tested).
+//
+// With BRICKX_OBS=0 the null-sink logs carry no events and every function
+// degrades to an empty (but well-formed) analysis — no gating needed.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/session.h"
+
+namespace brickx::obs {
+
+/// What a stretch of the critical path was spent on.
+enum class SegKind : std::uint8_t {
+  Local,       ///< rank-local time, attributed to the covering depth-0 span
+  MsgQueue,    ///< post -> inject_start: sender NIC backlog
+  MsgInject,   ///< nominal serialization at the endpoint rate
+  MsgContend,  ///< injection stretch from fabric link sharing
+  MsgWire,     ///< path latency (alpha / routed hops)
+  MsgFault,    ///< injected Delay fault
+  MsgRecvLat,  ///< receiver memory-space latency (device/UM alpha extra)
+  Collective,  ///< barrier cost from the latest entry to the joint exit
+};
+
+/// Stable composition key for a non-Local segment kind.
+const char* seg_class(SegKind k);
+
+/// One stretch of the critical path, [t0, t1] in virtual seconds, forward
+/// time order. For Local segments `cat`/`name`/`step` describe the covering
+/// depth-0 span (name == nullptr: clock time outside any span, keyed
+/// "untracked"); for message segments `rank` is the side doing the work
+/// (sender for queue/inject/contention/wire/fault, receiver for recv
+/// latency).
+struct PathSegment {
+  int rank = 0;
+  SegKind kind = SegKind::Local;
+  Cat cat = Cat::Calc;
+  const char* name = nullptr;  ///< static-lifetime span label (Local only)
+  std::int64_t step = -1;      ///< covering span's step tag (Local only)
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// Wait-state taxonomy over the WHOLE run (every rank, warmup included),
+/// independent of which events the critical path visits.
+struct WaitStates {
+  double late_sender_s = 0.0;   ///< blocked before the sender even posted
+  double transfer_s = 0.0;      ///< blocked on an in-flight transfer
+  std::int64_t binding_waits = 0;      ///< receives that blocked the receiver
+  std::int64_t late_sender_waits = 0;  ///< subset where post > wait_start
+  std::int64_t late_receiver_msgs = 0; ///< fully hidden (avail <= wait_start)
+  double queue_s = 0.0;       ///< sender NIC backlog over all sends
+  double contention_s = 0.0;  ///< injection stretch beyond the nominal rate
+  double fault_delay_s = 0.0; ///< injected Delay seconds on received msgs
+  double recv_latency_s = 0.0;  ///< receiver memory-space arrival surcharge
+  double coll_skew_s = 0.0;   ///< sum of (latest entry - own entry)
+  std::int64_t collectives = 0;  ///< aligned collective rendezvous count
+  double max_sharing = 1.0;   ///< peak link-sharing factor seen by any send
+};
+
+/// Full analysis of one run.
+struct RunAnalysis {
+  std::string label;
+  int nranks = 0;
+  double makespan = 0.0;      ///< latest event time on any rank (anchor)
+  double path_seconds = 0.0;  ///< sum of segment durations
+  bool identity_ok = true;    ///< path tiles [0, makespan] exactly
+  std::vector<PathSegment> segments;  ///< the critical path, forward order
+
+  /// Path composition: class -> seconds, sorted by seconds descending then
+  /// class name (deterministic). Classes are cat_name() strings for Local
+  /// segments, seg_class() strings otherwise, plus "untracked".
+  std::vector<std::pair<std::string, double>> composition;
+
+  std::vector<double> rank_seconds;  ///< per-rank time on the path
+
+  /// Rank-local critical-path time per (rank x Cat x phase). `phase` is the
+  /// covering span name, suffixed "/warmup" for warmup-step spans
+  /// (step <= -2) so measured and warmup work stay separable.
+  struct Attr {
+    int rank = 0;
+    Cat cat = Cat::Calc;
+    std::string phase;
+    double seconds = 0.0;
+  };
+  std::vector<Attr> attribution;  ///< sorted by (rank, cat, phase)
+
+  WaitStates waits;
+
+  /// Overlap potential: message time on the critical path is the portion
+  /// concurrent-eligible with interior compute, so the headroom a perfect
+  /// compute/communication overlap could reclaim is bounded by
+  /// min(comm on path, calc on path) — an upper-bound estimate.
+  double comm_on_path = 0.0;
+  double calc_on_path = 0.0;
+  double overlap_headroom = 0.0;
+};
+
+/// Analyze one run. Pure and deterministic; empty logs give an empty
+/// analysis with makespan 0.
+RunAnalysis analyze_run(const Session::Run& run);
+
+/// Byte-deterministic reports over every run of a session (report.cc).
+[[nodiscard]] std::string analysis_json(const Session& s);
+[[nodiscard]] std::string analysis_text(const Session& s);
+
+/// Writes text when `path` ends in ".txt", JSON otherwise.
+void write_analysis(const Session& s, const std::string& path);
+
+}  // namespace brickx::obs

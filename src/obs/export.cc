@@ -201,13 +201,32 @@ std::string metrics_json(const Session& s) {
   return out;
 }
 
+namespace {
+
+/// RFC-4180 CSV field: quoted (with doubled inner quotes) only when the
+/// value contains a delimiter, so labels like "MemMap/um,p=2M" survive and
+/// plain fields stay byte-identical to the unescaped form.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string metrics_csv(const Session& s) {
   std::string out = "run,label,metric,kind,value,count,min,avg,max,sigma\n";
   for (std::size_t k = 0; k < s.runs().size(); ++k) {
     const auto& run = s.runs()[k];
     const auto merged = merged_metrics(run.logs);
     for (const auto& [name, m] : merged) {
-      out += std::to_string(k) + "," + run.label + "," + name + ",";
+      out += std::to_string(k) + "," + csv_field(run.label) + "," +
+             csv_field(name) + ",";
       switch (m.kind) {
         case MetricKind::Counter:
           out += "counter," + std::to_string(m.value) + ",,,,,";

@@ -90,8 +90,41 @@ struct FlowEvent {
   double depart;  ///< sender NIC finished injecting
   double arrive;  ///< receiver-visible arrival of the last byte
   /// Virtual time the send was posted (depart − post = NIC queueing +
-  /// injection). Kept last so older aggregate initializers still compile.
+  /// injection). The defaulted tail is appended in declaration order so
+  /// older aggregate initializers still compile.
   double post = 0.0;
+  double inject_start = 0.0;    ///< first byte entered the sender NIC
+  double inject_nominal = 0.0;  ///< bytes / endpoint bw (uncontended inject)
+  double fault_delay = 0.0;     ///< injected Delay seconds inside `arrive`
+  double sharing = 1.0;         ///< peak link-sharing factor on the route
+};
+
+/// One matched receive, recorded receiver-side at the wait() that consumed
+/// it. Self-contained: the sender-side timeline (post → inject → arrival)
+/// rides in on the envelope, so the analyzer never has to re-pair flows
+/// across ranks (robust under reorder faults). Times are virtual seconds.
+struct RecvEvent {
+  int src = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  double post = 0.0;            ///< sender clock when the send was posted
+  double inject_start = 0.0;    ///< first byte entered the sender NIC
+  double depart = 0.0;          ///< sender NIC finished injecting
+  double inject_nominal = 0.0;  ///< bytes / endpoint bw (uncontended inject)
+  double arrive = 0.0;          ///< raw arrival (fault delay included)
+  double fault_delay = 0.0;     ///< injected Delay seconds inside `arrive`
+  double sharing = 1.0;         ///< peak link-sharing factor on the route
+  double wait_start = 0.0;      ///< receiver clock when wait() matched
+  double avail = 0.0;           ///< arrive + receiver memory-space latency
+};
+
+/// One collective rendezvous on a rank's timeline. All ranks record the
+/// same ordinal for the same collective (collectives are global and every
+/// rank participates), which is what lets the analyzer align the n-th
+/// entries across ranks into one barrier edge.
+struct CollEvent {
+  double entry = 0.0;  ///< this rank's clock entering the collective
+  double exit = 0.0;   ///< synchronized clock leaving it (same on all ranks)
 };
 
 enum class MetricKind : std::uint8_t { Counter, Gauge, Hist };
@@ -119,6 +152,8 @@ class RankLog {
 
   void flow(const FlowEvent& f) { flows_.push_back(f); }
   void clear_flows() { flows_.clear(); }
+  void recv(const RecvEvent& r) { recvs_.push_back(r); }
+  void collective(const CollEvent& c) { colls_.push_back(c); }
 
   void counter_add(std::string_view name, std::int64_t v);
   void gauge_max(std::string_view name, double v);
@@ -126,6 +161,10 @@ class RankLog {
 
   [[nodiscard]] const std::vector<SpanEvent>& spans() const { return spans_; }
   [[nodiscard]] const std::vector<FlowEvent>& flows() const { return flows_; }
+  [[nodiscard]] const std::vector<RecvEvent>& recvs() const { return recvs_; }
+  [[nodiscard]] const std::vector<CollEvent>& collectives() const {
+    return colls_;
+  }
   [[nodiscard]] const std::map<std::string, Metric, std::less<>>& metrics()
       const {
     return metrics_;
@@ -138,6 +177,8 @@ class RankLog {
   int depth_ = 0;
   std::vector<SpanEvent> spans_;
   std::vector<FlowEvent> flows_;
+  std::vector<RecvEvent> recvs_;
+  std::vector<CollEvent> colls_;
   std::map<std::string, Metric, std::less<>> metrics_;
 };
 
@@ -228,6 +269,8 @@ class RankLog {
   void note_span(Cat, const char*, double, double) {}
   void flow(const FlowEvent&) {}
   void clear_flows() {}
+  void recv(const RecvEvent&) {}
+  void collective(const CollEvent&) {}
   void counter_add(std::string_view, std::int64_t) {}
   void gauge_max(std::string_view, double) {}
   void hist_add(std::string_view, double) {}
@@ -237,6 +280,14 @@ class RankLog {
   }
   [[nodiscard]] const std::vector<FlowEvent>& flows() const {
     static const std::vector<FlowEvent> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] const std::vector<RecvEvent>& recvs() const {
+    static const std::vector<RecvEvent> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] const std::vector<CollEvent>& collectives() const {
+    static const std::vector<CollEvent> kEmpty;
     return kEmpty;
   }
   [[nodiscard]] const std::map<std::string, Metric, std::less<>>& metrics()

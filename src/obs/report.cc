@@ -1,0 +1,206 @@
+// Byte-deterministic renderers for the critical-path analysis: a
+// machine-readable JSON form (seconds as %.17g, round-trippable) and an
+// aligned text form (microseconds as %.6f) for terminals and golden tests.
+// Same determinism contract as chrome_trace_json: both are pure functions
+// of the virtual-clock data, so identical Configs render identical bytes.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "obs/analyze.h"
+#include "obs/export.h"
+
+namespace brickx::obs {
+
+namespace {
+
+std::string us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds * 1e6);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string jesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Composition key of a segment — cat for tracked local time, "untracked"
+/// for clock time outside any depth-0 span, seg_class otherwise. Must match
+/// the keys analyze_run puts into RunAnalysis::composition.
+const char* seg_key(const PathSegment& seg) {
+  if (seg.kind != SegKind::Local) return seg_class(seg.kind);
+  return seg.name != nullptr ? cat_name(seg.cat) : "untracked";
+}
+
+std::string run_json(const RunAnalysis& a) {
+  std::string o = "{\"label\":\"" + jesc(a.label) + "\"";
+  o += ",\"nranks\":" + std::to_string(a.nranks);
+  o += ",\"makespan_s\":" + num(a.makespan);
+  o += ",\"path_s\":" + num(a.path_seconds);
+  o += std::string(",\"identity_ok\":") + (a.identity_ok ? "true" : "false");
+  o += ",\"segments\":[";
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    const PathSegment& s = a.segments[i];
+    if (i != 0) o += ",";
+    o += "\n  {\"rank\":" + std::to_string(s.rank) + ",\"class\":\"" +
+         seg_key(s) + "\"";
+    if (s.kind == SegKind::Local && s.name != nullptr)
+      o += ",\"phase\":\"" + jesc(s.name) +
+           "\",\"step\":" + std::to_string(s.step);
+    o += ",\"t0_s\":" + num(s.t0) + ",\"t1_s\":" + num(s.t1) + "}";
+  }
+  o += a.segments.empty() ? "]" : "\n ]";
+  o += ",\"composition\":{";
+  for (std::size_t i = 0; i < a.composition.size(); ++i) {
+    if (i != 0) o += ",";
+    o += "\"" + jesc(a.composition[i].first) +
+         "\":" + num(a.composition[i].second);
+  }
+  o += "}";
+  o += ",\"rank_path_s\":[";
+  for (std::size_t r = 0; r < a.rank_seconds.size(); ++r) {
+    if (r != 0) o += ",";
+    o += num(a.rank_seconds[r]);
+  }
+  o += "]";
+  o += ",\"attribution\":[";
+  for (std::size_t i = 0; i < a.attribution.size(); ++i) {
+    const RunAnalysis::Attr& at = a.attribution[i];
+    if (i != 0) o += ",";
+    o += "\n  {\"rank\":" + std::to_string(at.rank) + ",\"cat\":\"" +
+         cat_name(at.cat) + "\",\"phase\":\"" + jesc(at.phase) +
+         "\",\"seconds\":" + num(at.seconds) + "}";
+  }
+  o += a.attribution.empty() ? "]" : "\n ]";
+  const WaitStates& w = a.waits;
+  o += ",\"wait_states\":{";
+  o += "\"late_sender_s\":" + num(w.late_sender_s);
+  o += ",\"transfer_s\":" + num(w.transfer_s);
+  o += ",\"binding_waits\":" + std::to_string(w.binding_waits);
+  o += ",\"late_sender_waits\":" + std::to_string(w.late_sender_waits);
+  o += ",\"late_receiver_msgs\":" + std::to_string(w.late_receiver_msgs);
+  o += ",\"queue_s\":" + num(w.queue_s);
+  o += ",\"contention_s\":" + num(w.contention_s);
+  o += ",\"fault_delay_s\":" + num(w.fault_delay_s);
+  o += ",\"recv_latency_s\":" + num(w.recv_latency_s);
+  o += ",\"collective_skew_s\":" + num(w.coll_skew_s);
+  o += ",\"collectives\":" + std::to_string(w.collectives);
+  o += ",\"max_sharing\":" + num(w.max_sharing);
+  o += "}";
+  const double pct =
+      a.makespan > 0.0 ? 100.0 * a.overlap_headroom / a.makespan : 0.0;
+  o += ",\"overlap\":{";
+  o += "\"comm_on_path_s\":" + num(a.comm_on_path);
+  o += ",\"calc_on_path_s\":" + num(a.calc_on_path);
+  o += ",\"headroom_s\":" + num(a.overlap_headroom);
+  o += ",\"headroom_pct\":" + num(pct);
+  o += "}}";
+  return o;
+}
+
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string run_text(const RunAnalysis& a) {
+  std::string o;
+  o += "=== critical path: " + a.label + " (" + std::to_string(a.nranks) +
+       " ranks) ===\n";
+  o += "makespan " + us(a.makespan) + " us | path " + us(a.path_seconds) +
+       " us | " + std::to_string(a.segments.size()) + " segments | " +
+       (a.identity_ok ? "identity ok" : "identity BROKEN") + "\n";
+  o += "composition (% of makespan):\n";
+  for (const auto& [key, secs] : a.composition) {
+    const double pct = a.makespan > 0.0 ? 100.0 * secs / a.makespan : 0.0;
+    o += fmt("  %-18s %16s us %5.1f%%\n", key.c_str(), us(secs).c_str(), pct);
+  }
+  o += "time on path per rank (us):";
+  for (double r : a.rank_seconds) o += " " + us(r);
+  o += "\n";
+  const WaitStates& w = a.waits;
+  o += "wait states (whole run):\n";
+  o += fmt("  late sender     %16s us over %lld/%lld binding waits\n",
+           us(w.late_sender_s).c_str(),
+           static_cast<long long>(w.late_sender_waits),
+           static_cast<long long>(w.binding_waits));
+  o += fmt("  in-flight xfer  %16s us\n", us(w.transfer_s).c_str());
+  o += fmt("  late receiver   %lld msgs fully hidden\n",
+           static_cast<long long>(w.late_receiver_msgs));
+  o += fmt("  nic queueing    %16s us | contention %s us | peak sharing %.2f\n",
+           us(w.queue_s).c_str(), us(w.contention_s).c_str(), w.max_sharing);
+  o += fmt("  recv latency    %16s us | fault delay %s us\n",
+           us(w.recv_latency_s).c_str(), us(w.fault_delay_s).c_str());
+  o += fmt("  collective skew %16s us over %lld collectives\n",
+           us(w.coll_skew_s).c_str(), static_cast<long long>(w.collectives));
+  const double pct =
+      a.makespan > 0.0 ? 100.0 * a.overlap_headroom / a.makespan : 0.0;
+  o += fmt(
+      "overlap potential: comm %s us vs interior calc %s us -> headroom %s "
+      "us (%.1f%% of makespan)\n",
+      us(a.comm_on_path).c_str(), us(a.calc_on_path).c_str(),
+      us(a.overlap_headroom).c_str(), pct);
+  if (!a.attribution.empty()) {
+    o += "attribution (rank x cat x phase):\n";
+    for (const RunAnalysis::Attr& at : a.attribution)
+      o += fmt("  r%-3d %-10s %-22s %16s us\n", at.rank, cat_name(at.cat),
+               at.phase.c_str(), us(at.seconds).c_str());
+  }
+  return o;
+}
+
+}  // namespace
+
+std::string analysis_json(const Session& s) {
+  std::string o = "{\"version\":1,\"runs\":[";
+  for (std::size_t k = 0; k < s.runs().size(); ++k) {
+    if (k != 0) o += ",";
+    o += "\n" + run_json(analyze_run(s.runs()[k]));
+  }
+  o += s.runs().empty() ? "]}\n" : "\n]}\n";
+  return o;
+}
+
+std::string analysis_text(const Session& s) {
+  std::string o = "critical-path analysis: " +
+                  std::to_string(s.runs().size()) + " run" +
+                  (s.runs().size() == 1 ? "" : "s") + "\n";
+  for (const auto& run : s.runs()) {
+    o += "\n";
+    o += run_text(analyze_run(run));
+  }
+  return o;
+}
+
+void write_analysis(const Session& s, const std::string& path) {
+  const bool text =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".txt") == 0;
+  write_file(path, text ? analysis_text(s) : analysis_json(s));
+}
+
+}  // namespace brickx::obs

@@ -106,13 +106,28 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
   const netsim::SendTiming tm =
       fab.send(rank_, dest, bytes, lp.alpha, lp.bw, post);
   env.arrival = tm.arrival;
+  env.post = post;
+  env.inject_start = tm.inject_start;
+  env.inject_end = tm.inject_end;
+  env.inject_nominal = static_cast<double>(bytes) / lp.bw;
+  env.sharing = tm.sharing;
 
   counters_.msgs_sent += 1;
   counters_.bytes_sent += static_cast<std::int64_t>(bytes);
-  if (obs::RankLog* lg = obs::ambient_log())
-    lg->flow(obs::FlowEvent{rank_, dest, tag,
-                            static_cast<std::uint64_t>(bytes), tm.inject_end,
-                            env.arrival, post});
+  if (obs::RankLog* lg = obs::ambient_log()) {
+    obs::FlowEvent fe;
+    fe.src = rank_;
+    fe.dst = dest;
+    fe.tag = tag;
+    fe.bytes = static_cast<std::uint64_t>(bytes);
+    fe.depart = tm.inject_end;
+    fe.arrive = env.arrival;
+    fe.post = post;
+    fe.inject_start = tm.inject_start;
+    fe.inject_nominal = env.inject_nominal;
+    fe.sharing = tm.sharing;
+    lg->flow(fe);
+  }
   if (++inflight_ > counters_.max_inflight_reqs)
     counters_.max_inflight_reqs = inflight_;
 
@@ -136,6 +151,7 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
         break;
       case FaultKind::Delay:
         env.arrival += d.delay;
+        env.fault_delay = d.delay;
         break;
       case FaultKind::Drop:
         env.dropped = true;
@@ -357,6 +373,26 @@ void Comm::wait(Request& req) {
   double arrival = env.arrival;
   if (dspace == MemSpace::Device) arrival += m.device_alpha_extra;
   if (dspace == MemSpace::Unified) arrival += m.um_alpha_extra;
+  if (obs::RankLog* lg = obs::ambient_log()) {
+    // Receiver-side causal record for the critical-path analyzer: the
+    // sender timeline from the envelope plus this rank's wait/availability
+    // times. Captured before advance_to so wait_start is the blocked-from
+    // time.
+    obs::RecvEvent re;
+    re.src = st.peer;
+    re.tag = st.tag;
+    re.bytes = static_cast<std::uint64_t>(st.bytes);
+    re.post = env.post;
+    re.inject_start = env.inject_start;
+    re.depart = env.inject_end;
+    re.inject_nominal = env.inject_nominal;
+    re.arrive = env.arrival;
+    re.fault_delay = env.fault_delay;
+    re.sharing = env.sharing;
+    re.wait_start = clock_.now();
+    re.avail = arrival;
+    lg->recv(re);
+  }
   clock_.advance_to(arrival);
 
   counters_.msgs_recv += 1;
@@ -410,6 +446,7 @@ struct CollResult {
 
 std::vector<double> Comm::allgather(double v) {
   obs::ObsSpan span(obs::Cat::Collective, "allgather");
+  const double coll_entry = clock_.now();
   if (!held_.empty()) flush_held();  // collectives are a fault flush point
   // First round: gather values. Second round: synchronize clocks.
   auto gather = [this](double x) {
@@ -441,6 +478,11 @@ std::vector<double> Comm::allgather(double v) {
   const double stages =
       std::ceil(std::log2(static_cast<double>(std::max(2, size_))));
   clock_.advance_to(tmax + rt_->model_.barrier_alpha * stages);
+  // Barrier edge for the critical-path analyzer: every rank records the
+  // same collective ordinal (collectives are global), so the n-th entries
+  // align across ranks and the exit is the synchronized clock.
+  if (obs::RankLog* lg = obs::ambient_log())
+    lg->collective(obs::CollEvent{coll_entry, clock_.now()});
   return values;
 }
 

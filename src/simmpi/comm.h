@@ -142,6 +142,17 @@ struct Envelope {
   std::uint64_t checksum = 0;   ///< FNV-1a of the payload as sent
   std::size_t sent_bytes = 0;   ///< payload size before any truncation
   bool dropped = false;         ///< payload lost in transit (fault)
+  // Causal metadata for the critical-path analyzer (obs/analyze.h): the
+  // sender-side timeline rides with the message so the receiver can record
+  // a self-contained obs::RecvEvent — no cross-rank pairing needed, which
+  // keeps the analysis robust under reorder/duplicate faults. Inert cost
+  // otherwise (POD stamps, no clock effect).
+  double post = 0.0;            ///< sender clock when the send was posted
+  double inject_start = 0.0;    ///< first byte entered the sender NIC
+  double inject_end = 0.0;      ///< sender NIC finished injecting
+  double inject_nominal = 0.0;  ///< bytes / endpoint bw (uncontended)
+  double fault_delay = 0.0;     ///< injected Delay seconds inside `arrival`
+  double sharing = 1.0;         ///< peak link-sharing factor on the route
 };
 
 /// An MPI_Comm-like communicator bound to the calling rank. Each rank

@@ -1,0 +1,167 @@
+// Artifact-contract check (plain main, registered with ctest as
+// obs_analysis_schema): runs a bench binary with --analyze-out and
+// validates the emitted critical-path analysis JSON against the checked-in
+// schema tests/data/analysis_schema.json — top-level and per-run keys,
+// segment classes, wait-state and overlap fields — and then re-verifies
+// the critical-path identity FROM THE ARTIFACT: segments must tile
+// [0, makespan] contiguously (the %.17g rendering round-trips doubles
+// exactly, so the shared-boundary equality survives export and re-parse).
+//
+// Usage: analysis_schema_validate <bench-binary> <schema.json>
+// (the bench is invoked as: <bench-binary> -s 16 --analyze-out=<tmp>)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "json_mini.h"
+
+namespace {
+
+using jsonmini::Parser;
+using jsonmini::Value;
+using jsonmini::read_file;
+
+int g_errors = 0;
+
+void problem(const std::string& what) {
+  std::fprintf(stderr, "schema violation: %s\n", what.c_str());
+  ++g_errors;
+}
+
+std::vector<std::string> string_list(const Value& schema, const char* key) {
+  std::vector<std::string> out;
+  const Value* v = schema.find(key);
+  if (v == nullptr || !v->is(Value::Type::Array)) {
+    problem(std::string("schema file lacks string array '") + key + "'");
+    return out;
+  }
+  for (const Value& e : *v->arr) out.push_back(e.str);
+  return out;
+}
+
+void require_numbers(const Value& obj, const std::vector<std::string>& keys,
+                     const std::string& where) {
+  for (const std::string& k : keys) {
+    const Value* v = obj.find(k);
+    if (v == nullptr || !v->is(Value::Type::Number))
+      problem(where + " lacks numeric field '" + k + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <bench-binary> <schema.json>\n", argv[0]);
+    return 2;
+  }
+  const std::string bench = argv[1];
+  const std::string out_path = "obs_analysis_check.json";
+
+  const std::string cmd =
+      "\"" + bench + "\" -s 16 --analyze-out=" + out_path + " > /dev/null";
+  std::printf("running: %s\n", cmd.c_str());
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "bench invocation failed\n");
+    return 2;
+  }
+
+  const Value schema = Parser(read_file(argv[2])).parse();
+  const Value doc = Parser(read_file(out_path)).parse();
+
+  for (const std::string& key : string_list(schema, "top_required")) {
+    if (doc.find(key) == nullptr)
+      problem("missing top-level key '" + key + "'");
+  }
+  const Value* version = doc.find("version");
+  if (version == nullptr || !version->is(Value::Type::Number) ||
+      version->number != 1.0)
+    problem("'version' must be the number 1");
+
+  const Value* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is(Value::Type::Array) || runs->arr->empty()) {
+    problem("'runs' must be a non-empty array");
+    return 1;
+  }
+
+  const std::vector<std::string> run_required =
+      string_list(schema, "run_required");
+  const std::vector<std::string> seg_required =
+      string_list(schema, "segment_required");
+  const std::vector<std::string> seg_classes =
+      string_list(schema, "segment_classes");
+  const std::vector<std::string> wait_required =
+      string_list(schema, "wait_required");
+  const std::vector<std::string> overlap_required =
+      string_list(schema, "overlap_required");
+
+  for (const Value& run : *runs->arr) {
+    const Value* label_v = run.find("label");
+    const std::string label =
+        label_v != nullptr && label_v->is(Value::Type::String) ? label_v->str
+                                                               : "<run>";
+    for (const std::string& key : run_required) {
+      if (run.find(key) == nullptr)
+        problem("run " + label + " missing key '" + key + "'");
+    }
+    const Value* ident = run.find("identity_ok");
+    if (ident == nullptr || !ident->is(Value::Type::Bool) || !ident->b)
+      problem("run " + label + " does not report identity_ok=true");
+
+    const Value* makespan = run.find("makespan_s");
+    const Value* segs = run.find("segments");
+    if (makespan != nullptr && makespan->is(Value::Type::Number) &&
+        segs != nullptr && segs->is(Value::Type::Array)) {
+      // Re-verify the identity from the exported numbers: contiguous
+      // segments tiling [0, makespan] exactly.
+      double expect = 0.0;
+      for (const Value& s : *segs->arr) {
+        for (const std::string& key : seg_required) {
+          if (s.find(key) == nullptr)
+            problem("run " + label + " segment missing key '" + key + "'");
+        }
+        const Value* cls = s.find("class");
+        if (cls != nullptr && cls->is(Value::Type::String)) {
+          bool known = false;
+          for (const std::string& c : seg_classes) known = known || c == cls->str;
+          if (!known)
+            problem("run " + label + " segment has unknown class '" +
+                    cls->str + "'");
+        }
+        const Value* t0 = s.find("t0_s");
+        const Value* t1 = s.find("t1_s");
+        if (t0 == nullptr || t1 == nullptr ||
+            !t0->is(Value::Type::Number) || !t1->is(Value::Type::Number))
+          continue;
+        if (t0->number != expect)
+          problem("run " + label + " segment breaks contiguity");
+        if (!(t1->number > t0->number))
+          problem("run " + label + " has a non-positive-length segment");
+        expect = t1->number;
+      }
+      if (expect != makespan->number)
+        problem("run " + label + " path does not end at the makespan");
+    }
+
+    const Value* waits = run.find("wait_states");
+    if (waits != nullptr && waits->is(Value::Type::Object))
+      require_numbers(*waits, wait_required, "run " + label + " wait_states");
+    else
+      problem("run " + label + " wait_states is not an object");
+
+    const Value* overlap = run.find("overlap");
+    if (overlap != nullptr && overlap->is(Value::Type::Object))
+      require_numbers(*overlap, overlap_required, "run " + label + " overlap");
+    else
+      problem("run " + label + " overlap is not an object");
+  }
+
+  if (g_errors != 0) {
+    std::fprintf(stderr, "%d schema violation(s)\n", g_errors);
+    return 1;
+  }
+  std::printf("ok: %zu run(s) conform to %s\n", runs->arr->size(), argv[2]);
+  return 0;
+}

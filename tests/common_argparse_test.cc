@@ -38,10 +38,25 @@ TEST(ArgParser, ParseOverrides) {
   EXPECT_EQ(ap.get_int_list("-s").size(), 2u);
 }
 
-TEST(ArgParser, UnknownOptionThrows) {
+TEST(ArgParser, UnknownOptionIsHardErrorListingValidFlags) {
   ArgParser ap = make();
   const char* argv[] = {"prog", "--bogus"};
-  EXPECT_THROW(ap.parse(2, argv), Error);
+  // Unknown flags exit(2) with a stderr diagnostic that names the flag and
+  // lists every registered option (not a throw, which benches would turn
+  // into an uncaught-exception abort). gtest's simple regex is line-based,
+  // so assert the pieces with separate spawns.
+  EXPECT_EXIT(ap.parse(2, argv), testing::ExitedWithCode(2),
+              "unknown option: --bogus");
+  EXPECT_EXIT(ap.parse(2, argv), testing::ExitedWithCode(2),
+              "valid options:");
+  EXPECT_EXIT(ap.parse(2, argv), testing::ExitedWithCode(2), "  -d");
+}
+
+TEST(ArgParser, UnknownAttachedValueOptionIsHardError) {
+  ArgParser ap = make();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EXIT(ap.parse(2, argv), testing::ExitedWithCode(2),
+              "unknown option: --bogus");
 }
 
 TEST(ArgParser, MissingValueThrows) {

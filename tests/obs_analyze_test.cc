@@ -1,0 +1,311 @@
+// Tests for the causal critical-path analyzer (src/obs/analyze): the exact
+// decomposition on a hand-built DAG with known geometry, the critical-path
+// identity (the path tiles [0, makespan] with shared-boundary doubles) on
+// fuzz-seeded harness runs across methods × fabrics × fault schedules, and
+// byte-determinism of the rendered reports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "obs/analyze.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/session.h"
+#include "simmpi/fault.h"
+
+namespace obs = brickx::obs;
+namespace harness = brickx::harness;
+
+TEST(Analyze, SegClassNamesAreStable) {
+  EXPECT_STREQ(obs::seg_class(obs::SegKind::MsgQueue), "msg.queue");
+  EXPECT_STREQ(obs::seg_class(obs::SegKind::MsgInject), "msg.inject");
+  EXPECT_STREQ(obs::seg_class(obs::SegKind::MsgContend), "msg.contention");
+  EXPECT_STREQ(obs::seg_class(obs::SegKind::MsgWire), "msg.wire");
+  EXPECT_STREQ(obs::seg_class(obs::SegKind::MsgFault), "msg.fault_delay");
+  EXPECT_STREQ(obs::seg_class(obs::SegKind::MsgRecvLat), "msg.recv_latency");
+  EXPECT_STREQ(obs::seg_class(obs::SegKind::Collective), "collective");
+}
+
+#if BRICKX_OBS
+
+namespace {
+
+// A two-rank late-sender scenario with hand-picked times. Rank 0 computes
+// until t=5, then sends a message that serializes for 1s and flies for 1s;
+// rank 1 posted its wait at t=1 and computes [7, 9] once the data lands.
+// Every edge of the causality DAG is known, so the expected critical path
+// is exact: calc(r0)[0,5] → msg.inject[5,6] → msg.wire[6,7] → calc(r1)[7,9].
+obs::Session::Run late_sender_run() {
+  obs::Session::Run run;
+  run.label = "hand/late-sender";
+  run.nranks = 2;
+  run.logs.resize(2);
+
+  obs::RankLog& r0 = run.logs[0];
+  const std::size_t c0 = r0.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r0.close_span(c0, 5.0);
+
+  obs::RankLog& r1 = run.logs[1];
+  const std::size_t c1 = r1.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r1.close_span(c1, 1.0);
+  const std::size_t w1 = r1.open_span(obs::Cat::Wait, nullptr, 0, 1.0);
+  r1.close_span(w1, 7.0);
+  const std::size_t c2 = r1.open_span(obs::Cat::Calc, nullptr, 0, 7.0);
+  r1.close_span(c2, 9.0);
+
+  obs::RecvEvent rv;
+  rv.src = 0;
+  rv.tag = 0;
+  rv.bytes = 1024;
+  rv.post = 5.0;
+  rv.inject_start = 5.0;
+  rv.inject_nominal = 1.0;
+  rv.depart = 6.0;
+  rv.arrive = 7.0;
+  rv.fault_delay = 0.0;
+  rv.sharing = 1.0;
+  rv.wait_start = 1.0;
+  rv.avail = 7.0;
+  r1.recv(rv);
+  return run;
+}
+
+}  // namespace
+
+TEST(Analyze, HandBuiltLateSenderPathIsExact) {
+  const obs::Session::Run run = late_sender_run();
+  const obs::RunAnalysis a = obs::analyze_run(run);
+
+  EXPECT_EQ(a.label, "hand/late-sender");
+  EXPECT_EQ(a.nranks, 2);
+  EXPECT_EQ(a.makespan, 9.0);
+  EXPECT_TRUE(a.identity_ok);
+
+  ASSERT_EQ(a.segments.size(), 4u);
+  const obs::PathSegment& s0 = a.segments[0];
+  EXPECT_EQ(s0.rank, 0);
+  EXPECT_EQ(s0.kind, obs::SegKind::Local);
+  EXPECT_EQ(s0.cat, obs::Cat::Calc);
+  EXPECT_EQ(s0.t0, 0.0);
+  EXPECT_EQ(s0.t1, 5.0);
+
+  const obs::PathSegment& s1 = a.segments[1];
+  EXPECT_EQ(s1.rank, 0);  // injection is billed to the sender
+  EXPECT_EQ(s1.kind, obs::SegKind::MsgInject);
+  EXPECT_EQ(s1.t0, 5.0);
+  EXPECT_EQ(s1.t1, 6.0);
+
+  const obs::PathSegment& s2 = a.segments[2];
+  EXPECT_EQ(s2.rank, 0);
+  EXPECT_EQ(s2.kind, obs::SegKind::MsgWire);
+  EXPECT_EQ(s2.t0, 6.0);
+  EXPECT_EQ(s2.t1, 7.0);
+
+  const obs::PathSegment& s3 = a.segments[3];
+  EXPECT_EQ(s3.rank, 1);
+  EXPECT_EQ(s3.kind, obs::SegKind::Local);
+  EXPECT_EQ(s3.cat, obs::Cat::Calc);
+  EXPECT_EQ(s3.t0, 7.0);
+  EXPECT_EQ(s3.t1, 9.0);
+
+  EXPECT_EQ(a.path_seconds, 9.0);  // exact: the boundaries are shared
+
+  // Wait-state taxonomy: rank 1 waited 6s total (wait_start=1 → avail=7);
+  // 4s of that predate the sender's post (late sender), 2s are transfer.
+  EXPECT_EQ(a.waits.binding_waits, 1);
+  EXPECT_EQ(a.waits.late_sender_waits, 1);
+  EXPECT_EQ(a.waits.late_sender_s, 4.0);
+  EXPECT_EQ(a.waits.transfer_s, 2.0);
+  EXPECT_EQ(a.waits.late_receiver_msgs, 0);
+  EXPECT_EQ(a.waits.queue_s, 0.0);
+  EXPECT_EQ(a.waits.contention_s, 0.0);
+  EXPECT_EQ(a.waits.fault_delay_s, 0.0);
+
+  // Overlap headroom = min(comm on path = 2s, calc on path = 7s).
+  EXPECT_EQ(a.comm_on_path, 2.0);
+  EXPECT_EQ(a.calc_on_path, 7.0);
+  EXPECT_EQ(a.overlap_headroom, 2.0);
+}
+
+// A message that arrived before the receiver even asked for it must not
+// pull the path across ranks: the receive is non-binding (late receiver).
+TEST(Analyze, LateReceiverMessageStaysOffThePath) {
+  obs::Session::Run run;
+  run.label = "hand/late-receiver";
+  run.nranks = 2;
+  run.logs.resize(2);
+
+  obs::RankLog& r0 = run.logs[0];
+  const std::size_t c0 = r0.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r0.close_span(c0, 2.0);
+
+  obs::RankLog& r1 = run.logs[1];
+  const std::size_t c1 = r1.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r1.close_span(c1, 6.0);
+
+  obs::RecvEvent rv;
+  rv.src = 0;
+  rv.post = 1.0;
+  rv.inject_start = 1.0;
+  rv.inject_nominal = 0.5;
+  rv.depart = 1.5;
+  rv.arrive = 2.0;
+  rv.avail = 2.0;
+  rv.wait_start = 6.0;  // data was long since available
+  r1.recv(rv);
+
+  const obs::RunAnalysis a = obs::analyze_run(run);
+  EXPECT_TRUE(a.identity_ok);
+  EXPECT_EQ(a.makespan, 6.0);
+  ASSERT_EQ(a.segments.size(), 1u);
+  EXPECT_EQ(a.segments[0].rank, 1);
+  EXPECT_EQ(a.segments[0].kind, obs::SegKind::Local);
+  EXPECT_EQ(a.waits.binding_waits, 0);
+  EXPECT_EQ(a.waits.late_receiver_msgs, 1);
+}
+
+// Collective rendezvous: the barrier segment is billed to the last rank in,
+// and the walk continues on that rank.
+TEST(Analyze, CollectiveSegmentBilledToLatestEntry) {
+  obs::Session::Run run;
+  run.label = "hand/collective";
+  run.nranks = 2;
+  run.logs.resize(2);
+
+  obs::RankLog& r0 = run.logs[0];
+  const std::size_t a0 = r0.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r0.close_span(a0, 1.0);
+  r0.collective({1.0, 4.5});
+  const std::size_t b0 = r0.open_span(obs::Cat::Calc, nullptr, 0, 4.5);
+  r0.close_span(b0, 5.0);
+
+  obs::RankLog& r1 = run.logs[1];
+  const std::size_t a1 = r1.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r1.close_span(a1, 4.0);
+  r1.collective({4.0, 4.5});
+  const std::size_t b1 = r1.open_span(obs::Cat::Calc, nullptr, 0, 4.5);
+  r1.close_span(b1, 6.0);
+
+  const obs::RunAnalysis a = obs::analyze_run(run);
+  EXPECT_TRUE(a.identity_ok);
+  EXPECT_EQ(a.makespan, 6.0);
+  ASSERT_EQ(a.segments.size(), 3u);
+  // calc(r1)[0,4] → collective(r1)[4,4.5] → calc(r1)[4.5,6]: rank 1 entered
+  // last, so the barrier cost and the pre-barrier work are both its.
+  EXPECT_EQ(a.segments[0].rank, 1);
+  EXPECT_EQ(a.segments[0].kind, obs::SegKind::Local);
+  EXPECT_EQ(a.segments[0].t1, 4.0);
+  EXPECT_EQ(a.segments[1].rank, 1);
+  EXPECT_EQ(a.segments[1].kind, obs::SegKind::Collective);
+  EXPECT_EQ(a.segments[1].t0, 4.0);
+  EXPECT_EQ(a.segments[1].t1, 4.5);
+  EXPECT_EQ(a.segments[2].kind, obs::SegKind::Local);
+  EXPECT_EQ(a.waits.collectives, 1);
+  EXPECT_EQ(a.waits.coll_skew_s, 3.0);  // rank 0 entered 3s early
+}
+
+namespace {
+
+harness::Config fuzz_config(harness::Method m, brickx::netsim::FabricKind f,
+                            std::uint64_t fault_seed) {
+  harness::Config cfg;
+  cfg.rank_dims = {2, 2, 1};
+  cfg.subdomain = brickx::Vec3::fill(16);
+  cfg.brick = 8;
+  cfg.ghost = 8;
+  cfg.method = m;
+  cfg.timesteps = 4;
+  cfg.warmup_exchanges = 1;
+  cfg.execute_kernels = false;
+  cfg.fabric = f;
+  if (fault_seed != 0) {
+    cfg.faults.seed = fault_seed;
+    cfg.faults.delay = 0.4;
+    cfg.faults.max_delay = 2e-5;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+// The critical-path identity must hold on every real run: the segments
+// tile [0, makespan] with exact shared-boundary equality, regardless of
+// method, fabric, or (delay-only) fault schedule.
+TEST(Analyze, CriticalPathIdentityHoldsOnFuzzSeededRuns) {
+  using harness::Method;
+  using brickx::netsim::FabricKind;
+  obs::Session ses;
+  {
+    obs::Session::Scope scope(ses);
+    (void)harness::run(fuzz_config(Method::Yask, FabricKind::Flat, 0));
+    (void)harness::run(fuzz_config(Method::MpiTypes, FabricKind::Flat, 0));
+    (void)harness::run(fuzz_config(Method::Layout, FabricKind::Flat, 3));
+    (void)harness::run(
+        fuzz_config(Method::MemMap, FabricKind::Dragonfly, 0));
+    (void)harness::run(fuzz_config(Method::MemMap, FabricKind::FatTree, 7));
+    (void)harness::run(fuzz_config(Method::Yask, FabricKind::Torus3d, 11));
+  }
+  ASSERT_EQ(ses.runs().size(), 6u);
+  for (const obs::Session::Run& run : ses.runs()) {
+    const obs::RunAnalysis a = obs::analyze_run(run);
+    SCOPED_TRACE(run.label);
+    EXPECT_TRUE(a.identity_ok);
+    EXPECT_GT(a.makespan, 0.0);
+    ASSERT_FALSE(a.segments.empty());
+    // Structural identity, re-checked here: shared boundaries, full tiling.
+    double expect = 0.0;
+    for (const obs::PathSegment& s : a.segments) {
+      EXPECT_EQ(s.t0, expect);
+      EXPECT_LT(s.t0, s.t1);
+      expect = s.t1;
+    }
+    EXPECT_EQ(expect, a.makespan);
+    // The FP sum of durations is near (not exactly) the makespan.
+    EXPECT_NEAR(a.path_seconds, a.makespan, 1e-9 * a.makespan);
+    // Composition totals the path exactly as the segments do.
+    double comp = 0.0;
+    for (const auto& [name, secs] : a.composition) comp += secs;
+    EXPECT_NEAR(comp, a.path_seconds, 1e-9 * a.makespan);
+  }
+}
+
+// Rendered analysis artifacts are byte-deterministic across identical
+// sessions — the same contract chrome_trace_json advertises.
+TEST(Analyze, ReportsAreByteDeterministic) {
+  auto once = [] {
+    obs::Session ses;
+    {
+      obs::Session::Scope scope(ses);
+      (void)harness::run(fuzz_config(harness::Method::Layout,
+                                     brickx::netsim::FabricKind::Flat, 3));
+      (void)harness::run(fuzz_config(harness::Method::MemMap,
+                                     brickx::netsim::FabricKind::Dragonfly,
+                                     0));
+    }
+    return std::pair<std::string, std::string>(obs::analysis_json(ses),
+                                               obs::analysis_text(ses));
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_GT(a.first.size(), 100u);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.first.find("\"identity_ok\":true"), std::string::npos);
+  EXPECT_EQ(a.first.find("\"identity_ok\":false"), std::string::npos);
+}
+
+#else  // !BRICKX_OBS
+
+// With obs compiled out the analyzer sees empty logs and must still return
+// a well-formed (empty) analysis instead of tripping on missing data.
+TEST(Analyze, DisabledBuildYieldsEmptyAnalysis) {
+  obs::Session ses;
+  const std::string j = obs::analysis_json(ses);
+  EXPECT_NE(j.find("\"runs\":[]"), std::string::npos);
+}
+
+#endif  // BRICKX_OBS

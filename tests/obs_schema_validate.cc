@@ -8,192 +8,20 @@
 // Usage: obs_schema_validate <bench-binary> <schema.json>
 // (the bench is invoked as: <bench-binary> -s 16 --metrics-out=<tmp>)
 //
-// The JSON parser below is a deliberately small hand-rolled recursive
-// descent — enough for the two documents involved, and no new dependency.
+// The JSON parser lives in json_mini.h, shared with the other validators.
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "json_mini.h"
+
 namespace {
 
-// ---- minimal JSON ---------------------------------------------------------
-
-struct Value;
-using Object = std::map<std::string, Value>;
-using Array = std::vector<Value>;
-
-struct Value {
-  enum class Type { Null, Bool, Number, String, Array, Object } type =
-      Type::Null;
-  bool b = false;
-  double number = 0.0;
-  std::string str;
-  std::shared_ptr<Array> arr;
-  std::shared_ptr<Object> obj;
-
-  [[nodiscard]] bool is(Type t) const { return type == t; }
-  [[nodiscard]] const Value* find(const std::string& key) const {
-    if (type != Type::Object) return nullptr;
-    auto it = obj->find(key);
-    return it == obj->end() ? nullptr : &it->second;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  Value parse() {
-    Value v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    std::fprintf(stderr, "JSON parse error at offset %zu: %s\n", pos_,
-                 why.c_str());
-    std::exit(2);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
-      ++pos_;
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume(const char* word) {
-    const std::size_t n = std::string(word).size();
-    if (s_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  Value value() {
-    Value v;
-    switch (peek()) {
-      case '{': {
-        v.type = Value::Type::Object;
-        v.obj = std::make_shared<Object>();
-        ++pos_;
-        if (peek() == '}') {
-          ++pos_;
-          return v;
-        }
-        for (;;) {
-          const std::string key = string_lit();
-          expect(':');
-          (*v.obj)[key] = value();
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect('}');
-          return v;
-        }
-      }
-      case '[': {
-        v.type = Value::Type::Array;
-        v.arr = std::make_shared<Array>();
-        ++pos_;
-        if (peek() == ']') {
-          ++pos_;
-          return v;
-        }
-        for (;;) {
-          v.arr->push_back(value());
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect(']');
-          return v;
-        }
-      }
-      case '"':
-        v.type = Value::Type::String;
-        v.str = string_lit();
-        return v;
-      default: {
-        skip_ws();
-        if (consume("true")) {
-          v.type = Value::Type::Bool;
-          v.b = true;
-          return v;
-        }
-        if (consume("false")) {
-          v.type = Value::Type::Bool;
-          return v;
-        }
-        if (consume("null")) return v;
-        return number_lit();
-      }
-    }
-  }
-
-  std::string string_lit() {
-    expect('"');
-    std::string out;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) fail("bad escape");
-        c = s_[pos_++];
-        switch (c) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'u':  // metrics output only escapes control chars; keep raw
-            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
-            pos_ += 4;
-            out += '?';
-            break;
-          default: out += c;
-        }
-      } else {
-        out += c;
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  Value number_lit() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == 'i' ||
-            s_[pos_] == 'n' || s_[pos_] == 'f' || s_[pos_] == 'a'))
-      ++pos_;  // accepts inf/nan spellings %.17g could produce
-    if (pos_ == start) fail("expected a value");
-    Value v;
-    v.type = Value::Type::Number;
-    v.number = std::strtod(s_.c_str() + start, nullptr);
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using jsonmini::Parser;
+using jsonmini::Value;
+using jsonmini::read_file;
 
 // ---- validation -----------------------------------------------------------
 
@@ -245,17 +73,6 @@ void validate_metric(const std::string& run_label, const std::string& name,
       problem(where + " (" + kind->str + ") lacks numeric field '" + f.str +
               "'");
   }
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) {
-    std::fprintf(stderr, "cannot read: %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  return ss.str();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -312,6 +313,81 @@ TEST(Obs, MetricsExportFormats) {
   EXPECT_EQ(c.rfind("run,label,metric,kind,value,count,min,avg,max,sigma", 0),
             0u);
   EXPECT_NE(c.find("0,unit,comm.msgs_sent,counter,4"), std::string::npos);
+}
+
+// Run labels carrying CSV delimiters (e.g. "MemMap/um,p=2M") must come out
+// RFC-4180 quoted — one field, inner quotes doubled — while plain labels
+// stay byte-identical to the unescaped form.
+TEST(Obs, MetricsCsvEscapesDelimitersInLabels) {
+  obs::Session ses;
+  obs::Collector col(1);
+  {
+    double clock = 0.0;
+    obs::BindGuard guard(&col.log(0), &clock);
+    obs::counter_add("comm.msgs_sent", 4);
+  }
+  ses.absorb("MemMap/um,p=2M", std::move(col));
+  obs::Collector col2(1);
+  {
+    double clock = 0.0;
+    obs::BindGuard guard(&col2.log(0), &clock);
+    obs::counter_add("comm.msgs_sent", 5);
+  }
+  ses.absorb("say \"hi\"", std::move(col2));
+
+  const std::string c = obs::metrics_csv(ses);
+  EXPECT_NE(c.find("0,\"MemMap/um,p=2M\",comm.msgs_sent,counter,4"),
+            std::string::npos);
+  EXPECT_NE(c.find("1,\"say \"\"hi\"\"\",comm.msgs_sent,counter,5"),
+            std::string::npos);
+  // The raw label must never appear as two naked fields.
+  EXPECT_EQ(c.find("0,MemMap/um,p=2M"), std::string::npos);
+}
+
+// Flow-arrow ids in the Chrome trace must be unique across ALL absorbed
+// runs (Perfetto joins s/f pairs by id; a reused id cross-links messages
+// from different experiments) and deterministic across identical sessions.
+TEST(Obs, FlowArrowIdsUniqueAndDeterministicAcrossRuns) {
+  auto once = [] {
+    obs::Session ses;
+    {
+      obs::Session::Scope scope(ses);
+      (void)brickx::harness::run(small_config(brickx::harness::Method::Layout));
+      (void)brickx::harness::run(small_config(brickx::harness::Method::MemMap));
+    }
+    return obs::chrome_trace_json(ses);
+  };
+  const std::string j = once();
+  EXPECT_EQ(j, once());  // ids (and everything else) deterministic
+
+  std::vector<long long> starts, finishes;
+  {
+    const std::string needle = "\"ph\":\"s\"";
+    std::size_t pos = 0;
+    while ((pos = j.find(needle, pos)) != std::string::npos) {
+      const std::size_t idk = j.find("\"id\":", pos);
+      ASSERT_NE(idk, std::string::npos);
+      starts.push_back(std::stoll(j.substr(idk + 5)));
+      pos += needle.size();
+    }
+  }
+  {
+    const std::string needle = "\"ph\":\"f\"";
+    std::size_t pos = 0;
+    while ((pos = j.find(needle, pos)) != std::string::npos) {
+      const std::size_t idk = j.find("\"id\":", pos);
+      ASSERT_NE(idk, std::string::npos);
+      finishes.push_back(std::stoll(j.substr(idk + 5)));
+      pos += needle.size();
+    }
+  }
+  ASSERT_GT(starts.size(), 0u);
+  EXPECT_EQ(starts, finishes);  // each start pairs its finish, in order
+  std::vector<long long> sorted = starts;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end())
+      << "duplicate flow id across absorbed runs";
 }
 
 #endif  // BRICKX_OBS

@@ -1,0 +1,234 @@
+// trace_analyze: run one or more harness configurations and print (or
+// write) the critical-path / wait-state analysis of each run — the CLI
+// front-end for src/obs/analyze. Two modes:
+//
+//  * default: run the --methods roster under one obs session and emit the
+//    aligned-text report on stdout (byte-deterministic; golden-tested), or
+//    the JSON form with --json. --out additionally writes the report to a
+//    file (.txt = text, else JSON).
+//
+//  * --suite <path>: run the fixed trajectory roster (the five paper
+//    methods on the flat model, MemMap under dragonfly contention, MemMap
+//    with compute/communication overlap, and YASK under a delay-fault
+//    schedule) and write the compact per-bench critical-path composition +
+//    overlap-headroom JSON that scripts/bench_perf.sh commits as
+//    BENCH_critical_path.json.
+
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/argparse.h"
+#include "common/error.h"
+#include "harness/experiment.h"
+#include "obs/analyze.h"
+#include "obs/export.h"
+#include "obs/session.h"
+
+using namespace brickx;
+
+namespace {
+
+std::optional<harness::Method> parse_method(const std::string& s) {
+  if (s == "yask") return harness::Method::Yask;
+  if (s == "mpitypes" || s == "mpi-types") return harness::Method::MpiTypes;
+  if (s == "basic") return harness::Method::Basic;
+  if (s == "layout") return harness::Method::Layout;
+  if (s == "memmap") return harness::Method::MemMap;
+  if (s == "shift") return harness::Method::Shift;
+  if (s == "network") return harness::Method::Network;
+  return std::nullopt;
+}
+
+harness::Config base_config(std::int64_t dim) {
+  harness::Config cfg;
+  cfg.machine = model::theta();
+  cfg.rank_dims = {2, 2, 2};
+  cfg.subdomain = Vec3::fill(dim);
+  cfg.brick = 8;
+  cfg.ghost = 8;
+  cfg.timesteps = 8;
+  cfg.warmup_exchanges = 1;
+  cfg.execute_kernels = false;
+  return cfg;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Compact trajectory record for one suite entry (BENCH_critical_path.json):
+/// composition + wait-state sums + overlap headroom, no per-segment detail.
+std::string suite_entry_json(const std::string& name,
+                             const obs::RunAnalysis& a) {
+  std::string o = "  {\"name\":\"" + name + "\",\"label\":\"" + a.label +
+                  "\",\"nranks\":" + std::to_string(a.nranks);
+  o += ",\"makespan_s\":" + num(a.makespan);
+  o += std::string(",\"identity_ok\":") + (a.identity_ok ? "true" : "false");
+  o += ",\"composition_s\":{";
+  for (std::size_t i = 0; i < a.composition.size(); ++i) {
+    if (i != 0) o += ",";
+    o += "\"" + a.composition[i].first +
+         "\":" + num(a.composition[i].second);
+  }
+  o += "}";
+  const obs::WaitStates& w = a.waits;
+  o += ",\"wait_states\":{";
+  o += "\"late_sender_s\":" + num(w.late_sender_s);
+  o += ",\"transfer_s\":" + num(w.transfer_s);
+  o += ",\"queue_s\":" + num(w.queue_s);
+  o += ",\"contention_s\":" + num(w.contention_s);
+  o += ",\"fault_delay_s\":" + num(w.fault_delay_s);
+  o += ",\"recv_latency_s\":" + num(w.recv_latency_s);
+  o += ",\"collective_skew_s\":" + num(w.coll_skew_s);
+  o += ",\"max_sharing\":" + num(w.max_sharing);
+  o += "}";
+  const double pct =
+      a.makespan > 0.0 ? 100.0 * a.overlap_headroom / a.makespan : 0.0;
+  o += ",\"overlap\":{";
+  o += "\"comm_on_path_s\":" + num(a.comm_on_path);
+  o += ",\"calc_on_path_s\":" + num(a.calc_on_path);
+  o += ",\"headroom_s\":" + num(a.overlap_headroom);
+  o += ",\"headroom_pct\":" + num(pct);
+  o += "}}";
+  return o;
+}
+
+int run_suite(const std::string& path, std::int64_t dim) {
+  struct Entry {
+    const char* name;
+    harness::Method method;
+    netsim::FabricKind fabric;
+    bool overlap;
+    const char* faults;  // nullptr = none
+  };
+  const Entry entries[] = {
+      {"yask.flat", harness::Method::Yask, netsim::FabricKind::Flat, false,
+       nullptr},
+      {"mpitypes.flat", harness::Method::MpiTypes, netsim::FabricKind::Flat,
+       false, nullptr},
+      {"basic.flat", harness::Method::Basic, netsim::FabricKind::Flat, false,
+       nullptr},
+      {"layout.flat", harness::Method::Layout, netsim::FabricKind::Flat,
+       false, nullptr},
+      {"memmap.flat", harness::Method::MemMap, netsim::FabricKind::Flat,
+       false, nullptr},
+      {"memmap.dragonfly", harness::Method::MemMap,
+       netsim::FabricKind::Dragonfly, false, nullptr},
+      {"memmap.overlap", harness::Method::MemMap, netsim::FabricKind::Flat,
+       true, nullptr},
+      {"yask.delay-faults", harness::Method::Yask, netsim::FabricKind::Flat,
+       false, "delay=0.3,seed=7,max-delay=1e-5"},
+  };
+  std::string out = "{\"version\":1,\"dim\":" + std::to_string(dim) +
+                    ",\"benches\":[\n";
+  bool first = true;
+  for (const Entry& e : entries) {
+    obs::Session session;
+    {
+      obs::Session::Scope scope(session);
+      harness::Config cfg = base_config(dim);
+      cfg.method = e.method;
+      cfg.fabric = e.fabric;
+      cfg.overlap = e.overlap;
+      if (e.faults != nullptr) {
+        const auto spec = mpi::parse_fault_spec(e.faults);
+        BX_CHECK(spec.has_value(), "bad built-in fault spec");
+        cfg.faults = *spec;
+      }
+      (void)harness::run(cfg);
+    }
+    for (const auto& run : session.runs()) {
+      out += first ? "" : ",\n";
+      first = false;
+      out += suite_entry_json(e.name, obs::analyze_run(run));
+      std::printf("%-18s done\n", e.name);
+    }
+  }
+  out += "\n]}\n";
+  obs::write_file(path, out);
+  std::printf("wrote suite: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser ap("trace_analyze",
+               "critical-path & wait-state report over harness runs");
+  ap.add("-d", "per-rank subdomain dimension", "32");
+  ap.add("--methods",
+         "comma-separated roster: yask | mpitypes | basic | layout | memmap "
+         "| shift | network",
+         "yask,mpitypes,layout,memmap");
+  ap.add("--fabric",
+         "network model: flat | single-switch | fat-tree | torus | "
+         "dragonfly | machine",
+         "flat");
+  ap.add("--mapping",
+         "rank-to-node mapping for non-flat fabrics: block | round-robin | "
+         "greedy",
+         "block");
+  ap.add("--faults",
+         "seeded message-fault schedule (see bench --help), default none",
+         "none");
+  ap.add_flag("--overlap", "overlap interior compute with the exchange");
+  ap.add_flag("--json", "print the JSON report instead of text");
+  ap.add("--out", "also write the report to this path (.txt = text)", "");
+  ap.add("--suite",
+         "write the fixed-roster BENCH_critical_path.json trajectory to this "
+         "path and exit",
+         "");
+  ap.parse(argc, argv);
+  const std::int64_t dim = ap.get_int("-d");
+
+  const std::string suite = ap.get("--suite");
+  if (!suite.empty()) return run_suite(suite, dim);
+
+  netsim::FabricKind fabric = netsim::FabricKind::Flat;
+  if (ap.get("--fabric") == "machine") {
+    fabric = model::theta().fabric;
+  } else {
+    const auto fk = netsim::parse_fabric(ap.get("--fabric"));
+    BX_CHECK(fk.has_value(), "unknown --fabric (see --help)");
+    fabric = *fk;
+  }
+  const auto mk = netsim::parse_mapping(ap.get("--mapping"));
+  BX_CHECK(mk.has_value(), "unknown --mapping (see --help)");
+  const auto faults = mpi::parse_fault_spec(ap.get("--faults"));
+  BX_CHECK(faults.has_value(), "malformed --faults (see --help)");
+
+  obs::Session session;
+  {
+    obs::Session::Scope scope(session);
+    std::stringstream ss(ap.get("--methods"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) continue;
+      const auto m = parse_method(tok);
+      BX_CHECK(m.has_value(), "unknown method in --methods (see --help)");
+      harness::Config cfg = base_config(dim);
+      cfg.method = *m;
+      cfg.fabric = fabric;
+      cfg.mapping = *mk;
+      cfg.faults = *faults;
+      cfg.overlap = ap.get_flag("--overlap");
+      (void)harness::run(cfg);
+    }
+  }
+
+  const std::string report =
+      ap.get_flag("--json") ? obs::analysis_json(session)
+                            : obs::analysis_text(session);
+  std::fputs(report.c_str(), stdout);
+  const std::string out = ap.get("--out");
+  if (!out.empty()) {
+    obs::write_analysis(session, out);
+    std::printf("\nwrote analysis: %s\n", out.c_str());
+  }
+  return 0;
+}
