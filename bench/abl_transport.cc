@@ -1,0 +1,175 @@
+// Ablation: the on-node transport tier (DESIGN.md §13). With several ranks
+// per node, a flat transport pushes every same-node message through the
+// fabric model and every inter-node message individually; the shm tier
+// short-circuits same-node pairs through shared memory, and shm-agg
+// additionally coalesces the co-located ranks' inter-node sends into one
+// framed fabric flow per (node, neighbor-node, generation). This bench runs
+// the same configuration under all three tiers on a routed fabric and
+// checks the structural identities the tier guarantees:
+//
+//   * delivery is transport-invariant: rank 0 receives the same message
+//     and byte counts under flat, shm, and shm-agg;
+//   * shm only removes node-local traffic: the fabric-crossing message
+//     count is identical to flat;
+//   * aggregation is lossless: every flat fabric message reappears as
+//     exactly one sub-message of some shm-agg frame;
+//   * aggregation is effective: sub-messages per frame >= ranks_per_node,
+//     so the per-link fabric message count drops by at least that factor.
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.h"
+
+using namespace brickx;
+using namespace brickx::bench;
+using harness::Method;
+
+namespace {
+
+struct Point {
+  std::int64_t dim = 0;
+  const char* method = nullptr;
+  harness::Result flat, shm, agg;
+  double subs_per_frame = 0.0;
+};
+
+harness::Config base_config(std::int64_t dim, Method m, int rpn) {
+  harness::Config cfg = k1_config(dim, m);
+  cfg.fabric = netsim::FabricKind::FatTree;
+  cfg.machine.net.ranks_per_node = rpn;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser ap("abl_transport",
+               "ablation: flat vs shm vs shm-agg on-node transport");
+  ap.add("-s", "comma-separated subdomain dims", "32,16");
+  ap.add("--rpn", "ranks per node (8 ranks total; must divide 8, > 1)", "4");
+  ap.add("--json-out", "write the BENCH_transport.json trajectory", "");
+  add_obs_flags(ap);
+  ap.parse(argc, argv);
+  ObsGuard obs_guard(ap);
+
+  const int rpn = static_cast<int>(ap.get_int("--rpn"));
+  BX_CHECK(rpn > 1 && 8 % rpn == 0,
+           "--rpn must divide the 8-rank world and exceed 1");
+
+  banner("Ablation: on-node transport tier",
+         "Fabric-crossing messages under flat / shm / shm-agg transports on "
+         "a routed fat-tree. shm removes node-local fabric traffic; shm-agg "
+         "coalesces each node's inter-node sends into one frame per "
+         "(neighbor node, generation), cutting per-link message counts by "
+         ">= ranks_per_node.");
+  std::printf("8 ranks as 2x2x2, %d per node (%d nodes), warmup + one "
+              "measured exchange batch\n\n",
+              rpn, 8 / rpn);
+
+  std::vector<Point> points;
+  Table t({"method", "dim", "fabric_msgs(flat)", "fabric_msgs(shm)",
+           "frames(agg)", "submsgs", "subs/frame", "onnode_msgs"});
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::printf("SELF-CHECK FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+
+  for (Method m : {Method::Layout, Method::MemMap}) {
+    for (std::int64_t dim : ap.get_int_list("-s")) {
+      Point p;
+      p.dim = dim;
+      p.method = harness::method_name(m);
+
+      harness::Config cfg = base_config(dim, m, rpn);
+      cfg.transport = transport::Kind::Flat;
+      p.flat = run(cfg);
+      cfg.transport = transport::Kind::Shm;
+      p.shm = run(cfg);
+      cfg.transport = transport::Kind::ShmAgg;
+      p.agg = run(cfg);
+
+      const transport::Stats& ts = p.agg.transport_stats;
+      p.subs_per_frame =
+          ts.agg_frames > 0 ? static_cast<double>(ts.agg_submsgs) /
+                                  static_cast<double>(ts.agg_frames)
+                            : 0.0;
+      t.row()
+          .cell(p.method)
+          .cell(dim)
+          .cell(p.flat.fabric_msgs)
+          .cell(p.shm.fabric_msgs)
+          .cell(ts.agg_frames)
+          .cell(ts.agg_submsgs)
+          .cell(p.subs_per_frame, 2)
+          .cell(p.shm.transport_stats.onnode_msgs);
+
+      // Delivery is transport-invariant (rank 0, whole run).
+      check(p.flat.msgs_recv_per_rank == p.shm.msgs_recv_per_rank &&
+                p.flat.msgs_recv_per_rank == p.agg.msgs_recv_per_rank,
+            "message delivery count differs across transports");
+      check(p.flat.bytes_recv_per_rank == p.shm.bytes_recv_per_rank &&
+                p.flat.bytes_recv_per_rank == p.agg.bytes_recv_per_rank,
+            "delivered byte count differs across transports");
+      // shm touches only node-local traffic.
+      check(p.shm.transport_stats.onnode_msgs > 0,
+            "shm transport delivered nothing through shared memory");
+      check(p.flat.fabric_msgs == p.shm.fabric_msgs,
+            "shm changed the fabric-crossing message count");
+      // Aggregation is lossless and effective.
+      check(ts.agg_submsgs == p.flat.fabric_msgs,
+            "shm-agg sub-messages do not cover the flat fabric messages");
+      check(p.agg.fabric_msgs == ts.agg_frames,
+            "shm-agg put non-frame messages on the fabric");
+      check(p.subs_per_frame >= static_cast<double>(rpn),
+            "aggregation packed fewer sub-messages per frame than "
+            "ranks_per_node");
+      points.push_back(p);
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nExpected: fabric_msgs(shm) == fabric_msgs(flat) (shm removes only "
+      "node-local traffic), submsgs == fabric_msgs(flat) (aggregation is "
+      "lossless), and subs/frame >= %d (every co-located rank contributes "
+      "to each frame). self-check: %s\n",
+      rpn, ok ? "pass" : "FAIL");
+
+  const std::string json = ap.get("--json-out");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    BX_CHECK(out.good(), "cannot open --json-out file");
+    out << "{\n  \"schema\": \"brickx-bench-transport-v1\",\n"
+        << "  \"ranks\": 8,\n  \"ranks_per_node\": " << rpn << ",\n"
+        << "  \"fabric\": \"fat-tree\",\n  \"self_check\": "
+        << (ok ? "true" : "false") << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      const transport::Stats& ts = p.agg.transport_stats;
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "    {\"method\": \"%s\", \"dim\": %lld, \"fabric_msgs_flat\": "
+          "%lld, \"fabric_msgs_shm\": %lld, \"agg_frames\": %lld, "
+          "\"agg_submsgs\": %lld, \"subs_per_frame\": %.4f, "
+          "\"onnode_msgs\": %lld, \"total_s_flat\": %.9e, \"total_s_agg\": "
+          "%.9e}%s\n",
+          p.method, static_cast<long long>(p.dim),
+          static_cast<long long>(p.flat.fabric_msgs),
+          static_cast<long long>(p.shm.fabric_msgs),
+          static_cast<long long>(ts.agg_frames),
+          static_cast<long long>(ts.agg_submsgs), p.subs_per_frame,
+          static_cast<long long>(p.shm.transport_stats.onnode_msgs),
+          p.flat.total_seconds, p.agg.total_seconds,
+          i + 1 < points.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return ok ? 0 : 1;
+}

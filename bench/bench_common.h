@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -127,6 +128,30 @@ inline void apply_fabric(const ArgParser& ap, harness::Config& cfg) {
   const auto mapping = netsim::parse_mapping(ap.get("--mapping"));
   BX_CHECK(mapping.has_value(), "unknown --mapping (see --help)");
   cfg.mapping = *mapping;
+}
+
+/// Register the shared transport selection flags. Call before ap.parse().
+inline void add_transport_flags(ArgParser& ap) {
+  ap.add("--transport",
+         "on-node transport tier: flat (default, every message rides the "
+         "fabric path) | shm (same-node pairs short-circuit through shared "
+         "memory) | shm-agg (shm + node-leader aggregation of inter-node "
+         "sends; requires ranks_per_node > 1)",
+         "flat");
+  ap.add("--rpn",
+         "override machine.net.ranks_per_node (0 = keep the machine model's "
+         "value); lets single-rank-per-node machines exercise shm/shm-agg",
+         "0");
+}
+
+/// Apply --transport/--rpn to a Config.
+inline void apply_transport(const ArgParser& ap, harness::Config& cfg) {
+  transport::Kind kind;
+  BX_CHECK(transport::parse_kind(ap.get("--transport"), &kind),
+           "unknown --transport (see --help)");
+  cfg.transport = kind;
+  const long rpn = std::strtol(ap.get("--rpn").c_str(), nullptr, 10);
+  if (rpn > 0) cfg.machine.net.ranks_per_node = static_cast<int>(rpn);
 }
 
 /// Register the shared fault-injection flag. Call before ap.parse().

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   ArgParser ap("table1_messages", "Table 1: messages vs dimensionality");
   ap.add("-s", "subdomain dim for the measured-counters table", "32");
   add_fabric_flags(ap);
+  add_transport_flags(ap);
   add_fault_flags(ap);
   add_obs_flags(ap);
   ap.parse(argc, argv);
@@ -68,9 +69,23 @@ int main(int argc, char** argv) {
   // Hop/queue columns appear only under a routed (--fabric != flat)
   // fabric, so the default output stays byte-identical to older builds.
   const bool routed = ap.get("--fabric") != "flat";
+  // Locality-split columns appear only when ranks share nodes (the machine
+  // model's or --rpn's ranks_per_node > 1) — same byte-identical-default
+  // contract as the routed columns.
+  const bool multi = [&] {
+    harness::Config probe = k1_config(dim, Method::MemMap);
+    apply_transport(ap, probe);
+    return probe.machine.net.ranks_per_node > 1;
+  }();
   std::vector<std::string> headers = {"method",     "msgs_sent",
                                       "msgs_recv",  "bytes_sent",
                                       "bytes_recv", "max_inflight"};
+  if (multi) {
+    headers.insert(headers.begin() + 2, "msgs_inter");
+    headers.insert(headers.begin() + 2, "msgs_intra");
+    headers.push_back("bytes_intra");
+    headers.push_back("bytes_inter");
+  }
   if (routed) {
     headers.push_back("avg_hops");
     headers.push_back("queue_us/msg");
@@ -81,18 +96,25 @@ int main(int argc, char** argv) {
                       Method::Layout, Method::MemMap}) {
     harness::Config cfg = k1_config(dim, meth);
     apply_fabric(ap, cfg);
+    apply_transport(ap, cfg);
     apply_faults(ap, cfg);
     const harness::Result r = run(cfg);
     auto& row = m.row()
                     .cell(harness::method_name(meth))
-                    .cell(r.msgs_per_rank * batches)
-                    .cell(r.msgs_recv_per_rank)
-                    .cell(r.wire_bytes_per_rank * batches)
-                    .cell(r.bytes_recv_per_rank)
-                    .cell(r.max_inflight_reqs);
+                    .cell(r.msgs_per_rank * batches);
+    if (multi) row.cell(r.msgs_intra_per_rank).cell(r.msgs_inter_per_rank);
+    row.cell(r.msgs_recv_per_rank)
+        .cell(r.wire_bytes_per_rank * batches)
+        .cell(r.bytes_recv_per_rank)
+        .cell(r.max_inflight_reqs);
+    if (multi) row.cell(r.bytes_intra_per_rank).cell(r.bytes_inter_per_rank);
     if (routed) row.cell(r.avg_hops, 2).cell(r.queue_s_per_msg * 1e6, 3);
   }
   m.print(std::cout);
+  if (multi)
+    std::printf(
+        "\nlocality split: msgs_intra + msgs_inter == msgs_sent (whole-run "
+        "rank-0 counts; intra = same-node destination).\n");
   std::printf(
       "\nShape checks: msgs per exchange = msgs_recv / 2 (warmup + measured "
       "batch); at the default 32^3 Layout hits the 42-message Eq. 1 bound "

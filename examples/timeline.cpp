@@ -93,10 +93,12 @@ void render_run(const obs::Session::Run& run) {
         line[static_cast<std::size_t>(c)] = '~';
     }
     // Message arrivals at this rank (sender-recorded flows, receiver dst).
+    // On-node deliveries — shared-memory handoffs that never touched the
+    // fabric — get their own glyph so locality is visible at a glance.
     for (const obs::RankLog& src : run.logs) {
       for (const obs::FlowEvent& f : src.flows()) {
         if (f.dst != r || f.arrive < t0 || f.arrive > t1) continue;
-        line[static_cast<std::size_t>(col(f.arrive))] = 'v';
+        line[static_cast<std::size_t>(col(f.arrive))] = f.onnode ? 'o' : 'v';
       }
     }
     std::printf("  rank %d |%s|\n", r, line.c_str());
@@ -151,6 +153,21 @@ void render_run(const obs::Session::Run& run) {
       "  msgs sent/recv %lld/%lld, bytes sent %lld, max inflight %.0f\n",
       counter("comm.msgs_sent"), counter("comm.msgs_recv"),
       counter("comm.bytes_sent"), gauge("comm.max_inflight_reqs"));
+
+  // Transport-tier summary: on-node deliveries and aggregation frame fill.
+  // The counters exist only under --transport shm/shm-agg, so the default
+  // flat output stays unchanged.
+  const long long onnode = counter("transport.onnode_msgs");
+  const long long frames = counter("transport.agg_frames");
+  const long long subs = counter("transport.agg_submsgs");
+  if (onnode > 0)
+    std::printf("  on-node: %lld msgs delivered through shared memory\n",
+                onnode);
+  if (frames > 0)
+    std::printf(
+        "  aggregation: %lld sub-messages in %lld fabric frames "
+        "(%.2f subs/frame)\n",
+        subs, frames, static_cast<double>(subs) / static_cast<double>(frames));
 }
 
 }  // namespace
@@ -166,6 +183,11 @@ int main(int argc, char** argv) {
          "rank-to-node mapping for non-flat fabrics: block | round-robin | "
          "greedy",
          "block");
+  ap.add("--transport",
+         "on-node transport tier: flat | shm | shm-agg (shm-agg needs "
+         "--rpn > 1)",
+         "flat");
+  ap.add("--rpn", "ranks per node (0 = the theta model's value)", "0");
   ap.add("--trace-out", "write a Chrome trace-event JSON (Perfetto)", "");
   ap.add("--metrics-out", "write merged metrics (.csv or JSON)", "");
   ap.parse(argc, argv);
@@ -181,12 +203,20 @@ int main(int argc, char** argv) {
   }
   const auto mk = netsim::parse_mapping(ap.get("--mapping"));
   BX_CHECK(mk.has_value(), "unknown --mapping (see --help)");
+  transport::Kind tk;
+  BX_CHECK(transport::parse_kind(ap.get("--transport"), &tk),
+           "unknown --transport (see --help)");
+  const std::int64_t rpn = ap.get_int("--rpn");
 
   std::printf("timeline: 8 ranks, %lld^3 cells each, one measured exchange "
               "batch (theta model, %s fabric)\n",
               static_cast<long long>(dim), netsim::fabric_name(fabric));
   std::printf("legend: # calc   = pack   > call(post)   . wait   "
               "~ send queued   v message arrival\n");
+  if (tk != transport::Kind::Flat)
+    std::printf("        o on-node arrival (shared-memory delivery, "
+                "transport=%s)\n",
+                transport::kind_name(tk));
 
   obs::Session session;
   {
@@ -206,6 +236,8 @@ int main(int argc, char** argv) {
       cfg.execute_kernels = false;
       cfg.fabric = fabric;
       cfg.mapping = *mk;
+      cfg.transport = tk;
+      if (rpn > 0) cfg.machine.net.ranks_per_node = static_cast<int>(rpn);
       (void)harness::run(cfg);
     }
   }

@@ -9,6 +9,10 @@
 #                               configurations (virtual-time, so the numbers
 #                               are machine-independent and exactly
 #                               reproducible)
+#   BENCH_transport.json     -- abl_transport: fabric-crossing message
+#                               counts and aggregation frame fill under the
+#                               flat / shm / shm-agg transport tiers (also
+#                               virtual-time-exact)
 # Commit the refreshed JSON alongside any kernel / runtime / netsim change
 # so the trajectories stay honest.
 #
@@ -35,3 +39,12 @@ fi
 "$build/tools/trace_analyze" --suite BENCH_critical_path.json -d 32
 
 echo "bench_perf.sh: wrote BENCH_critical_path.json"
+
+if [[ ! -x "$build/bench/abl_transport" ]]; then
+  echo "bench_perf.sh: $build/bench/abl_transport not found -- build first" >&2
+  exit 1
+fi
+
+"$build/bench/abl_transport" --json-out=BENCH_transport.json
+
+echo "bench_perf.sh: wrote BENCH_transport.json"

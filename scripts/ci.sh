@@ -29,11 +29,18 @@ echo "=== default preset: critical-path analyzer gate ==="
 # schema check (all also in the full suite above).
 ctest --preset default -L analyze
 
+echo "=== default preset: transport tier gate ==="
+# On-node transport contract (DESIGN.md §13), named so a broken aggregation
+# protocol or delivery regression fails loudly: the Aggregator protocol
+# unit tests plus the simmpi shm/shm-agg integration (also in the full
+# suite above).
+ctest --preset default -L transport
+
 echo "=== asan-ubsan preset: configure + build ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 
-echo "=== asan-ubsan preset: unit-, persistent- and analyze-labeled tests ==="
-ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze'
+echo "=== asan-ubsan preset: unit-, persistent-, analyze- and transport-labeled tests ==="
+ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze|transport'
 
 echo "ci.sh: all green"

@@ -26,6 +26,8 @@ bool config_valid(const FuzzConfig& cfg) {
     if (cfg.subdomain[a] < 2 * cfg.ghost) return false;
     if (cfg.subdomain[a] % cfg.ghost != 0) return false;
   }
+  if (cfg.transport == transport::Kind::ShmAgg && cfg.ranks_per_node == 1)
+    return false;  // nothing to aggregate; the harness rejects it too
   return cfg.ghost >= 1 && cfg.rounds >= 1 && cfg.ranks_per_node >= 1;
 }
 
@@ -63,6 +65,12 @@ FuzzConfig draw_config(Rng& rng) {
   // Drawn last so earlier fields keep their historical draw sequence for a
   // given Rng seed (stable replays of archived configs).
   cfg.persistent = rng.below(2) == 1;
+  static const transport::Kind kTransports[] = {transport::Kind::Flat,
+                                                transport::Kind::Shm,
+                                                transport::Kind::ShmAgg};
+  cfg.transport = kTransports[rng.below(3)];
+  if (cfg.transport == transport::Kind::ShmAgg && cfg.ranks_per_node == 1)
+    cfg.transport = transport::Kind::Shm;  // keep the draw valid
   return cfg;
 }
 
@@ -72,7 +80,7 @@ std::string serialize_config(const FuzzConfig& cfg) {
       buf, sizeof buf,
       "seed=%llu,ranks=%lldx%lldx%lld,brick=%lldx%lldx%lld,ghost=%lld,"
       "sub=%lldx%lldx%lld,rounds=%d,page=%zu,rpn=%d,fabric=%s,map=%s,"
-      "persist=%d",
+      "persist=%d,transport=%s",
       static_cast<unsigned long long>(cfg.seed),
       static_cast<long long>(cfg.rank_dims[0]),
       static_cast<long long>(cfg.rank_dims[1]),
@@ -85,7 +93,8 @@ std::string serialize_config(const FuzzConfig& cfg) {
       static_cast<long long>(cfg.subdomain[1]),
       static_cast<long long>(cfg.subdomain[2]), cfg.rounds, cfg.page_size,
       cfg.ranks_per_node, netsim::fabric_name(cfg.fabric),
-      netsim::map_name(cfg.mapping), cfg.persistent ? 1 : 0);
+      netsim::map_name(cfg.mapping), cfg.persistent ? 1 : 0,
+      transport::kind_name(cfg.transport));
   return buf;
 }
 
@@ -142,6 +151,8 @@ std::optional<FuzzConfig> parse_config(std::string_view s) {
         const int v = std::stoi(vs);
         if (v != 0 && v != 1) return std::nullopt;
         cfg.persistent = v == 1;
+      } else if (key == "transport") {
+        if (!transport::parse_kind(vs, &cfg.transport)) return std::nullopt;
       } else {
         return std::nullopt;
       }
@@ -173,6 +184,12 @@ std::vector<FuzzConfig> shrink_candidates(const FuzzConfig& cfg) {
   if (cfg.persistent) {
     FuzzConfig c = cfg;
     c.persistent = false;
+    push(c);
+  }
+  // Back to the always-on-fabric transport.
+  if (cfg.transport != transport::Kind::Flat) {
+    FuzzConfig c = cfg;
+    c.transport = transport::Kind::Flat;
     push(c);
   }
   // Plain timing model and node shape.

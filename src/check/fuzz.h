@@ -23,6 +23,7 @@
 #include "common/vec.h"
 #include "netsim/fabric.h"
 #include "netsim/mapping.h"
+#include "transport/transport.h"
 
 namespace brickx::conformance {
 
@@ -42,6 +43,10 @@ struct FuzzConfig {
   /// the oracle cross-checks both paths — including under fault injection,
   /// where plan handles must survive a faulted round without dangling.
   bool persistent = false;
+  /// On-node transport tier timing the messages (DESIGN.md §13). Drawn
+  /// randomly so the oracle cross-checks that delivered data is bitwise
+  /// transport-invariant; shm-agg is only valid with ranks_per_node > 1.
+  transport::Kind transport = transport::Kind::Flat;
 
   [[nodiscard]] int nranks() const { return static_cast<int>(rank_dims.prod()); }
 };

@@ -90,6 +90,7 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
                                       inter.alpha / 2.0, inter.alpha, {}));
   }
   if (fi != nullptr) rt.set_fault_injector(fi);
+  rt.set_transport(cfg.transport);
 
   MethodRun out;
   out.frames.resize(static_cast<std::size_t>(nranks));
@@ -377,6 +378,43 @@ OracleReport run_oracle(const FuzzConfig& cfg) {
         fail(std::string(mname(kAllMethods[i])) +
              " frame differs from Basic at rank " + std::to_string(r) +
              ", flat cell " + std::to_string(first));
+      }
+    }
+  }
+
+  // --- transport invariance ------------------------------------------------
+  // The on-node tier (DESIGN.md §13) may only change *timing*: delivered
+  // ghost frames and the send/receive counters must be bitwise identical
+  // whether messages rode the flat fabric path, the shared-memory short
+  // circuit, or node-leader aggregation frames.
+  {
+    std::vector<transport::Kind> kinds = {transport::Kind::Flat,
+                                          transport::Kind::Shm};
+    if (cfg.ranks_per_node > 1) kinds.push_back(transport::Kind::ShmAgg);
+    for (transport::Kind k : kinds) {
+      if (k == cfg.transport) continue;
+      FuzzConfig alt = cfg;
+      alt.transport = k;
+      const MethodRun other = run_method(M::Basic, alt, nullptr);
+      for (int r = 0; r < cfg.nranks(); ++r) {
+        const auto& ref = basic.frames[static_cast<std::size_t>(r)];
+        const auto& got = other.frames[static_cast<std::size_t>(r)];
+        if (got.size() != ref.size() ||
+            std::memcmp(got.data(), ref.data(),
+                        ref.size() * sizeof(double)) != 0) {
+          fail(std::string("delivered frames differ between transport=") +
+               transport::kind_name(cfg.transport) + " and transport=" +
+               transport::kind_name(k) + " at rank " + std::to_string(r));
+          break;
+        }
+        const mpi::CommCounters& a = basic.counters[static_cast<std::size_t>(r)];
+        const mpi::CommCounters& b = other.counters[static_cast<std::size_t>(r)];
+        if (a.msgs_sent != b.msgs_sent || a.bytes_sent != b.bytes_sent ||
+            a.msgs_recv != b.msgs_recv || a.bytes_recv != b.bytes_recv ||
+            a.msgs_intra != b.msgs_intra || a.msgs_inter != b.msgs_inter)
+          fail(std::string("comm counters differ between transport=") +
+               transport::kind_name(cfg.transport) + " and transport=" +
+               transport::kind_name(k) + " at rank " + std::to_string(r));
       }
     }
   }

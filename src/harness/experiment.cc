@@ -181,8 +181,14 @@ Result run(const Config& cfg) {
                  "harness: warning: world size %d is not a multiple of "
                  "ranks_per_node %d; the last node runs underfilled\n",
                  nranks, rpn);
+  BX_CHECK(!(cfg.transport == transport::Kind::ShmAgg && rpn == 1),
+           "transport=shm-agg requires ranks_per_node > 1: with one rank "
+           "per node there are no co-located ranks to aggregate, so every "
+           "frame would carry a single message (use transport=flat or a "
+           "machine model with ranks_per_node > 1)");
 
   mpi::Runtime rt(nranks, cfg.machine.net);
+  rt.set_transport(cfg.transport);
   if (cfg.fabric != netsim::FabricKind::Flat) {
     // Split the flat inter-node alpha across the two hops every fabric
     // route has at minimum, so an uncongested single-switch path costs
@@ -785,6 +791,11 @@ Result run(const Config& cfg) {
   res.padding_percent = outs[0].padding;
   res.msgs_recv_per_rank = rt.final_counters(0).msgs_recv;
   res.bytes_recv_per_rank = rt.final_counters(0).bytes_recv;
+  res.msgs_intra_per_rank = rt.final_counters(0).msgs_intra;
+  res.msgs_inter_per_rank = rt.final_counters(0).msgs_inter;
+  res.bytes_intra_per_rank = rt.final_counters(0).bytes_intra;
+  res.bytes_inter_per_rank = rt.final_counters(0).bytes_inter;
+  res.transport_stats = rt.transport_stats();
   for (int rk = 0; rk < nranks; ++rk)
     res.max_inflight_reqs =
         std::max(res.max_inflight_reqs, rt.final_counters(rk).max_inflight_reqs);
@@ -804,6 +815,7 @@ Result run(const Config& cfg) {
           fs.queue_seconds / static_cast<double>(fs.messages);
     res.max_link_sharing = fs.max_link_sharing;
     res.busiest_link_util = fs.busiest_link_util;
+    res.fabric_msgs = fs.fabric_messages;
     obs::RankLog& lg = col.log(0);
     lg.counter_add("net.fabric_msgs", fs.fabric_messages);
     lg.counter_add("net.hop_sum", fs.hop_sum);
@@ -811,6 +823,19 @@ Result run(const Config& cfg) {
     lg.gauge_max("net.max_link_sharing", fs.max_link_sharing);
     lg.gauge_max("net.busiest_link_util", fs.busiest_link_util);
     lg.hist_add("net.queue_s_per_msg", res.queue_s_per_msg);
+  }
+
+  if (cfg.transport != transport::Kind::Flat) {
+    // Transport-tier observability; gated like the fabric block above so the
+    // default flat transport's outputs stay byte-identical.
+    const transport::Stats& ts = res.transport_stats;
+    obs::RankLog& lg = col.log(0);
+    lg.counter_add("transport.onnode_msgs", ts.onnode_msgs);
+    lg.counter_add("transport.onnode_bytes", ts.onnode_bytes);
+    lg.counter_add("transport.onnode_copies", ts.onnode_copies);
+    lg.counter_add("transport.agg_frames", ts.agg_frames);
+    lg.counter_add("transport.agg_submsgs", ts.agg_submsgs);
+    lg.counter_add("transport.agg_frame_bytes", ts.agg_frame_bytes);
   }
 
   // Hand the experiment's trace to the active bench session (if any) under

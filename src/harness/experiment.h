@@ -9,6 +9,7 @@
 #include "netsim/fabric.h"
 #include "netsim/mapping.h"
 #include "simmpi/fault.h"
+#include "transport/transport.h"
 
 namespace brickx::harness {
 
@@ -105,6 +106,15 @@ struct Config {
   /// Plan lifetime: build-once/replay (the default, and byte-identical in
   /// measured output to pre-plan builds) vs forced plan-per-round.
   PlanMode plan = PlanMode::BuildOnce;
+  /// On-node transport tier (DESIGN.md §13). Flat (the default) keeps every
+  /// message on the fabric path, byte-identical to pre-transport builds.
+  /// Shm short-circuits same-node pairs through the shared-memory model;
+  /// ShmAgg additionally coalesces co-located ranks' inter-node sends into
+  /// one framed fabric flow per (node, neighbor-node) pair. ShmAgg
+  /// requires ranks_per_node > 1 — with one rank per node there is nothing
+  /// to aggregate, and run() rejects the combination rather than silently
+  /// degenerating to per-message frames.
+  transport::Kind transport = transport::Kind::Flat;
 };
 
 /// Per-timestep phase decomposition, exactly the artifact's five metrics:
@@ -140,8 +150,23 @@ struct Result {
   double queue_s_per_msg = 0;   ///< mean NIC queueing delay per message
   double max_link_sharing = 0;  ///< peak mean flows sharing one link
   double busiest_link_util = 0; ///< hottest link's busy fraction of the run
+  /// Messages that crossed the fabric (whole run, all ranks; excludes
+  /// node-local and shared-memory deliveries). The abl_transport ratio
+  /// numerator/denominator.
+  std::int64_t fabric_msgs = 0;
   /// What the fault schedule did (all zero when cfg.faults is empty).
   mpi::FaultCounts fault_counts{};
+  /// Send-side locality split (msgs_intra + msgs_inter == msgs_sent),
+  /// counted by rank 0 over the whole run like msgs_recv_per_rank.
+  /// Meaningful whenever ranks share nodes; the intra split is zero under
+  /// one rank per node.
+  std::int64_t msgs_intra_per_rank = 0;
+  std::int64_t msgs_inter_per_rank = 0;
+  std::int64_t bytes_intra_per_rank = 0;
+  std::int64_t bytes_inter_per_rank = 0;
+  /// Transport-tier traffic over the whole run, all ranks (zero under
+  /// transport = Flat; see transport::Stats).
+  transport::Stats transport_stats{};
 };
 
 /// The 26-direction periodic cartesian exchange graph of `cfg`: one edge

@@ -89,6 +89,9 @@ class Fabric {
   [[nodiscard]] virtual FabricKind kind() const = 0;
   /// Do ranks src and dst share a node under this fabric's mapping?
   [[nodiscard]] virtual bool local(int src, int dst) const = 0;
+  /// Node id of a rank under this fabric's mapping (the transport tier
+  /// keys its on-node routing and aggregation frames by it).
+  [[nodiscard]] virtual int node_of(int rank) const = 0;
   /// Time one message. `alpha`/`bw` are the effective endpoint link
   /// parameters the caller's cost model picked (memory-space adjustments
   /// included); `t_ready` is the sender's clock when the message is posted.
@@ -111,6 +114,9 @@ class FlatFabric final : public Fabric {
   [[nodiscard]] FabricKind kind() const override { return FabricKind::Flat; }
   [[nodiscard]] bool local(int src, int dst) const override {
     return src / ranks_per_node_ == dst / ranks_per_node_;
+  }
+  [[nodiscard]] int node_of(int rank) const override {
+    return rank / ranks_per_node_;
   }
   SendTiming send(int src, int dst, std::size_t bytes, double alpha,
                   double bw, double t_ready) override;
@@ -142,6 +148,9 @@ class ContentionFabric final : public Fabric {
   [[nodiscard]] bool local(int src, int dst) const override {
     return rank_node_[static_cast<std::size_t>(src)] ==
            rank_node_[static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] int node_of(int rank) const override {
+    return rank_node_[static_cast<std::size_t>(rank)];
   }
   SendTiming send(int src, int dst, std::size_t bytes, double alpha,
                   double bw, double t_ready) override;

@@ -25,6 +25,10 @@ const char* seg_class(SegKind k) {
       return "msg.recv_latency";
     case SegKind::Collective:
       return "collective";
+    case SegKind::MsgOnNode:
+      return "msg.onnode";
+    case SegKind::MsgAggUnpack:
+      return "msg.agg_unpack";
   }
   return "?";
 }
@@ -207,7 +211,15 @@ RunAnalysis analyze_run(const Session::Run& run) {
            cur_t);
       const double t_fd = std::max(re.depart, re.arrive - re.fault_delay);
       emit(sr, SegKind::MsgFault, Cat::Wait, nullptr, -1, t_fd, re.arrive);
-      emit(sr, SegKind::MsgWire, Cat::Wait, nullptr, -1, re.depart, t_fd);
+      // An aggregated sub-message spends [arrival of its frame, its own
+      // visibility] in the receiver node's unpack walk; agg_unpack is 0 for
+      // unaggregated messages, so the segment vanishes and the wire stretch
+      // is exactly the legacy one. On-node messages class their "wire" (the
+      // shared-memory handoff) separately for attribution.
+      const double t_up = std::max(re.depart, t_fd - re.agg_unpack);
+      emit(sr, SegKind::MsgAggUnpack, Cat::Wait, nullptr, -1, t_up, t_fd);
+      emit(sr, re.onnode ? SegKind::MsgOnNode : SegKind::MsgWire, Cat::Wait,
+           nullptr, -1, re.depart, t_up);
       const double nom_end =
           std::min(re.depart,
                    std::max(re.inject_start,

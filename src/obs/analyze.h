@@ -52,6 +52,8 @@ enum class SegKind : std::uint8_t {
   MsgFault,    ///< injected Delay fault
   MsgRecvLat,  ///< receiver memory-space latency (device/UM alpha extra)
   Collective,  ///< barrier cost from the latest entry to the joint exit
+  MsgOnNode,     ///< on-node shared-memory handoff (transport tier)
+  MsgAggUnpack,  ///< receiver-node unpack of an aggregation frame
 };
 
 /// Stable composition key for a non-Local segment kind.

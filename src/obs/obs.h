@@ -41,9 +41,10 @@ enum class Cat : std::uint8_t {
   MmapSetup,
   UmMigrate,
   Collective,
-  Setup,  ///< exchange-plan construction (build-once or forced replan)
+  Setup,   ///< exchange-plan construction (build-once or forced replan)
+  OnNode,  ///< transport-tier on-node movement (view copies, frame staging)
 };
-inline constexpr int kCatCount = 9;
+inline constexpr int kCatCount = 10;
 
 /// Stable lowercase category string ("calc", "dt_pack", ...).
 inline const char* cat_name(Cat c) {
@@ -66,6 +67,8 @@ inline const char* cat_name(Cat c) {
       return "collective";
     case Cat::Setup:
       return "setup";
+    case Cat::OnNode:
+      return "onnode";
   }
   return "?";
 }
@@ -97,6 +100,10 @@ struct FlowEvent {
   double inject_nominal = 0.0;  ///< bytes / endpoint bw (uncontended inject)
   double fault_delay = 0.0;     ///< injected Delay seconds inside `arrive`
   double sharing = 1.0;         ///< peak link-sharing factor on the route
+  bool onnode = false;          ///< took the on-node shared-memory tier
+  /// Sub-messages in the aggregation frame this message rode in (0 when it
+  /// was not aggregated).
+  int agg_subs = 0;
 };
 
 /// One matched receive, recorded receiver-side at the wait() that consumed
@@ -116,6 +123,11 @@ struct RecvEvent {
   double sharing = 1.0;         ///< peak link-sharing factor on the route
   double wait_start = 0.0;      ///< receiver clock when wait() matched
   double avail = 0.0;           ///< arrive + receiver memory-space latency
+  bool onnode = false;          ///< took the on-node shared-memory tier
+  /// Receiver-side aggregation unpack seconds inside `arrive` (cumulative
+  /// over the frame's sub table up to and including this sub; 0 when the
+  /// message was not aggregated).
+  double agg_unpack = 0.0;
 };
 
 /// One collective rendezvous on a rank's timeline. All ranks record the

@@ -12,6 +12,7 @@
 #include "common/error.h"
 #include "netsim/fabric.h"
 #include "obs/obs.h"
+#include "transport/aggregate.h"
 
 namespace brickx::mpi {
 
@@ -92,41 +93,87 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
     clock_.advance(rt_->touch(rank_, buf, bytes, /*write=*/false));
   }
 
-  // Hand the message to the fabric for departure/arrival timing. The
-  // receiver-side memory space adds its latency at wait(); bandwidth is
-  // modeled once, here (our experiments use symmetric spaces on both
-  // endpoints). With the default flat fabric this is bit-identical to the
-  // original sender-NIC serialization.
+  // Hand the message to the transport tier. Flat (the default) gives every
+  // message to the fabric for departure/arrival timing — with the default
+  // flat fabric this is bit-identical to the original sender-NIC
+  // serialization. Shm short-circuits same-node pairs: the fabric (and
+  // this rank's NIC horizon) never sees them, delivery is one on-node
+  // handoff away. ShmAgg additionally stages inter-node sends into the
+  // node leader's frame buffer; their departure/arrival are stamped when
+  // the frame seals (Runtime::seal_frame). The receiver-side memory space
+  // adds its latency at wait(); bandwidth is modeled once, here (our
+  // experiments use symmetric spaces on both endpoints).
   const MemSpace sspace = rt_->classify(buf);
   netsim::Fabric& fab = *rt_->fabric_;
+  const bool local = fab.local(rank_, dest);
   const LinkParams lp =
-      m.adjust(fab.local(rank_, dest) ? m.intra_node : m.inter_node, sspace,
-               MemSpace::Host);
+      m.adjust(local ? m.intra_node : m.inter_node, sspace, MemSpace::Host);
+  const transport::Kind tk = rt_->transport_;
+  const bool shm_path = tk != transport::Kind::Flat && local;
+  const bool agg_path = tk == transport::Kind::ShmAgg && !local;
+
+  if (shm_path && flat != nullptr) {
+    // Strided payload on the on-node tier: publish the packed image with
+    // one copy through a node-shared mapped view. Contiguous payloads are
+    // pointer handoffs and pay latency only — the zero-copy win a
+    // contiguity-preserving layout buys.
+    const double copy = static_cast<double>(bytes) / m.shm_view_bw;
+    obs::note_cost(obs::Cat::OnNode, "shm_view_copy", copy);
+    clock_.advance(copy);
+  } else if (agg_path) {
+    const double copy = static_cast<double>(bytes) / m.shm_view_bw;
+    obs::note_cost(obs::Cat::OnNode, "agg_stage", copy);
+    clock_.advance(copy);
+  }
+
   const double post = clock_.now();
-  const netsim::SendTiming tm =
-      fab.send(rank_, dest, bytes, lp.alpha, lp.bw, post);
-  env.arrival = tm.arrival;
-  env.post = post;
-  env.inject_start = tm.inject_start;
-  env.inject_end = tm.inject_end;
-  env.inject_nominal = static_cast<double>(bytes) / lp.bw;
-  env.sharing = tm.sharing;
+  if (shm_path) {
+    env.arrival = post + m.shm_handoff_alpha;
+    env.post = post;
+    env.inject_start = post;
+    env.inject_end = post;
+    env.inject_nominal = 0.0;
+    env.sharing = 1.0;
+    env.onnode = true;
+    rt_->note_onnode(bytes, flat != nullptr);
+  } else if (!agg_path) {
+    const netsim::SendTiming tm =
+        fab.send(rank_, dest, bytes, lp.alpha, lp.bw, post);
+    env.arrival = tm.arrival;
+    env.post = post;
+    env.inject_start = tm.inject_start;
+    env.inject_end = tm.inject_end;
+    env.inject_nominal = static_cast<double>(bytes) / lp.bw;
+    env.sharing = tm.sharing;
+  } else {
+    env.post = post;
+  }
 
   counters_.msgs_sent += 1;
   counters_.bytes_sent += static_cast<std::int64_t>(bytes);
-  if (obs::RankLog* lg = obs::ambient_log()) {
-    obs::FlowEvent fe;
-    fe.src = rank_;
-    fe.dst = dest;
-    fe.tag = tag;
-    fe.bytes = static_cast<std::uint64_t>(bytes);
-    fe.depart = tm.inject_end;
-    fe.arrive = env.arrival;
-    fe.post = post;
-    fe.inject_start = tm.inject_start;
-    fe.inject_nominal = env.inject_nominal;
-    fe.sharing = tm.sharing;
-    lg->flow(fe);
+  if (local) {
+    counters_.msgs_intra += 1;
+    counters_.bytes_intra += static_cast<std::int64_t>(bytes);
+  } else {
+    counters_.msgs_inter += 1;
+    counters_.bytes_inter += static_cast<std::int64_t>(bytes);
+  }
+  if (!agg_path) {  // aggregated sub-flows are recorded at frame seal
+    if (obs::RankLog* lg = obs::ambient_log()) {
+      obs::FlowEvent fe;
+      fe.src = rank_;
+      fe.dst = dest;
+      fe.tag = tag;
+      fe.bytes = static_cast<std::uint64_t>(bytes);
+      fe.depart = env.inject_end;
+      fe.arrive = env.arrival;
+      fe.post = post;
+      fe.inject_start = env.inject_start;
+      fe.inject_nominal = env.inject_nominal;
+      fe.sharing = env.sharing;
+      fe.onnode = env.onnode;
+      lg->flow(fe);
+    }
   }
   if (++inflight_ > counters_.max_inflight_reqs)
     counters_.max_inflight_reqs = inflight_;
@@ -134,7 +181,7 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
   Request req;
   req.state_ = std::make_shared<Request::State>();
   req.state_->kind = Request::State::Kind::Send;
-  req.state_->send_complete = tm.inject_end;
+  req.state_->send_complete = agg_path ? post : env.inject_end;
 
   // Fault seam: with an injector installed, stamp the integrity header
   // (sequence + checksum of the payload as sent) and let the seeded
@@ -171,7 +218,14 @@ Request Comm::isend_impl(const void* buf, std::size_t bytes,
         break;
     }
   }
-  if (hold) {
+  if (agg_path) {
+    // Staged toward the node leader's frame. A Reorder fault becomes a
+    // deterministic displacement into the next commit generation (the
+    // frame build is the wire here); everything else was already applied
+    // to the sub-envelope above, so faults keep biting per sub-message.
+    if (duplicate) rt_->stage_agg(rank_, dest, env, false);  // same seq
+    rt_->stage_agg(rank_, dest, std::move(env), /*defer=*/hold);
+  } else if (hold) {
     // Reordered: parked until the next send to this peer (below) or the
     // next wait/collective flush point. The arrival time was already
     // fixed above, so only delivery order shifts — which (src, tag)
@@ -350,8 +404,11 @@ void Comm::wait(Request& req) {
   obs::ObsSpan op_span(obs::Cat::Wait, "mpi_wait");
   // Before this rank can block, everything it still holds back (reorder
   // faults) must reach the wire — the flush point that keeps fault
-  // schedules deadlock-free.
+  // schedules deadlock-free. The same point advances this rank's
+  // aggregation commit generation, so staged frames seal before anyone
+  // can block on their sub-messages.
   if (!held_.empty()) flush_held();
+  rt_->transport_commit(rank_);
   auto& st = *req.state_;
   BX_CHECK(!st.done, "Request already completed");
   st.done = true;
@@ -391,6 +448,8 @@ void Comm::wait(Request& req) {
     re.sharing = env.sharing;
     re.wait_start = clock_.now();
     re.avail = arrival;
+    re.onnode = env.onnode;
+    re.agg_unpack = env.agg_unpack;
     lg->recv(re);
   }
   clock_.advance_to(arrival);
@@ -448,6 +507,11 @@ std::vector<double> Comm::allgather(double v) {
   obs::ObsSpan span(obs::Cat::Collective, "allgather");
   const double coll_entry = clock_.now();
   if (!held_.empty()) flush_held();  // collectives are a fault flush point
+  // Collective entry is also an aggregation commit point: by the time the
+  // last arriver reaches the rendezvous below, every frame staged before
+  // the collective has sealed — so the fabric epoch() really closes over
+  // all of the round's flows.
+  rt_->transport_commit(rank_);
   // First round: gather values. Second round: synchronize clocks.
   auto gather = [this](double x) {
     std::unique_lock lk(rt_->coll_mu_);
@@ -530,9 +594,168 @@ void Runtime::set_fabric(std::unique_ptr<netsim::Fabric> fabric) {
   fabric_ = std::move(fabric);
 }
 
+// ---------------------------------------------------------------------------
+// Transport tier (DESIGN.md §13). The on-node short circuit lives inline in
+// isend_impl; what follows is the node-leader aggregation machinery: staged
+// sub-messages, the deterministic generation/commit protocol (delegated to
+// transport::Aggregator) and frame sealing, which is where aggregated
+// inter-node traffic finally meets the fabric.
+// ---------------------------------------------------------------------------
+
+struct Runtime::AggSub {
+  int dest = 0;
+  Envelope env;
+};
+
+struct Runtime::AggState {
+  std::vector<int> node_leader;  ///< min member rank per node
+  transport::Aggregator<AggSub> agg;
+
+  AggState(Runtime* rt, const std::vector<int>& node_of)
+      : agg(node_of, [rt](transport::Aggregator<AggSub>::Frame&& f) {
+          rt->seal_frame(f.src_node, f.dst_node, std::move(f.subs));
+        }) {
+    int nodes = 0;
+    for (int n : node_of) nodes = std::max(nodes, n + 1);
+    node_leader.assign(static_cast<std::size_t>(nodes), -1);
+    for (std::size_t r = 0; r < node_of.size(); ++r) {
+      int& lead = node_leader[static_cast<std::size_t>(node_of[r])];
+      if (lead < 0) lead = static_cast<int>(r);
+    }
+  }
+};
+
+void Runtime::transport_run_begin() {
+  agg_.reset();
+  {
+    std::lock_guard lk(tstats_mu_);
+    tstats_ = transport::Stats{};
+  }
+  {
+    std::lock_guard lk(pf_mu_);
+    pending_flows_.assign(static_cast<std::size_t>(nranks_), {});
+  }
+  if (transport_ != transport::Kind::ShmAgg) return;
+  std::vector<int> node_of(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r)
+    node_of[static_cast<std::size_t>(r)] = fabric_->node_of(r);
+  agg_ = std::make_unique<AggState>(this, node_of);
+}
+
+void Runtime::stage_agg(int src_rank, int dest, Envelope env, bool defer) {
+  agg_->agg.stage(src_rank, fabric_->node_of(dest),
+                  AggSub{dest, std::move(env)}, defer);
+}
+
+void Runtime::transport_commit(int rank) {
+  if (agg_ == nullptr) return;
+  agg_->agg.commit(rank);
+  drain_pending_flows(rank);
+}
+
+void Runtime::transport_finalize(int rank) {
+  if (agg_ == nullptr) return;
+  agg_->agg.finalize(rank);
+  drain_pending_flows(rank);
+}
+
+void Runtime::seal_frame(int src_node, int dst_node,
+                         std::vector<AggSub>&& subs) {
+  // Runs under the aggregator lock, on whichever member thread raised the
+  // node minimum — every value computed here is a pure function of staged
+  // state, and all ShmAgg fabric sends are serialized through this path,
+  // so the timing is bit-deterministic.
+  const NetModel& m = model_;
+  std::int64_t payload = 0;
+  double ready = 0.0;
+  for (const AggSub& s : subs) {
+    payload += static_cast<std::int64_t>(s.env.data.size());
+    ready = std::max(ready, s.env.post);
+  }
+  const auto nsubs = static_cast<std::int64_t>(subs.size());
+  const std::int64_t fbytes =
+      m.agg_header_bytes + nsubs * m.agg_sub_header_bytes + payload;
+  // Leader-side frame build: one table entry per sub-message after the
+  // last staging copy has landed.
+  ready += static_cast<double>(nsubs) * m.agg_sub_overhead;
+  const int leader = agg_->node_leader[static_cast<std::size_t>(src_node)];
+  const int dst_leader = agg_->node_leader[static_cast<std::size_t>(dst_node)];
+  // Frames travel host staging buffer to host staging buffer, so the raw
+  // inter-node link applies (memory-space surcharges were paid by the
+  // staging copies on each sub's own clock).
+  const netsim::SendTiming tm =
+      fabric_->send(leader, dst_leader, static_cast<std::size_t>(fbytes),
+                    m.inter_node.alpha, m.inter_node.bw, ready);
+  const double nominal = static_cast<double>(fbytes) / m.inter_node.bw;
+  double cursor = tm.arrival;
+  for (AggSub& s : subs) {
+    Envelope env = std::move(s.env);
+    const std::size_t sub_bytes = env.data.size();
+    // Receiver-node unpack walks the sub table in frame order; each sub
+    // becomes visible after its table entry and view copy.
+    cursor +=
+        m.agg_sub_overhead + static_cast<double>(sub_bytes) / m.shm_view_bw;
+    env.inject_start = tm.inject_start;
+    env.inject_end = tm.inject_end;
+    env.inject_nominal = nominal;
+    env.sharing = tm.sharing;
+    env.agg_unpack = cursor - tm.arrival;
+    env.arrival = cursor + env.fault_delay;
+    if (collector_ != nullptr) {
+      obs::FlowEvent fe;
+      fe.src = env.src;
+      fe.dst = s.dest;
+      fe.tag = env.tag;
+      fe.bytes = static_cast<std::uint64_t>(sub_bytes);
+      fe.depart = tm.inject_end;
+      fe.arrive = env.arrival;
+      fe.post = env.post;
+      fe.inject_start = tm.inject_start;
+      fe.inject_nominal = nominal;
+      fe.sharing = tm.sharing;
+      fe.agg_subs = static_cast<int>(subs.size());
+      std::lock_guard lk(pf_mu_);
+      pending_flows_[static_cast<std::size_t>(env.src)].push_back(fe);
+    }
+    deliver(s.dest, std::move(env));
+  }
+  std::lock_guard lk(tstats_mu_);
+  tstats_.agg_frames += 1;
+  tstats_.agg_submsgs += nsubs;
+  tstats_.agg_frame_bytes += fbytes;
+}
+
+void Runtime::note_onnode(std::size_t bytes, bool view_copy) {
+  std::lock_guard lk(tstats_mu_);
+  tstats_.onnode_msgs += 1;
+  tstats_.onnode_bytes += static_cast<std::int64_t>(bytes);
+  if (view_copy) tstats_.onnode_copies += 1;
+}
+
+transport::Stats Runtime::transport_stats() const {
+  std::lock_guard lk(tstats_mu_);
+  return tstats_;
+}
+
+void Runtime::drain_pending_flows(int rank) {
+  if (collector_ == nullptr) return;
+  std::vector<obs::FlowEvent> fes;
+  {
+    std::lock_guard lk(pf_mu_);
+    auto& q = pending_flows_[static_cast<std::size_t>(rank)];
+    if (q.empty()) return;
+    fes.swap(q);
+  }
+  // Appending to the rank's own single-writer log: called either from that
+  // rank's thread or from the post-join sweep in run().
+  obs::RankLog& lg = collector_->log(rank);
+  for (const obs::FlowEvent& fe : fes) lg.flow(fe);
+}
+
 void Runtime::run(const std::function<void(Comm&)>& body) {
   g_abort.store(false);
   fabric_->reset();
+  transport_run_begin();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
   threads.reserve(static_cast<std::size_t>(nranks_));
@@ -548,8 +771,11 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
         body(comm);
         // Reordered envelopes still held after the body ends would strand
         // their receivers (other ranks may still be draining); release
-        // them before this thread parks.
+        // them before this thread parks. Likewise, finalizing the
+        // aggregation generation lets the last member of each node seal
+        // whatever frames the body left staged.
         comm.flush_held();
+        transport_finalize(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         g_abort.store(true);
@@ -567,6 +793,10 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  // Sub-flow records sealed after their sender's last commit point are
+  // still parked; append them now that the logs have no writers.
+  if (agg_ != nullptr && !g_abort.load())
+    for (int r = 0; r < nranks_; ++r) drain_pending_flows(r);
   // Leftover state from an aborted job must not leak into the next run().
   if (g_abort.load()) {
     for (auto& mb : mailboxes_) {

@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "simmpi/datatype.h"
 #include "simmpi/fault.h"
 #include "simmpi/netmodel.h"
+#include "transport/transport.h"
 
 namespace brickx::obs {
 class Collector;
@@ -126,6 +128,13 @@ struct CommCounters {
   /// High-water mark of simultaneously pending Requests (posted, not yet
   /// waited) — how deep this rank keeps the NIC pipeline.
   std::int64_t max_inflight_reqs = 0;
+  /// Send-side split by locality under the fabric's rank-to-node mapping
+  /// (msgs_intra + msgs_inter == msgs_sent). Counted on every transport;
+  /// table1 emits the split columns whenever ranks share nodes.
+  std::int64_t msgs_intra = 0;   ///< sent to a same-node peer
+  std::int64_t bytes_intra = 0;
+  std::int64_t msgs_inter = 0;   ///< sent to a peer on another node
+  std::int64_t bytes_inter = 0;
   void reset() { *this = CommCounters{}; }
 };
 
@@ -153,6 +162,10 @@ struct Envelope {
   double inject_nominal = 0.0;  ///< bytes / endpoint bw (uncontended)
   double fault_delay = 0.0;     ///< injected Delay seconds inside `arrival`
   double sharing = 1.0;         ///< peak link-sharing factor on the route
+  bool onnode = false;          ///< took the on-node shared-memory tier
+  /// Receiver-side aggregation unpack seconds inside `arrival` (0 unless
+  /// the message rode in a node-leader frame).
+  double agg_unpack = 0.0;
 };
 
 /// An MPI_Comm-like communicator bound to the calling rank. Each rank
@@ -299,6 +312,18 @@ class Runtime {
   void set_fabric(std::unique_ptr<netsim::Fabric> fabric);
   [[nodiscard]] netsim::Fabric& fabric() const { return *fabric_; }
 
+  /// Select the on-node transport tier (DESIGN.md §13). Flat (the default)
+  /// keeps every message on the fabric send path, byte-identical to the
+  /// pre-transport behavior. Shm short-circuits same-node pairs through
+  /// the shared-memory model; ShmAgg additionally coalesces co-located
+  /// ranks' inter-node sends into one framed fabric flow per (node,
+  /// neighbor-node) pair. Must not be called while run() is active.
+  void set_transport(transport::Kind k) { transport_ = k; }
+  [[nodiscard]] transport::Kind transport_kind() const { return transport_; }
+  /// Transport-tier traffic of the most recent run() (all zeros under
+  /// Flat).
+  [[nodiscard]] transport::Stats transport_stats() const;
+
   /// Install an obs Collector: every rank thread of subsequent run() calls
   /// is bound to its RankLog, so comm/datatype/gpusim instrumentation lands
   /// there. Pass nullptr to detach (recording is then zero-cost again). The
@@ -340,6 +365,22 @@ class Runtime {
   void deliver(int dest, Envelope env);
   Envelope match(int self, int src, int tag);
 
+  // Transport tier internals (comm.cc). AggState owns the node-leader
+  // aggregator; it is rebuilt at the start of every ShmAgg run so aborted
+  // runs cannot leak staged sub-messages.
+  struct AggState;
+  struct AggSub;
+  void transport_run_begin();
+  void stage_agg(int src_rank, int dest, Envelope env, bool defer);
+  /// Rank reached a commit point (wait or collective entry): advance its
+  /// aggregation generation, then drain any sub-flow records frames sealed
+  /// on other threads left for this rank's log.
+  void transport_commit(int rank);
+  void transport_finalize(int rank);
+  void seal_frame(int src_node, int dst_node, std::vector<AggSub>&& subs);
+  void note_onnode(std::size_t bytes, bool view_copy);
+  void drain_pending_flows(int rank);
+
   MemSpace classify(const void* p) const {
     return hooks_.classify ? hooks_.classify(p) : MemSpace::Host;
   }
@@ -367,6 +408,16 @@ class Runtime {
   obs::Collector* collector_ = nullptr;
   std::unique_ptr<obs::Collector> owned_trace_;  ///< backs enable_trace()
   FaultInjector* fault_ = nullptr;
+
+  transport::Kind transport_ = transport::Kind::Flat;
+  std::unique_ptr<AggState> agg_;  ///< live only during a ShmAgg run
+  mutable std::mutex tstats_mu_;
+  transport::Stats tstats_;
+  /// Sub-message flow records sealed on another member's thread, parked
+  /// here until the owning rank (or the post-join sweep) appends them to
+  /// its single-writer RankLog.
+  std::mutex pf_mu_;
+  std::vector<std::vector<obs::FlowEvent>> pending_flows_;
 };
 
 }  // namespace brickx::mpi

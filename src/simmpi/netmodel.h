@@ -55,6 +55,19 @@ struct NetModel {
   double dt_commit_overhead = 5.0e-8;     ///< per datatype block committed
   double mmap_segment_overhead = 2.5e-7;  ///< per mmap view segment resolved
 
+  /// Transport-tier costs (DESIGN.md §13), used only when the runtime's
+  /// transport is Shm or ShmAgg. The on-node path replaces the fabric send
+  /// for same-node pairs: a contiguous payload is a pointer handoff
+  /// (latency only — the zero-copy win layout buys), a strided one adds a
+  /// single copy through a mapped view. Aggregation frames charge per-sub
+  /// table bookkeeping on the sealing side and the same view-copy rate for
+  /// receiver-side unpacking.
+  double shm_handoff_alpha = 2.0e-7;  ///< same-node pointer-handoff latency
+  double shm_view_bw = 4.0e10;        ///< mapped-view copy, bytes/second
+  double agg_sub_overhead = 1.5e-7;   ///< per sub-message pack/unpack entry
+  std::int64_t agg_header_bytes = 64;      ///< frame header on the wire
+  std::int64_t agg_sub_header_bytes = 32;  ///< per-sub table entry on the wire
+
   /// How many consecutive ranks share a node (V2 uses 6 GPUs/ranks a node).
   int ranks_per_node = 1;
 

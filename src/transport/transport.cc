@@ -1,0 +1,30 @@
+#include "transport/transport.h"
+
+namespace brickx::transport {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Flat:
+      return "flat";
+    case Kind::Shm:
+      return "shm";
+    case Kind::ShmAgg:
+      return "shm-agg";
+  }
+  return "?";
+}
+
+bool parse_kind(const std::string& s, Kind* out) {
+  if (s == "flat") {
+    *out = Kind::Flat;
+  } else if (s == "shm") {
+    *out = Kind::Shm;
+  } else if (s == "shm-agg") {
+    *out = Kind::ShmAgg;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace brickx::transport

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace brickx::transport {
+
+/// On-node transport tier selector (DESIGN.md §13).
+///
+///  * Flat   — every message, same-node or not, takes the fabric send path
+///             (legacy behavior; the default everywhere, so existing runs
+///             stay byte-identical).
+///  * Shm    — same-node pairs short-circuit the fabric: contiguous
+///             payloads are pointer handoffs, strided ones a single copy
+///             through a mapped view, charged with the on-node model.
+///  * ShmAgg — Shm, plus node-leader aggregation: co-located ranks'
+///             inter-node sends are coalesced into one framed fabric flow
+///             per (node, neighbor-node) pair and unpacked at the
+///             receiving node.
+enum class Kind : std::uint8_t { Flat, Shm, ShmAgg };
+
+/// Stable lowercase name ("flat" / "shm" / "shm-agg"), used by CLI flags,
+/// fuzz config serialization and reports.
+[[nodiscard]] const char* kind_name(Kind k);
+
+/// Parse a name produced by kind_name. Returns false (out untouched) on
+/// anything else.
+[[nodiscard]] bool parse_kind(const std::string& s, Kind* out);
+
+/// Transport-tier traffic accounting, kept by the runtime that owns the
+/// tier and merged into harness results. All counts are send-side.
+struct Stats {
+  std::int64_t onnode_msgs = 0;     ///< same-node messages kept off the fabric
+  std::int64_t onnode_bytes = 0;    ///< payload bytes of those messages
+  std::int64_t onnode_copies = 0;   ///< strided payloads copied through a view
+  std::int64_t agg_frames = 0;      ///< framed fabric flows injected
+  std::int64_t agg_submsgs = 0;     ///< sub-messages carried in those frames
+  std::int64_t agg_frame_bytes = 0; ///< framed bytes (headers + payloads)
+
+  void merge(const Stats& o) {
+    onnode_msgs += o.onnode_msgs;
+    onnode_bytes += o.onnode_bytes;
+    onnode_copies += o.onnode_copies;
+    agg_frames += o.agg_frames;
+    agg_submsgs += o.agg_submsgs;
+    agg_frame_bytes += o.agg_frame_bytes;
+  }
+};
+
+}  // namespace brickx::transport

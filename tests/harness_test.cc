@@ -386,6 +386,63 @@ TEST(Harness, DivisibleWorldDoesNotWarn) {
       << "unexpected warning: " << err;
 }
 
+// ---- on-node transport tier (DESIGN.md §13) --------------------------------
+
+TEST(Harness, ShmAggRejectsOneRankPerNode) {
+  // With one rank per node there is nothing to aggregate; the harness must
+  // refuse loudly instead of silently degenerating to per-message frames.
+  Config cfg = rpn_test::cheap_config();
+  cfg.machine.net.ranks_per_node = 1;
+  cfg.transport = transport::Kind::ShmAgg;
+  try {
+    (void)run(cfg);
+    FAIL() << "shm-agg with ranks_per_node == 1 was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ranks_per_node"), std::string::npos)
+        << e.what();
+  }
+  // The same machine shape is fine for the tiers that do not aggregate.
+  for (transport::Kind k : {transport::Kind::Flat, transport::Kind::Shm}) {
+    Config ok = rpn_test::cheap_config();
+    ok.transport = k;
+    EXPECT_GT(run(ok).total_seconds, 0.0) << transport::kind_name(k);
+  }
+}
+
+TEST(Harness, TransportTiersComputeExactResults) {
+  // Full harness runs with kernels + validation: the tier may change only
+  // timing, never the computed evolution.
+  for (transport::Kind k : {transport::Kind::Shm, transport::Kind::ShmAgg}) {
+    Config cfg = small_config(Method::Layout, false);
+    cfg.machine.net.ranks_per_node = 4;
+    cfg.transport = k;
+    const Result r = run(cfg);
+    EXPECT_TRUE(r.validated) << transport::kind_name(k);
+    EXPECT_GT(r.transport_stats.onnode_msgs, 0);
+    // Symmetric periodic cube: rank 0's whole-run sends equal its receives,
+    // and the locality split partitions them.
+    EXPECT_EQ(r.msgs_intra_per_rank + r.msgs_inter_per_rank,
+              r.msgs_recv_per_rank);
+  }
+}
+
+TEST(Harness, TransportSplitMatchesSendCounters) {
+  // Whole-run rank-0 split == batches * per-exchange sends, and the split
+  // is identical across transports (it classifies, it does not reroute).
+  Config cfg = rpn_test::cheap_config();
+  cfg.machine.net.ranks_per_node = 4;
+  Result flat = run(cfg);
+  cfg.transport = transport::Kind::ShmAgg;
+  Result agg = run(cfg);
+  EXPECT_EQ(flat.msgs_intra_per_rank, agg.msgs_intra_per_rank);
+  EXPECT_EQ(flat.msgs_inter_per_rank, agg.msgs_inter_per_rank);
+  EXPECT_EQ(flat.bytes_intra_per_rank, agg.bytes_intra_per_rank);
+  EXPECT_EQ(flat.bytes_inter_per_rank, agg.bytes_inter_per_rank);
+  EXPECT_GT(agg.transport_stats.agg_frames, 0);
+  EXPECT_EQ(agg.transport_stats.agg_submsgs % agg.msgs_inter_per_rank, 0)
+      << "global framed sub-messages must cover all ranks' inter sends";
+}
+
 // ---- fault schedules through the harness front door ------------------------
 
 TEST(Harness, DelayOnlyFaultScheduleKeepsResultsExact) {
