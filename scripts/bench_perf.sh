@@ -13,6 +13,11 @@
 #                               counts and aggregation frame fill under the
 #                               flat / shm / shm-agg transport tiers (also
 #                               virtual-time-exact)
+#   BENCH_overlap.json       -- abl_overlap: communication hidden by the
+#                               partitioned dependency scheduler and its
+#                               overlap efficiency per method x fabric,
+#                               cross-checked against the analyzer's
+#                               headroom bound (virtual-time-exact)
 # Commit the refreshed JSON alongside any kernel / runtime / netsim change
 # so the trajectories stay honest.
 #
@@ -48,3 +53,12 @@ fi
 "$build/bench/abl_transport" --json-out=BENCH_transport.json
 
 echo "bench_perf.sh: wrote BENCH_transport.json"
+
+if [[ ! -x "$build/bench/abl_overlap" ]]; then
+  echo "bench_perf.sh: $build/bench/abl_overlap not found -- build first" >&2
+  exit 1
+fi
+
+"$build/bench/abl_overlap" --json-out=BENCH_overlap.json
+
+echo "bench_perf.sh: wrote BENCH_overlap.json"

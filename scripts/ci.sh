@@ -36,11 +36,19 @@ echo "=== default preset: transport tier gate ==="
 # suite above).
 ctest --preset default -L transport
 
+echo "=== default preset: overlap tier gate ==="
+# Partitioned-request + dependency-scheduler contract (DESIGN.md §14),
+# named so a lifecycle or scheduler regression fails loudly: the simmpi
+# partitioned lifecycle tests, the harness scheduler property tests, and
+# the abl_overlap golden with its strict comm-on-path decrease and
+# headroom-bound self-checks (all also in the full suite above).
+ctest --preset default -L overlap
+
 echo "=== asan-ubsan preset: configure + build ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 
-echo "=== asan-ubsan preset: unit-, persistent-, analyze- and transport-labeled tests ==="
-ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze|transport'
+echo "=== asan-ubsan preset: unit-, persistent-, analyze-, transport- and overlap-labeled tests ==="
+ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze|transport|overlap'
 
 echo "ci.sh: all green"

@@ -28,6 +28,8 @@ bool config_valid(const FuzzConfig& cfg) {
   }
   if (cfg.transport == transport::Kind::ShmAgg && cfg.ranks_per_node == 1)
     return false;  // nothing to aggregate; the harness rejects it too
+  if (cfg.overlap && cfg.persistent)
+    return false;  // one replay mechanism per exchanger binding
   return cfg.ghost >= 1 && cfg.rounds >= 1 && cfg.ranks_per_node >= 1;
 }
 
@@ -71,6 +73,11 @@ FuzzConfig draw_config(Rng& rng) {
   cfg.transport = kTransports[rng.below(3)];
   if (cfg.transport == transport::Kind::ShmAgg && cfg.ranks_per_node == 1)
     cfg.transport = transport::Kind::Shm;  // keep the draw valid
+  // Drawn last (after transport) so earlier fields keep their sequence.
+  // The draw itself is unconditional — masking, not skipping, keeps the
+  // Rng stream stable — and yields to `persistent` when both came up.
+  const bool want_overlap = rng.below(2) == 1;
+  cfg.overlap = want_overlap && !cfg.persistent;
   return cfg;
 }
 
@@ -80,7 +87,7 @@ std::string serialize_config(const FuzzConfig& cfg) {
       buf, sizeof buf,
       "seed=%llu,ranks=%lldx%lldx%lld,brick=%lldx%lldx%lld,ghost=%lld,"
       "sub=%lldx%lldx%lld,rounds=%d,page=%zu,rpn=%d,fabric=%s,map=%s,"
-      "persist=%d,transport=%s",
+      "persist=%d,transport=%s,overlap=%d",
       static_cast<unsigned long long>(cfg.seed),
       static_cast<long long>(cfg.rank_dims[0]),
       static_cast<long long>(cfg.rank_dims[1]),
@@ -94,7 +101,7 @@ std::string serialize_config(const FuzzConfig& cfg) {
       static_cast<long long>(cfg.subdomain[2]), cfg.rounds, cfg.page_size,
       cfg.ranks_per_node, netsim::fabric_name(cfg.fabric),
       netsim::map_name(cfg.mapping), cfg.persistent ? 1 : 0,
-      transport::kind_name(cfg.transport));
+      transport::kind_name(cfg.transport), cfg.overlap ? 1 : 0);
   return buf;
 }
 
@@ -153,6 +160,10 @@ std::optional<FuzzConfig> parse_config(std::string_view s) {
         cfg.persistent = v == 1;
       } else if (key == "transport") {
         if (!transport::parse_kind(vs, &cfg.transport)) return std::nullopt;
+      } else if (key == "overlap") {
+        const int v = std::stoi(vs);
+        if (v != 0 && v != 1) return std::nullopt;
+        cfg.overlap = v == 1;
       } else {
         return std::nullopt;
       }
@@ -184,6 +195,12 @@ std::vector<FuzzConfig> shrink_candidates(const FuzzConfig& cfg) {
   if (cfg.persistent) {
     FuzzConfig c = cfg;
     c.persistent = false;
+    push(c);
+  }
+  // Back to bulk (non-partitioned) exchanges.
+  if (cfg.overlap) {
+    FuzzConfig c = cfg;
+    c.overlap = false;
     push(c);
   }
   // Back to the always-on-fabric transport.

@@ -47,6 +47,14 @@ struct FuzzConfig {
   /// randomly so the oracle cross-checks that delivered data is bitwise
   /// transport-invariant; shm-agg is only valid with ranks_per_node > 1.
   transport::Kind transport = transport::Kind::Flat;
+  /// Run the brick methods over *partitioned* requests (DESIGN.md §14):
+  /// start, pready every send partition in flat order, consume every
+  /// receive partition in reverse order, finish. Drawn randomly so the
+  /// oracle cross-checks partition-granularity delivery against the bulk
+  /// path — including under fault schedules, where reorder/delay hit
+  /// individual partitions. Mutually exclusive with `persistent` (an
+  /// exchanger binds to one replay mechanism).
+  bool overlap = false;
 
   [[nodiscard]] int nranks() const { return static_cast<int>(rank_dims.prod()); }
 };

@@ -168,16 +168,40 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
       if (ev) ev->make_persistent(comm);
       if (ex) ex->make_persistent(comm);
     }
+    if (cfg.overlap) {
+      if (ev) ev->make_partitioned(comm);
+      if (ex) ex->make_partitioned(comm);
+    }
+
+    // The partitioned replay: every send partition readied in flat order,
+    // every receive partition consumed in *reverse* order (deliberately not
+    // the arrival order), then the round closed. Delivered frames must
+    // still be bitwise identical to the bulk path — partition granularity
+    // may only change timing, never data.
+    auto overlap_round = [&](auto& x) {
+      x.part_start();
+      const int ns = static_cast<int>(x.send_parts().size());
+      for (int j = 0; j < ns; ++j) x.part_pready(j);
+      const int nr = static_cast<int>(x.recv_parts().size());
+      for (int j = nr - 1; j >= 0; --j) (void)x.part_arrived(j);
+      x.part_finish();
+    };
 
     CellArray3 own(Box<3>{{0, 0, 0}, N});
     CellArray3 fr(frame_box);
     for (int round = 0; round < cfg.rounds; ++round) {
       fill_own(own, round);
       cells_to_bricks(dec, own, store, 0);
-      if (ev)
+      if (cfg.overlap) {
+        if (ev)
+          overlap_round(*ev);
+        else
+          overlap_round(*ex);
+      } else if (ev) {
         ev->exchange(comm);
-      else
+      } else {
         ex->exchange(comm);
+      }
       bricks_to_cells(dec, store, 0, fr);
       record_frame(fr);
     }
@@ -379,6 +403,36 @@ OracleReport run_oracle(const FuzzConfig& cfg) {
              " frame differs from Basic at rank " + std::to_string(r) +
              ", flat cell " + std::to_string(first));
       }
+    }
+  }
+
+  // --- partitioned-vs-bulk invariance --------------------------------------
+  // When this config replayed the brick methods over partitioned requests,
+  // re-run one of them over the bulk path: scheduling granularity may only
+  // change timing — delivered frames and traffic counters must be bitwise
+  // identical between the two replay mechanisms.
+  if (cfg.overlap) {
+    FuzzConfig bulk_cfg = cfg;
+    bulk_cfg.overlap = false;
+    const MethodRun bulk_run = run_method(M::Layout, bulk_cfg, nullptr);
+    for (int r = 0; r < cfg.nranks(); ++r) {
+      const auto& ref = layout.frames[static_cast<std::size_t>(r)];
+      const auto& got = bulk_run.frames[static_cast<std::size_t>(r)];
+      if (got.size() != ref.size() ||
+          std::memcmp(got.data(), ref.data(),
+                      ref.size() * sizeof(double)) != 0) {
+        fail("delivered frames differ between partitioned and bulk replay "
+             "at rank " + std::to_string(r));
+        break;
+      }
+      const mpi::CommCounters& a =
+          layout.counters[static_cast<std::size_t>(r)];
+      const mpi::CommCounters& b =
+          bulk_run.counters[static_cast<std::size_t>(r)];
+      if (a.msgs_sent != b.msgs_sent || a.bytes_sent != b.bytes_sent ||
+          a.msgs_recv != b.msgs_recv || a.bytes_recv != b.bytes_recv)
+        fail("comm counters differ between partitioned and bulk replay at "
+             "rank " + std::to_string(r));
     }
   }
 

@@ -93,6 +93,7 @@ Exchanger<D>::Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
                                          static_cast<int>(k),
                                      first.offset,
                                      last.offset + last.bytes - first.offset});
+      send_regions_.push_back(g);
     }
   }
 
@@ -134,6 +135,17 @@ Exchanger<D>::Exchanger(const BrickDecomp<D>& dec, BrickStorage& storage,
                                      from_v * kRunTagStride +
                                          static_cast<int>(k),
                                      first.offset, span});
+      std::vector<int> ghosts;
+      ghosts.reserve(g.size());
+      for (int o : g) {
+        const int go =
+            ghost_ordinal(dec.regions()[static_cast<std::size_t>(o)].sigma);
+        BX_CHECK(chunks[static_cast<std::size_t>(go)].bytes ==
+                     chunks[static_cast<std::size_t>(o)].bytes,
+                 "ghost chunk size disagrees with the sender's surface chunk");
+        ghosts.push_back(go);
+      }
+      recv_regions_.push_back(std::move(ghosts));
     }
   }
   plan_.cost.messages +=
@@ -151,6 +163,37 @@ void Exchanger<D>::make_persistent(mpi::Comm& comm) {
     pset_.add_send(
         comm.send_init(storage_->data() + w.offset, w.bytes, w.rank, w.tag));
   pset_.mark_bound();
+}
+
+template <int D>
+void Exchanger<D>::make_partitioned(mpi::Comm& comm) {
+  BX_CHECK(!part_.bound(), "exchanger already bound to partitioned requests");
+  BX_CHECK(!pset_.bound(),
+           "persistent and partitioned bindings are mutually exclusive");
+  BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
+  const auto& chunks = storage_->chunks();
+  auto sizes_of = [&](const std::vector<int>& regions) {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(regions.size());
+    for (int o : regions)
+      sizes.push_back(chunks[static_cast<std::size_t>(o)].bytes);
+    return sizes;
+  };
+  for (std::size_t i = 0; i < plan_.recvs.size(); ++i) {
+    const PlanWire& w = plan_.recvs[i];
+    auto sizes = sizes_of(recv_regions_[i]);
+    part_.add_recv(comm.precv_init(storage_->data() + w.offset, w.bytes,
+                                   w.rank, w.tag, sizes),
+                   recv_regions_[i], sizes);
+  }
+  for (std::size_t i = 0; i < plan_.sends.size(); ++i) {
+    const PlanWire& w = plan_.sends[i];
+    auto sizes = sizes_of(send_regions_[i]);
+    part_.add_send(comm.psend_init(storage_->data() + w.offset, w.bytes,
+                                   w.rank, w.tag, sizes),
+                   send_regions_[i], sizes);
+  }
+  part_.mark_bound();
 }
 
 template <int D>

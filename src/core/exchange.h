@@ -46,6 +46,30 @@ class Exchanger {
   void make_persistent(mpi::Comm& comm);
   [[nodiscard]] bool persistent() const { return pset_.bound(); }
 
+  /// Bind the frozen plan to *partitioned* requests (MPI 4.0 psend/precv
+  /// style): every wire becomes one partitioned request with one partition
+  /// per surface (send side) / ghost (recv side) region in the wire. The
+  /// dependency scheduler then readies each partition as its source bricks
+  /// finish and waits only on the partitions a consuming brick needs.
+  /// Mutually exclusive with make_persistent; call before any round is in
+  /// flight.
+  void make_partitioned(mpi::Comm& comm);
+  [[nodiscard]] bool partitioned() const { return part_.bound(); }
+
+  /// Partitioned-round operations (valid only after make_partitioned).
+  /// Partitions are addressed by flattened index into send_parts() /
+  /// recv_parts(); each PartSpec names the region ordinal it carries.
+  [[nodiscard]] const std::vector<PartSpec>& send_parts() const {
+    return part_.send_parts();
+  }
+  [[nodiscard]] const std::vector<PartSpec>& recv_parts() const {
+    return part_.recv_parts();
+  }
+  void part_start() { part_.start_all(); }
+  void part_pready(int j) { part_.pready(j); }
+  bool part_arrived(int j) { return part_.arrived(j); }
+  void part_finish() { part_.finish(); }
+
   /// Post receives then sends (paper's communication start).
   void start(mpi::Comm& comm);
   /// Complete all pending requests.
@@ -79,6 +103,10 @@ class Exchanger {
   BrickStorage* storage_;
   ExchangePlan plan_;
   PersistentSet pset_;
+  PartitionedSet part_;
+  // Region ordinals carried by each wire, aligned with plan_.sends /
+  // plan_.recvs — the partition tables for make_partitioned.
+  std::vector<std::vector<int>> send_regions_, recv_regions_;
   std::vector<mpi::Request> pending_;
 };
 

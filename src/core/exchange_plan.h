@@ -111,4 +111,95 @@ class PersistentSet {
   bool bound_ = false;
 };
 
+/// One partition of one partitioned wire, flattened across the whole plan:
+/// `wire` indexes the exchanger's send (or recv) wire list, `part` is the
+/// partition index within that wire, `region` is the surface (send side) or
+/// ghost (recv side) region ordinal whose bytes the partition carries. The
+/// exchangers guarantee one region per partition in both directions, so the
+/// dependency scheduler can key partitions directly by region ordinal.
+struct PartSpec {
+  int wire;           ///< index into the exchanger's wire list
+  int part;           ///< partition index within that wire
+  int region;         ///< source surface / destination ghost region ordinal
+  std::size_t bytes;  ///< partition payload size
+};
+
+/// The partitioned requests one plan was bound to, plus the flattened
+/// partition tables the dependency scheduler walks. Start order is receives
+/// first, then sends — matching the ad-hoc post order — and finish() waits
+/// receives before sends so leftover (never-consumed) arrivals are drained
+/// at the same flush points as a bulk waitall. Partitions are addressed by
+/// flattened index into send_parts()/recv_parts().
+class PartitionedSet {
+ public:
+  [[nodiscard]] bool bound() const { return bound_; }
+  [[nodiscard]] const std::vector<PartSpec>& send_parts() const {
+    return send_parts_;
+  }
+  [[nodiscard]] const std::vector<PartSpec>& recv_parts() const {
+    return recv_parts_;
+  }
+
+  /// Adopt one partitioned send wire; `regions[i]` is the surface region
+  /// ordinal partition i carries and `sizes[i]` its byte count.
+  void add_send(mpi::Partitioned p, const std::vector<int>& regions,
+                const std::vector<std::size_t>& sizes) {
+    const int w = static_cast<int>(sends_.size());
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      send_parts_.push_back(PartSpec{w, static_cast<int>(i), regions[i],
+                                     sizes[i]});
+    sends_.push_back(std::move(p));
+    bound_ = true;
+  }
+  /// Adopt one partitioned recv wire; same contract with ghost regions.
+  void add_recv(mpi::Partitioned p, const std::vector<int>& regions,
+                const std::vector<std::size_t>& sizes) {
+    const int w = static_cast<int>(recvs_.size());
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      recv_parts_.push_back(PartSpec{w, static_cast<int>(i), regions[i],
+                                     sizes[i]});
+    recvs_.push_back(std::move(p));
+    bound_ = true;
+  }
+  /// Bind an empty plan (no messages — single-rank exchanges replay as
+  /// no-ops rather than falling back to the bulk path).
+  void mark_bound() { bound_ = true; }
+
+  /// Open a round on every wire: recv starts first, then send starts. No
+  /// payload moves until individual partitions are readied.
+  void start_all() {
+    for (auto& p : recvs_) p.start();
+    for (auto& p : sends_) p.start();
+  }
+  /// Mark send partition `j` (flattened index) ready for injection.
+  void pready(int j) {
+    const PartSpec& s = send_parts_[static_cast<std::size_t>(j)];
+    sends_[static_cast<std::size_t>(s.wire)].pready(s.part);
+  }
+  /// Block until recv partition `j` (flattened index) has landed. Returns
+  /// true when the data was already there (the wait was fully hidden).
+  bool arrived(int j) {
+    const PartSpec& s = recv_parts_[static_cast<std::size_t>(j)];
+    return recvs_[static_cast<std::size_t>(s.wire)].arrived(s.part);
+  }
+  /// Close the round: drain leftover recv partitions, then complete sends.
+  void finish() {
+    for (auto& p : recvs_) p.wait();
+    for (auto& p : sends_) p.wait();
+  }
+
+  void reset() {
+    recvs_.clear();
+    sends_.clear();
+    send_parts_.clear();
+    recv_parts_.clear();
+    bound_ = false;
+  }
+
+ private:
+  std::vector<mpi::Partitioned> recvs_, sends_;
+  std::vector<PartSpec> send_parts_, recv_parts_;
+  bool bound_ = false;
+};
+
 }  // namespace brickx

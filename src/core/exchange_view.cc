@@ -26,31 +26,51 @@ ExchangeView<D>::ExchangeView(const BrickDecomp<D>& dec, BrickStorage& storage,
     // Send view: this neighbor's surface regions, stitched consecutively in
     // layout order (Figure 5).
     mm::ViewBuilder sb(*storage.file());
+    std::vector<int> sregions;
+    std::vector<std::size_t> ssizes;
     for (int o = 0; o < dec.surface_region_count(); ++o) {
       const auto& r = dec.regions()[static_cast<std::size_t>(o)];
       if (!region_sent_to(r.sigma, nu)) continue;
       const auto& c = chunks[static_cast<std::size_t>(o)];
       sb.add(c.offset, c.padded_bytes);
+      // Empty regions (no middle band) contribute nothing to the view and
+      // cannot be partitions (partitioned init rejects zero-size entries).
+      if (c.padded_bytes > 0) {
+        sregions.push_back(o);
+        ssizes.push_back(c.padded_bytes);
+      }
       payload_bytes_ += static_cast<std::int64_t>(c.bytes);
     }
-    if (sb.total() > 0)
+    if (sb.total() > 0) {
       sends_.push_back(VWire{neighbor_ranks[v], static_cast<int>(v),
                              sb.build()});
+      send_regions_.push_back(std::move(sregions));
+      send_sizes_.push_back(std::move(ssizes));
+    }
 
     // Receive view: the ghost chunks sourced from ν, in the same (sender's
     // layout) order, so one incoming message scatters itself via the page
     // tables.
     mm::ViewBuilder rb(*storage.file());
+    std::vector<int> rregions;
+    std::vector<std::size_t> rsizes;
     for (std::size_t o = static_cast<std::size_t>(dec.ghost_first_ordinal());
          o < dec.regions().size(); ++o) {
       const auto& r = dec.regions()[o];
       if (!(r.nu == nu)) continue;
       const auto& c = chunks[o];
       rb.add(c.offset, c.padded_bytes);
+      if (c.padded_bytes > 0) {
+        rregions.push_back(static_cast<int>(o));
+        rsizes.push_back(c.padded_bytes);
+      }
     }
-    if (rb.total() > 0)
+    if (rb.total() > 0) {
       recvs_.push_back(VWire{neighbor_ranks[v],
                              dec.neighbor_ordinal(nu.flipped()), rb.build()});
+      recv_regions_.push_back(std::move(rregions));
+      recv_sizes_.push_back(std::move(rsizes));
+    }
     BX_CHECK(sb.total() == rb.total(),
              "send and receive views disagree in size");
     // Plan-cost tally: both builders scanned the region table once each.
@@ -76,6 +96,28 @@ void ExchangeView<D>::make_persistent(mpi::Comm& comm) {
   for (VWire& w : sends_)
     pset_.add_send(comm.send_init(w.view.data(), w.view.size(), w.rank, w.tag));
   pset_.mark_bound();
+}
+
+template <int D>
+void ExchangeView<D>::make_partitioned(mpi::Comm& comm) {
+  BX_CHECK(!part_.bound(),
+           "exchange view already bound to partitioned requests");
+  BX_CHECK(!pset_.bound(),
+           "persistent and partitioned bindings are mutually exclusive");
+  BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
+  for (std::size_t i = 0; i < recvs_.size(); ++i) {
+    VWire& w = recvs_[i];
+    part_.add_recv(comm.precv_init(w.view.data(), w.view.size(), w.rank,
+                                   w.tag, recv_sizes_[i]),
+                   recv_regions_[i], recv_sizes_[i]);
+  }
+  for (std::size_t i = 0; i < sends_.size(); ++i) {
+    VWire& w = sends_[i];
+    part_.add_send(comm.psend_init(w.view.data(), w.view.size(), w.rank,
+                                   w.tag, send_sizes_[i]),
+                   send_regions_[i], send_sizes_[i]);
+  }
+  part_.mark_bound();
 }
 
 template <int D>

@@ -29,6 +29,24 @@ class ExchangeView {
   void make_persistent(mpi::Comm& comm);
   [[nodiscard]] bool persistent() const { return pset_.bound(); }
 
+  /// Bind every view wire to a *partitioned* request with one partition per
+  /// padded region chunk in the view (surface chunks on the send side,
+  /// ghost chunks on the receive side), for the dependency scheduler.
+  /// Mutually exclusive with make_persistent.
+  void make_partitioned(mpi::Comm& comm);
+  [[nodiscard]] bool partitioned() const { return part_.bound(); }
+
+  [[nodiscard]] const std::vector<PartSpec>& send_parts() const {
+    return part_.send_parts();
+  }
+  [[nodiscard]] const std::vector<PartSpec>& recv_parts() const {
+    return part_.recv_parts();
+  }
+  void part_start() { part_.start_all(); }
+  void part_pready(int j) { part_.pready(j); }
+  bool part_arrived(int j) { return part_.arrived(j); }
+  void part_finish() { part_.finish(); }
+
   void start(mpi::Comm& comm);
   void finish(mpi::Comm& comm);
   void exchange(mpi::Comm& comm) {
@@ -72,6 +90,11 @@ class ExchangeView {
   };
   std::vector<VWire> sends_, recvs_;
   PersistentSet pset_;
+  PartitionedSet part_;
+  // Region ordinals and page-padded byte counts carried by each wire,
+  // aligned with sends_/recvs_ — the partition tables for make_partitioned.
+  std::vector<std::vector<int>> send_regions_, recv_regions_;
+  std::vector<std::vector<std::size_t>> send_sizes_, recv_sizes_;
   std::vector<mpi::Request> pending_;
   std::int64_t payload_bytes_ = 0;
   std::int64_t scanned_regions_ = 0;

@@ -168,6 +168,9 @@ Result run(const Config& cfg) {
                (is_brick && cfg.method != Method::Shift &&
                 cfg.method != Method::Network && !cfg.memmap_floor_proxy),
            "overlap is supported for the Basic/Layout/MemMap brick methods");
+  BX_CHECK(!(cfg.overlap && cfg.plan == PlanMode::PerRound),
+           "overlap requires a build-once plan: the dependency scheduler "
+           "binds partitioned requests, which freeze the wire schedule");
   BX_CHECK(!(cfg.plan == PlanMode::PerRound && cfg.gpu != GpuMode::None),
            "the plan-per-round ablation is CPU-only (rebuilding exchangers "
            "would churn the GPU range registrations)");
@@ -241,9 +244,21 @@ Result run(const Config& cfg) {
     GpuRegs regs(device ? &*device : nullptr);
     RankOut out;
 
+    BX_CHECK(!cfg.overlap || k >= 2,
+             "overlap needs at least two steps per exchange (ghost >= "
+             "2 * stencil radius) so a producer step exists to hide behind");
+
     // ---- storage, exchangers, compute closure per family ------------------
     std::function<void()> pack_fn, start_fn, finish_fn, unpack_fn;
     std::function<void(const Box<3>&)> compute_fn;
+    // Overlap-scheduler hooks (brick methods only): partitioned-round
+    // control plus a piece-compute variant that prices one step's
+    // region-by-region sweep as a single fused sweep.
+    std::function<void(const Box<3>&, bool)> compute_piece_fn;
+    std::function<void()> pstart_fn, pfinish_fn;
+    std::function<void(int)> pready_fn;
+    std::function<bool(int)> parrived_fn;
+    std::function<const std::vector<PartSpec>*()> psend_tbl_fn, precv_tbl_fn;
     std::function<double()> host_pack_seconds;  // modeled on-node movement
     std::function<bool()> validate_fn;
     // Plan lifetime hooks, set per family below: bind_fn binds the frozen
@@ -379,7 +394,21 @@ Result run(const Config& cfg) {
           evs[0].start(comm);
         };
         finish_fn = [&] { evs[0].finish(comm); };
-        bind_fn = [&] { evs[0].make_persistent(comm); };
+        bind_fn = [&] {
+          if (cfg.overlap) {
+            evs[0].make_partitioned(comm);
+          } else {
+            evs[0].make_persistent(comm);
+          }
+        };
+        if (cfg.overlap) {
+          pstart_fn = [&] { evs[0].part_start(); };
+          pfinish_fn = [&] { evs[0].part_finish(); };
+          pready_fn = [&](int j) { evs[0].part_pready(j); };
+          parrived_fn = [&](int j) { return evs[0].part_arrived(j); };
+          psend_tbl_fn = [&] { return &evs[0].send_parts(); };
+          precv_tbl_fn = [&] { return &evs[0].recv_parts(); };
+        }
         rebuild_fn = [&, ranks] {
           // clear-then-emplace: tears down the old mmap views before
           // stitching fresh ones (PerRound is CPU-only, so no GPU aliases
@@ -427,8 +456,23 @@ Result run(const Config& cfg) {
         start_fn = [&] { exs[static_cast<std::size_t>(input)].start(comm); };
         finish_fn = [&] { exs[static_cast<std::size_t>(input)].finish(comm); };
         bind_fn = [&] {
-          for (auto& ex : exs) ex.make_persistent(comm);
+          if (cfg.overlap) {
+            // The exchange period is even, so exchanger 0 carries every
+            // round on both the consumer (s == 0) and the producer
+            // (s == k-1) side; exchanger 1 is never used under overlap.
+            exs[0].make_partitioned(comm);
+          } else {
+            for (auto& ex : exs) ex.make_persistent(comm);
+          }
         };
+        if (cfg.overlap) {
+          pstart_fn = [&] { exs[0].part_start(); };
+          pfinish_fn = [&] { exs[0].part_finish(); };
+          pready_fn = [&](int j) { exs[0].part_pready(j); };
+          parrived_fn = [&](int j) { return exs[0].part_arrived(j); };
+          psend_tbl_fn = [&] { return &exs[0].send_parts(); };
+          precv_tbl_fn = [&] { return &exs[0].recv_parts(); };
+        }
         rebuild_fn = [&, ranks, mode] {
           exs[static_cast<std::size_t>(input)] = Exchanger<3>(
               *dec, stores[static_cast<std::size_t>(input)], ranks, mode);
@@ -463,6 +507,35 @@ Result run(const Config& cfg) {
           secs = model::cpu_stencil_seconds(cfg.machine, box.volume(), flops,
                                             kBytesPerCell,
                                             cfg.method == Method::Yask);
+        }
+        comm.compute(secs);
+      };
+
+      // The scheduler's piece path: one step's region-by-region pieces form
+      // a single fused sweep that publishes per-region completion, so the
+      // fixed per-sweep cost (OpenMP fork/join on CPU, kernel launch on
+      // GPU) and the per-chunk UM touch pass are charged once per step —
+      // on the `first` piece — and later pieces cost marginal volume only.
+      compute_piece_fn = [&](const Box<3>& box, bool first) {
+        if (execute)
+          compute_bricks(cfg, *dec, *info,
+                         stores[static_cast<std::size_t>(input)],
+                         stores[static_cast<std::size_t>(1 - input)], box);
+        double secs;
+        if (cfg.gpu != GpuMode::None) {
+          secs = device->kernel_seconds(box.volume(), flops, kBytesPerCell);
+          if (!first) secs -= cfg.machine.gpu.launch_overhead;
+          if (first) {
+            for (int f = 0; f < 2; ++f) {
+              BrickStorage& st = stores[static_cast<std::size_t>(f)];
+              for (const auto& c : st.chunks())
+                secs += device->touch_device(st.data() + c.offset, c.bytes);
+            }
+          }
+        } else {
+          secs = model::cpu_stencil_seconds(cfg.machine, box.volume(), flops,
+                                            kBytesPerCell, false);
+          if (!first) secs -= cfg.machine.sweep_overhead;
         }
         comm.compute(secs);
       };
@@ -627,8 +700,40 @@ Result run(const Config& cfg) {
     // phase_sum) as a live cross-check that the trace carries the ground
     // truth — the two agree bit-exactly by construction.
     auto now = [&] { return comm.clock().now(); };
+    // ---- overlap dependency-scheduler state --------------------------------
+    // A partitioned exchange round spans two steps: the *producer* step
+    // (s == k-1) opens the round and readies each outgoing partition as its
+    // source surface region finishes computing, so boundary data flows
+    // while the interior is still being produced; the *consumer* step
+    // (s == 0, next round) computes ghost-free cells first and then waits
+    // only on the partitions each shell piece actually reads.
+    const int total_step_count =
+        cfg.warmup_exchanges * static_cast<int>(k) + cfg.timesteps;
+    int steps_done = 0;
+    bool round_open = false;
+    // Cell-coordinate box of region ordinal `o` (brick grid → cells; ghost
+    // regions land in [-g, 0) ∪ [N, N+g) bands, matching the coordinates
+    // the shell pieces read).
+    auto region_cell_box = [&](int o) {
+      const auto& rg = dec->regions()[static_cast<std::size_t>(o)];
+      return Box<3>{rg.box.lo * dec->brick_dims(),
+                    rg.box.hi * dec->brick_dims()};
+    };
+    auto boxes_overlap = [](const Box<3>& a, const Box<3>& b) {
+      for (int i = 0; i < 3; ++i)
+        if (a.lo[i] >= b.hi[i] || b.lo[i] >= a.hi[i]) return false;
+      return true;
+    };
     auto one_step = [&](int step, bool measured) {
       const std::int64_t s = step % k;
+      // No producer step ahead of the last step overall, and none across
+      // the warmup→measured barrier: pre-starting the first measured round
+      // during (unmeasured) warmup would silently move its injection cost
+      // out of the measured window. The first measured round cold-starts
+      // at its s == 0 instead, exactly like the first warmup round.
+      const bool last_warmup =
+          ++steps_done == cfg.warmup_exchanges * static_cast<int>(k);
+      const bool no_prestart = steps_done == total_step_count || last_warmup;
       // Measured steps tag spans with their timestep; warmup steps get
       // distinct ids -2, -3, ... so the critical-path analyzer can keep
       // per-step phase identity without them ever colliding with measured
@@ -646,38 +751,111 @@ Result run(const Config& cfg) {
         if (measured) out.replan += now() - r0;
       }
       if (s == 0 && cfg.overlap) {
-        // Prior-work overlap: interior cells depend on no ghost data, so
-        // they compute while the exchange is in flight; the shell follows
-        // after completion. The virtual clock yields max(comp, comm)
-        // semantics naturally.
+        // Consumer side of a partitioned round. The round was normally
+        // opened (and every partition readied) by the previous producer
+        // step; the first round of the run cold-starts here instead, since
+        // its boundary data came from initialization, not a prior step.
         const double t0 = now();
-        {
+        if (!round_open) {
           obs::ObsSpan sp(obs::Cat::Call, "call", id);
-          start_fn();
+          pstart_fn();
+          const int nsend = static_cast<int>(psend_tbl_fn()->size());
+          for (int j = 0; j < nsend; ++j) pready_fn(j);
+          round_open = true;
         }
         const double t1 = now();
+        // Interior outputs read no ghost data: compute them while the
+        // remaining partitions are still in flight on the virtual clock.
         const Box<3> whole = stencil::expansion_output_box<3>(N, g, r, 0);
-        Box<3> interior{Vec3::fill(r), N - Vec3::fill(r)};
+        const Box<3> interior{Vec3::fill(r), N - Vec3::fill(r)};
         {
           obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
-          compute_fn(interior);
+          compute_piece_fn(interior, /*first=*/true);
         }
         const double t2 = now();
-        {
-          obs::ObsSpan sp(obs::Cat::Wait, "wait", id);
-          finish_fn();
+        // Shell pieces wait only on the ghost partitions their stencil
+        // footprint (piece expanded by the radius) actually reads.
+        double shell_wait = 0, shell_calc = 0;
+        const std::vector<PartSpec>& rp = *precv_tbl_fn();
+        std::vector<char> consumed(rp.size(), 0);
+        for (const Box<3>& b : stencil::shell_boxes<3>(whole, interior)) {
+          const Box<3> need{b.lo - Vec3::fill(r), b.hi + Vec3::fill(r)};
+          const double w0 = now();
+          {
+            obs::ObsSpan sp(obs::Cat::Wait, "wait", id);
+            for (std::size_t j = 0; j < rp.size(); ++j) {
+              if (consumed[j]) continue;
+              if (!boxes_overlap(region_cell_box(rp[j].region), need))
+                continue;
+              parrived_fn(static_cast<int>(j));
+              consumed[j] = 1;
+            }
+          }
+          const double w1 = now();
+          {
+            obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
+            compute_piece_fn(b, /*first=*/false);
+          }
+          shell_wait += w1 - w0;
+          shell_calc += now() - w1;
         }
         const double t3 = now();
         {
-          obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
-          for (const Box<3>& b : stencil::shell_boxes<3>(whole, interior))
-            compute_fn(b);
+          obs::ObsSpan sp(obs::Cat::Wait, "wait", id);
+          pfinish_fn();
+          round_open = false;
         }
         const double t4 = now();
         if (measured) {
           out.call += t1 - t0;
-          out.calc += (t2 - t1) + (t4 - t3);
-          out.wait += t3 - t2;
+          out.calc += (t2 - t1) + shell_calc;
+          out.wait += shell_wait + (t4 - t3);
+        }
+        input = 1 - input;
+        return;
+      }
+      if (s == k - 1 && cfg.overlap && !no_prestart) {
+        // Producer side: open the next round up front (receives post
+        // first), then compute this step's boundary regions one by one,
+        // readying each outgoing partition the moment its source region is
+        // done, and finish with the interior — which overlaps with every
+        // partition already in flight.
+        const double t0 = now();
+        {
+          obs::ObsSpan sp(obs::Cat::Call, "call", id);
+          pstart_fn();
+          round_open = true;
+        }
+        const double t1 = now();
+        double prod_calc = 0, prod_call = 0;
+        const std::vector<PartSpec>& sp_tbl = *psend_tbl_fn();
+        bool first = true;
+        for (int o = 0; o < dec->surface_region_count(); ++o) {
+          const double c0 = now();
+          {
+            obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
+            compute_piece_fn(region_cell_box(o), first);
+          }
+          first = false;
+          const double c1 = now();
+          {
+            obs::ObsSpan sp(obs::Cat::Call, "call", id);
+            for (std::size_t j = 0; j < sp_tbl.size(); ++j)
+              if (sp_tbl[j].region == o) pready_fn(static_cast<int>(j));
+          }
+          prod_calc += c1 - c0;
+          prod_call += now() - c1;
+        }
+        {
+          const double c0 = now();
+          obs::ObsSpan sp(obs::Cat::Calc, "calc", id);
+          compute_piece_fn(region_cell_box(dec->interior_ordinal()),
+                           /*first=*/false);
+          prod_calc += now() - c0;
+        }
+        if (measured) {
+          out.call += (t1 - t0) + prod_call;
+          out.calc += prod_calc;
         }
         input = 1 - input;
         return;

@@ -23,6 +23,10 @@ Machine theta() {
   // Aries + Cray-MPICH.
   m.net.send_overhead = 3.0e-6;
   m.net.recv_overhead = 1.0e-6;
+  // Per-partition pready: descriptor build + NIC doorbell. Far cheaper
+  // than a full send post, but not free — the spacing it imposes is what
+  // keeps a burst of small partitions from outrunning NIC serialization.
+  m.net.pready_overhead = 0.5e-6;
   m.net.inter_node = {3.5e-6, 9.0e9};
   m.net.intra_node = {1.0e-6, 30.0e9};
   m.net.ranks_per_node = 1;
@@ -51,6 +55,7 @@ Machine summit() {
   // EDR InfiniBand fat tree; 6 ranks (GPUs) per node over NVLink.
   m.net.send_overhead = 1.2e-6;
   m.net.recv_overhead = 0.6e-6;
+  m.net.pready_overhead = 0.3e-6;  // see theta(): doorbell per partition
   m.net.inter_node = {1.8e-6, 12.5e9};
   m.net.intra_node = {1.2e-6, 50.0e9};
   m.net.ranks_per_node = 6;

@@ -56,6 +56,21 @@ SendTiming FlatFabric::send(int src, int /*dst*/, std::size_t bytes,
   return SendTiming{dep, rs.nic_free, rs.nic_free + alpha, 0};
 }
 
+SendTiming FlatFabric::send_part(int src, int /*dst*/, std::size_t bytes,
+                                 double alpha, double bw, double t_ready,
+                                 bool first) {
+  // Identical arithmetic to send() — on a private link a streamed
+  // partition serializes on the sender NIC and its tail crosses the wire
+  // in alpha like any other bytes — but the logical message is counted
+  // once, on its first partition.
+  RankState& rs = ranks_[static_cast<std::size_t>(src)];
+  const double dep = std::max(t_ready, rs.nic_free);
+  rs.nic_free = dep + static_cast<double>(bytes) / bw;
+  if (first) rs.messages += 1;
+  rs.queue_seconds += dep - t_ready;
+  return SendTiming{dep, rs.nic_free, rs.nic_free + alpha, 0};
+}
+
 void FlatFabric::reset() {
   for (RankState& rs : ranks_) rs = RankState{};
 }
@@ -147,6 +162,69 @@ SendTiming ContentionFabric::send(int src, int dst, std::size_t bytes,
                     share};
 }
 
+SendTiming ContentionFabric::send_part(int src, int dst, std::size_t bytes,
+                                       double alpha, double bw,
+                                       double t_ready, bool first) {
+  RankState& rs = ranks_[static_cast<std::size_t>(src)];
+  if (local(src, dst)) {
+    const double dep = std::max(t_ready, rs.nic_free);
+    rs.nic_free = dep + static_cast<double>(bytes) / bw;
+    if (first) rs.messages += 1;
+    rs.queue_seconds += dep - t_ready;
+    return SendTiming{dep, rs.nic_free, rs.nic_free + alpha, 0};
+  }
+  const std::vector<int>& route =
+      topo_.route(rank_node_[static_cast<std::size_t>(src)],
+                  rank_node_[static_cast<std::size_t>(dst)]);
+  double eff = bw;
+  double share = 1.0;
+  for (int L : route) {
+    const auto l = static_cast<std::size_t>(L);
+    eff = std::min(eff, link_bw_[l] / sharing_[l]);
+    share = std::max(share, sharing_[l]);
+  }
+  const double start = std::max(t_ready, rs.nic_free);
+  const double end = start + static_cast<double>(bytes) / eff;
+  rs.nic_free = end;
+  const double extra = std::max(0.0, alpha - base_alpha_);
+  const double arrive = end + topo_.path_latency(route) + extra;
+  rs.queue_seconds += start - t_ready;
+  {
+    std::lock_guard lk(mu_);
+    // Continuations extend the flow their first partition registered —
+    // the fair-share solve sees one flow with the message's total bytes,
+    // exactly like the bulk path — unless epoch()/reset() swept it (then
+    // the tail becomes a fresh flow, but the message stays counted once).
+    const bool extend = !first && rs.open_dst == dst &&
+                        rs.open_epoch == epoch_id_ &&
+                        rs.open_idx < round_flows_.size();
+    if (extend) {
+      round_flows_[rs.open_idx].bytes += static_cast<double>(bytes);
+    } else {
+      Flow f;
+      f.start = start;
+      f.bytes = static_cast<double>(bytes);
+      f.route = route;
+      f.src = src;
+      f.seq = rs.seq++;
+      rs.open_dst = dst;
+      rs.open_idx = round_flows_.size();
+      rs.open_epoch = epoch_id_;
+      round_flows_.push_back(std::move(f));
+    }
+    if (!span_set_ || start < span_min_) span_min_ = start;
+    if (!span_set_ || end > span_max_) span_max_ = end;
+    span_set_ = true;
+  }
+  if (first) {
+    rs.messages += 1;
+    rs.fabric_messages += 1;
+    rs.hop_sum += static_cast<std::int64_t>(route.size());
+  }
+  return SendTiming{start, end, arrive, static_cast<int>(route.size()),
+                    share};
+}
+
 void ContentionFabric::epoch() {
   // Called with every rank parked inside a collective: no send() races.
   if (round_flows_.empty()) return;  // keep the current factors
@@ -158,6 +236,7 @@ void ContentionFabric::epoch() {
     sharing_[L] = std::max(1.0, mean);
   }
   round_flows_.clear();
+  ++epoch_id_;  // invalidate every rank's open partitioned flow
 }
 
 void ContentionFabric::reset() {

@@ -97,6 +97,23 @@ class Fabric {
   /// included); `t_ready` is the sender's clock when the message is posted.
   virtual SendTiming send(int src, int dst, std::size_t bytes, double alpha,
                           double bw, double t_ready) = 0;
+  /// Time one partition of a partitioned message (MPI_Psend-style). The
+  /// partitions one (src, dst) pair readies between two start()s form ONE
+  /// logical message: the first partition (`first` = true) pays the
+  /// per-message costs — message counters, flow registration for the
+  /// contention solve — and continuations stream over the established
+  /// route: they still serialize on the sender NIC and traverse the full
+  /// path, but register no new flow and no extra message. This is what
+  /// makes partitioned delivery fabric-invariant with the bulk path (same
+  /// flows, same bytes, same contention) instead of a per-partition
+  /// message storm. The default prices every partition as its own message
+  /// (correct, pessimistic) so custom fabrics need not override it.
+  virtual SendTiming send_part(int src, int dst, std::size_t bytes,
+                               double alpha, double bw, double t_ready,
+                               bool first) {
+    (void)first;
+    return send(src, dst, bytes, alpha, bw, t_ready);
+  }
   /// Globally quiescent point (every rank is inside a collective): close
   /// the current contention round.
   virtual void epoch() {}
@@ -120,6 +137,8 @@ class FlatFabric final : public Fabric {
   }
   SendTiming send(int src, int dst, std::size_t bytes, double alpha,
                   double bw, double t_ready) override;
+  SendTiming send_part(int src, int dst, std::size_t bytes, double alpha,
+                       double bw, double t_ready, bool first) override;
   void reset() override;
   [[nodiscard]] FabricStats stats() const override;
   [[nodiscard]] std::string describe() const override { return "flat"; }
@@ -154,6 +173,8 @@ class ContentionFabric final : public Fabric {
   }
   SendTiming send(int src, int dst, std::size_t bytes, double alpha,
                   double bw, double t_ready) override;
+  SendTiming send_part(int src, int dst, std::size_t bytes, double alpha,
+                       double bw, double t_ready, bool first) override;
   void epoch() override;
   void reset() override;
   [[nodiscard]] FabricStats stats() const override;
@@ -172,6 +193,12 @@ class ContentionFabric final : public Fabric {
     std::int64_t hop_sum = 0;
     double queue_seconds = 0.0;
     std::int64_t seq = 0;  ///< per-src flow sequence for canonical ordering
+    /// The flow a partitioned continuation extends: the round_flows_ index
+    /// registered by this rank's most recent first-partition send_part,
+    /// valid only while `open_epoch` matches the fabric's epoch counter.
+    int open_dst = -1;
+    std::size_t open_idx = 0;
+    std::uint64_t open_epoch = 0;
   };
 
   FabricKind kind_;
@@ -189,6 +216,9 @@ class ContentionFabric final : public Fabric {
   std::vector<LinkUse> link_use_;   ///< cumulative, across solved rounds
   double span_min_ = 0.0, span_max_ = 0.0;
   bool span_set_ = false;
+  /// Bumped by epoch()/reset(); invalidates every RankState::open_idx so a
+  /// continuation never extends a flow the fair-share solve already swept.
+  std::uint64_t epoch_id_ = 1;
 };
 
 /// Build a contention fabric sized for `nranks` over ceil(nranks /

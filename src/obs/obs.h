@@ -104,6 +104,11 @@ struct FlowEvent {
   /// Sub-messages in the aggregation frame this message rode in (0 when it
   /// was not aggregated).
   int agg_subs = 0;
+  /// Partition index when this flow carries one partition of a partitioned
+  /// request (-1 for whole-message traffic). Partition-granularity flow
+  /// arrows are what let the analyzer convert overlap headroom into
+  /// measured hiding.
+  int part = -1;
 };
 
 /// One matched receive, recorded receiver-side at the wait() that consumed
@@ -128,6 +133,11 @@ struct RecvEvent {
   /// over the frame's sub table up to and including this sub; 0 when the
   /// message was not aggregated).
   double agg_unpack = 0.0;
+  /// Partition index when this receive consumed one partition of a
+  /// partitioned request (-1 for whole-message receives). Each consumed
+  /// partition records its own event, so message edges in the causality
+  /// DAG carry partition granularity for free.
+  int part = -1;
 };
 
 /// One collective rendezvous on a rank's timeline. All ranks record the

@@ -257,7 +257,7 @@ void Comm::flush_held_to(int dest) {
 }
 
 void Comm::verify_envelope(const Envelope& env, std::size_t want_bytes,
-                           int src, int tag) {
+                           int src, int tag, std::uint64_t& last) {
   auto diag = [&](const std::string& what) {
     rt_->fault_->note_detected();
     char ctx[96];
@@ -267,7 +267,6 @@ void Comm::verify_envelope(const Envelope& env, std::size_t want_bytes,
   };
   if (env.dropped)
     diag("message dropped in transit (delivery timeout)");
-  std::uint64_t& last = recv_seq_[{src, tag}];
   if (env.seq <= last)
     diag("duplicate or replayed message (sequence regression)");
   if (env.seq != last + 1) diag("out-of-order message (sequence gap)");
@@ -399,6 +398,412 @@ void Persistent::free() {
   state_.reset();
 }
 
+// ---------------------------------------------------------------------------
+// Partitioned persistent requests (MPI 4.0 §4.2 style). One logical message
+// per round, but the payload moves partition-by-partition: pready(i) mirrors
+// the isend_impl pipeline for its byte subrange (copy, touch hooks, on-node
+// short circuit or per-partition fabric injection, per-partition fault
+// decision), and arrived(i) mirrors the receive side of Comm::wait for one
+// partition. Logical counters (msgs_sent/msgs_recv and the intra/inter
+// split) are charged once per round, at start() / last consumption, so the
+// counter invariants the oracle checks are identical to the bulk path on
+// every transport.
+// ---------------------------------------------------------------------------
+
+struct Partitioned::State {
+  Comm* comm = nullptr;
+  bool is_send = false;
+  const void* sbuf = nullptr;  ///< send source (is_send)
+  void* rbuf = nullptr;        ///< receive destination (!is_send)
+  std::size_t bytes = 0;       ///< whole-message payload
+  int peer = -1;
+  int tag = 0;
+  std::vector<std::size_t> offs;   ///< partition byte offsets into the buffer
+  std::vector<std::size_t> sizes;  ///< partition byte sizes (sum == bytes)
+  bool active = false;             ///< a round is in flight
+  std::vector<char> done;  ///< per-partition readied (send) / consumed (recv)
+  int remaining = 0;       ///< partitions not yet readied / consumed
+  /// Fabric injections this round; the first opens the wire's logical
+  /// message (Fabric::send_part `first`), the rest stream behind it.
+  int fabric_injected = 0;
+};
+
+Partitioned Comm::pinit_impl(bool is_send, const void* buf, std::size_t bytes,
+                             int peer, int tag,
+                             std::vector<std::size_t> part_bytes) {
+  // Validate the whole partition table now, at plan-build time; rounds
+  // re-check nothing. Like Persistent, init charges no virtual time.
+  BX_CHECK(peer >= 0 && peer < size_,
+           is_send ? "psend_init: bad destination rank"
+                   : "precv_init: bad source rank");
+  if (part_bytes.empty())
+    throw PartitionedError("partitioned init with zero partitions");
+  std::size_t sum = 0;
+  for (std::size_t b : part_bytes) {
+    if (b == 0)
+      throw PartitionedError("partitioned init with an empty partition");
+    sum += b;
+  }
+  if (sum != bytes)
+    throw PartitionedError(
+        "partition sizes sum to " + std::to_string(sum) + ", payload is " +
+        std::to_string(bytes) + " bytes");
+  Partitioned p;
+  p.state_ = std::make_shared<Partitioned::State>();
+  auto& st = *p.state_;
+  st.comm = this;
+  st.is_send = is_send;
+  if (is_send)
+    st.sbuf = buf;
+  else
+    st.rbuf = const_cast<void*>(buf);
+  st.bytes = bytes;
+  st.peer = peer;
+  st.tag = tag;
+  st.sizes = std::move(part_bytes);
+  st.offs.resize(st.sizes.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < st.sizes.size(); ++i) {
+    st.offs[i] = off;
+    off += st.sizes[i];
+  }
+  st.done.assign(st.sizes.size(), 0);
+  return p;
+}
+
+namespace {
+std::vector<std::size_t> even_partitions(std::size_t bytes, int nparts) {
+  if (nparts <= 0)
+    throw PartitionedError("partitioned init with zero partitions");
+  if (bytes % static_cast<std::size_t>(nparts) != 0)
+    throw PartitionedError(
+        std::to_string(nparts) + " partitions do not divide " +
+        std::to_string(bytes) + " payload bytes evenly");
+  return std::vector<std::size_t>(static_cast<std::size_t>(nparts),
+                                  bytes / static_cast<std::size_t>(nparts));
+}
+}  // namespace
+
+Partitioned Comm::psend_init(const void* buf, std::size_t bytes, int dest,
+                             int tag, std::vector<std::size_t> part_bytes) {
+  return pinit_impl(true, buf, bytes, dest, tag, std::move(part_bytes));
+}
+
+Partitioned Comm::precv_init(void* buf, std::size_t bytes, int src, int tag,
+                             std::vector<std::size_t> part_bytes) {
+  return pinit_impl(false, buf, bytes, src, tag, std::move(part_bytes));
+}
+
+Partitioned Comm::psend_init(const void* buf, std::size_t bytes, int dest,
+                             int tag, int nparts) {
+  return pinit_impl(true, buf, bytes, dest, tag,
+                    even_partitions(bytes, nparts));
+}
+
+Partitioned Comm::precv_init(void* buf, std::size_t bytes, int src, int tag,
+                             int nparts) {
+  return pinit_impl(false, buf, bytes, src, tag,
+                    even_partitions(bytes, nparts));
+}
+
+bool Partitioned::active() const {
+  return state_ != nullptr && state_->active;
+}
+
+int Partitioned::partitions() const {
+  return state_ == nullptr ? 0 : static_cast<int>(state_->sizes.size());
+}
+
+void Partitioned::start() {
+  if (state_ == nullptr)
+    throw PartitionedError("start on an uninitialized partitioned request");
+  auto& st = *state_;
+  if (st.active)
+    throw PartitionedError(
+        "start on an already-active partitioned request (wait first)");
+  Comm& c = *st.comm;
+  obs::ObsSpan op_span(obs::Cat::Call,
+                       st.is_send ? "mpi_psend_start" : "mpi_precv_start");
+  st.active = true;
+  std::fill(st.done.begin(), st.done.end(), char{0});
+  st.remaining = static_cast<int>(st.sizes.size());
+  st.fabric_injected = 0;
+  const NetModel& m = c.rt_->model_;
+  if (st.is_send) {
+    // Posting the round is one logical message: the per-message overhead
+    // and the send-side counters land here; bytes follow via pready.
+    c.clock_.advance(m.send_overhead);
+    c.counters_.msgs_sent += 1;
+    c.counters_.bytes_sent += static_cast<std::int64_t>(st.bytes);
+    if (c.rt_->fabric_->local(c.rank_, st.peer)) {
+      c.counters_.msgs_intra += 1;
+      c.counters_.bytes_intra += static_cast<std::int64_t>(st.bytes);
+    } else {
+      c.counters_.msgs_inter += 1;
+      c.counters_.bytes_inter += static_cast<std::int64_t>(st.bytes);
+    }
+  } else {
+    c.clock_.advance(m.recv_overhead);
+  }
+  if (++c.inflight_ > c.counters_.max_inflight_reqs)
+    c.counters_.max_inflight_reqs = c.inflight_;
+}
+
+void Partitioned::pready(int i) {
+  if (state_ == nullptr)
+    throw PartitionedError("pready on an uninitialized partitioned request");
+  auto& st = *state_;
+  if (!st.is_send)
+    throw PartitionedError("pready on a receive-side partitioned request");
+  if (!st.active)
+    throw PartitionedError("pready before start on a partitioned request");
+  if (i < 0 || i >= static_cast<int>(st.sizes.size()))
+    throw PartitionedError("pready partition index out of range");
+  if (st.done[static_cast<std::size_t>(i)])
+    throw PartitionedError("partition readied twice in one round");
+  Comm& c = *st.comm;
+  Runtime* rt = c.rt_;
+  obs::ObsSpan op_span(obs::Cat::Call, "mpi_pready");
+  const NetModel& m = rt->model_;
+  const std::size_t off = st.offs[static_cast<std::size_t>(i)];
+  const std::size_t bytes = st.sizes[static_cast<std::size_t>(i)];
+  const std::byte* src = static_cast<const std::byte*>(st.sbuf) + off;
+  c.clock_.advance(m.pready_overhead);
+
+  Envelope env;
+  env.src = c.rank_;
+  env.tag = st.tag;
+  env.part = i;
+  env.data.resize(bytes);
+  std::memcpy(env.data.data(), src, bytes);
+  c.clock_.advance(rt->touch(c.rank_, src, bytes, /*write=*/false));
+
+  // Same transport decision tree as isend_impl, applied per partition: the
+  // on-node tier hands the partition off directly; aggregation stages it as
+  // its own sub-message; otherwise it is injected into the fabric the
+  // moment it is readied — this is the per-partition injection timing the
+  // overlap scheduler leans on.
+  const MemSpace sspace = rt->classify(src);
+  netsim::Fabric& fab = *rt->fabric_;
+  const bool local = fab.local(c.rank_, st.peer);
+  const LinkParams lp =
+      m.adjust(local ? m.intra_node : m.inter_node, sspace, MemSpace::Host);
+  const transport::Kind tk = rt->transport_;
+  const bool shm_path = tk != transport::Kind::Flat && local;
+  const bool agg_path = tk == transport::Kind::ShmAgg && !local;
+  if (agg_path) {
+    const double copy = static_cast<double>(bytes) / m.shm_view_bw;
+    obs::note_cost(obs::Cat::OnNode, "agg_stage", copy);
+    c.clock_.advance(copy);
+  }
+
+  const double post = c.clock_.now();
+  if (shm_path) {
+    env.arrival = post + m.shm_handoff_alpha;
+    env.post = post;
+    env.inject_start = post;
+    env.inject_end = post;
+    env.inject_nominal = 0.0;
+    env.sharing = 1.0;
+    env.onnode = true;
+    rt->note_onnode(bytes, false);
+  } else if (!agg_path) {
+    // Partitions of one round share the wire's logical message: the first
+    // pays the per-message fabric costs, the rest stream behind it
+    // (send_part) — so overlap changes when bytes move, never what the
+    // fabric carries.
+    const netsim::SendTiming tm =
+        fab.send_part(c.rank_, st.peer, bytes, lp.alpha, lp.bw, post,
+                      st.fabric_injected++ == 0);
+    env.arrival = tm.arrival;
+    env.post = post;
+    env.inject_start = tm.inject_start;
+    env.inject_end = tm.inject_end;
+    env.inject_nominal = static_cast<double>(bytes) / lp.bw;
+    env.sharing = tm.sharing;
+  } else {
+    env.post = post;
+  }
+  if (!agg_path) {
+    if (obs::RankLog* lg = obs::ambient_log()) {
+      obs::FlowEvent fe;
+      fe.src = c.rank_;
+      fe.dst = st.peer;
+      fe.tag = st.tag;
+      fe.bytes = static_cast<std::uint64_t>(bytes);
+      fe.depart = env.inject_end;
+      fe.arrive = env.arrival;
+      fe.post = post;
+      fe.inject_start = env.inject_start;
+      fe.inject_nominal = env.inject_nominal;
+      fe.sharing = env.sharing;
+      fe.onnode = env.onnode;
+      fe.part = i;
+      lg->flow(fe);
+    }
+  }
+  // Fault seam: each partition is its own integrity stream, so the seeded
+  // schedule perturbs partitions independently (a reorder/delay on one
+  // leaves the others' sequence checks clean).
+  bool duplicate = false, hold = false;
+  if (FaultInjector* fi = rt->fault_) {
+    env.sent_bytes = bytes;
+    env.seq = ++c.psend_seq_[{st.peer, st.tag, i}];
+    env.checksum = checksum_bytes(env.data.data(), env.data.size());
+    const FaultInjector::Decision d = fi->decide(c.rank_, st.peer, st.tag,
+                                                 bytes);
+    switch (d.kind) {
+      case FaultKind::None:
+        break;
+      case FaultKind::Delay:
+        env.arrival += d.delay;
+        env.fault_delay = d.delay;
+        break;
+      case FaultKind::Drop:
+        env.dropped = true;
+        env.data.clear();
+        break;
+      case FaultKind::Duplicate:
+        duplicate = true;
+        break;
+      case FaultKind::Reorder:
+        hold = true;
+        break;
+      case FaultKind::Truncate:
+        env.data.resize(d.truncate_to);
+        break;
+      case FaultKind::Corrupt:
+        env.data[d.corrupt_at] ^= std::byte{0x2a};
+        break;
+    }
+  }
+  if (agg_path) {
+    if (duplicate) rt->stage_agg(c.rank_, st.peer, env, false);  // same seq
+    rt->stage_agg(c.rank_, st.peer, std::move(env), /*defer=*/hold);
+  } else if (hold) {
+    c.held_.emplace_back(st.peer, std::move(env));
+  } else {
+    if (duplicate) rt->deliver(st.peer, env);  // replayed copy, same seq
+    rt->deliver(st.peer, std::move(env));
+    c.flush_held_to(st.peer);
+  }
+  st.done[static_cast<std::size_t>(i)] = 1;
+  --st.remaining;
+}
+
+bool Partitioned::consume(int i) {
+  // Shared receive-side path of arrived()/wait(): matches exactly partition
+  // i's envelope (bulk traffic on the same (src, tag) can never satisfy
+  // it), verifies its integrity stream, records the causal RecvEvent and
+  // advances the clock no further than this partition's arrival.
+  auto& st = *state_;
+  Comm& c = *st.comm;
+  Runtime* rt = c.rt_;
+  // Flush points first (reorder-fault holds, aggregation commit): this rank
+  // must not block on a peer while it still holds back traffic itself.
+  if (!c.held_.empty()) c.flush_held();
+  rt->transport_commit(c.rank_);
+  Envelope env = rt->match(c.rank_, st.peer, st.tag, i);
+  const std::size_t off = st.offs[static_cast<std::size_t>(i)];
+  const std::size_t bytes = st.sizes[static_cast<std::size_t>(i)];
+  if (rt->fault_ != nullptr) {
+    c.verify_envelope(env, bytes, st.peer, st.tag,
+                      c.precv_seq_[{st.peer, st.tag, i}]);
+  } else {
+    BX_CHECK(env.data.size() == bytes, "partition receive size mismatch");
+  }
+  std::byte* dst = static_cast<std::byte*>(st.rbuf) + off;
+  const NetModel& m = rt->model_;
+  const MemSpace dspace = rt->classify(dst);
+  double arrival = env.arrival;
+  if (dspace == MemSpace::Device) arrival += m.device_alpha_extra;
+  if (dspace == MemSpace::Unified) arrival += m.um_alpha_extra;
+  const double wait_start = c.clock_.now();
+  if (obs::RankLog* lg = obs::ambient_log()) {
+    obs::RecvEvent re;
+    re.src = st.peer;
+    re.tag = st.tag;
+    re.bytes = static_cast<std::uint64_t>(bytes);
+    re.post = env.post;
+    re.inject_start = env.inject_start;
+    re.depart = env.inject_end;
+    re.inject_nominal = env.inject_nominal;
+    re.arrive = env.arrival;
+    re.fault_delay = env.fault_delay;
+    re.sharing = env.sharing;
+    re.wait_start = wait_start;
+    re.avail = arrival;
+    re.onnode = env.onnode;
+    re.agg_unpack = env.agg_unpack;
+    re.part = i;
+    lg->recv(re);
+  }
+  c.clock_.advance_to(arrival);
+  std::memcpy(dst, env.data.data(), bytes);
+  c.clock_.advance(rt->touch(c.rank_, dst, bytes, /*write=*/true));
+  st.done[static_cast<std::size_t>(i)] = 1;
+  if (--st.remaining == 0) {
+    c.counters_.msgs_recv += 1;
+    c.counters_.bytes_recv += static_cast<std::int64_t>(st.bytes);
+  }
+  return arrival <= wait_start;
+}
+
+bool Partitioned::arrived(int i) {
+  if (state_ == nullptr)
+    throw PartitionedError("arrived on an uninitialized partitioned request");
+  auto& st = *state_;
+  if (st.is_send)
+    throw PartitionedError("arrived on a send-side partitioned request");
+  if (!st.active)
+    throw PartitionedError("arrived before start on a partitioned request");
+  if (i < 0 || i >= static_cast<int>(st.sizes.size()))
+    throw PartitionedError("arrived partition index out of range");
+  if (st.done[static_cast<std::size_t>(i)])
+    throw PartitionedError("partition consumed twice in one round");
+  obs::ObsSpan op_span(obs::Cat::Wait, "mpi_parrived");
+  return consume(i);
+}
+
+void Partitioned::wait() {
+  if (state_ == nullptr)
+    throw PartitionedError("wait on an uninitialized partitioned request");
+  auto& st = *state_;
+  if (!st.active)
+    throw PartitionedError(
+        "wait on a partitioned request with no round started");
+  Comm& c = *st.comm;
+  obs::ObsSpan op_span(obs::Cat::Wait, "mpi_pwait");
+  if (st.is_send) {
+    if (st.remaining > 0)
+      throw PartitionedError(
+          "wait with " + std::to_string(st.remaining) +
+          " unready partitions (every partition needs pready first)");
+    if (!c.held_.empty()) c.flush_held();
+    c.rt_->transport_commit(c.rank_);
+    // Send completion = every partition readied. pready copied each
+    // partition eagerly, so the user buffer is already reusable and the
+    // sender does NOT drain the NIC here (unlike a bulk Request wait):
+    // decoupling the CPU from injection is the point of the partitioned
+    // protocol, and any NIC backlog is visible where it physically lands —
+    // as later per-partition arrival times on the receiver.
+  } else {
+    // Consume whatever arrived(i) has not, in index order.
+    for (int i = 0; i < static_cast<int>(st.sizes.size()); ++i)
+      if (!st.done[static_cast<std::size_t>(i)]) (void)consume(i);
+  }
+  st.active = false;
+  --c.inflight_;
+}
+
+void Partitioned::free() {
+  if (state_ == nullptr) return;
+  if (state_->active)
+    throw PartitionedError(
+        "free of a partitioned request while a round is in flight");
+  state_.reset();
+}
+
 void Comm::wait(Request& req) {
   BX_CHECK(req.valid(), "wait on an empty Request");
   obs::ObsSpan op_span(obs::Cat::Wait, "mpi_wait");
@@ -420,7 +825,8 @@ void Comm::wait(Request& req) {
   }
   Envelope env = rt_->match(rank_, st.peer, st.tag);
   if (rt_->fault_ != nullptr) {
-    verify_envelope(env, st.bytes, st.peer, st.tag);
+    verify_envelope(env, st.bytes, st.peer, st.tag,
+                    recv_seq_[{st.peer, st.tag}]);
   } else {
     BX_CHECK(env.data.size() == st.bytes, "receive size mismatch");
   }
@@ -841,12 +1247,12 @@ void Runtime::deliver(int dest, Envelope env) {
   mb.cv.notify_all();
 }
 
-Envelope Runtime::match(int self, int src, int tag) {
+Envelope Runtime::match(int self, int src, int tag, int part) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock lk(mb.mu);
   while (true) {
     for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
+      if (it->src == src && it->tag == tag && it->part == part) {
         Envelope env = std::move(*it);
         mb.queue.erase(it);
         return env;

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -116,6 +117,76 @@ class Persistent {
   std::shared_ptr<State> state_;
 };
 
+/// Lifecycle misuse of a partitioned request (pready before start, double
+/// pready, wait with unready partitions, free while in flight, side/index
+/// confusion). Typed so tests can assert the failure mode, mirroring
+/// PersistentError.
+class PartitionedError : public brickx::Error {
+ public:
+  using brickx::Error::Error;
+};
+
+/// MPI_Psend_init/MPI_Precv_init-style partitioned persistent request
+/// (MPI 4.0 §4.2): one logical message whose payload is split into
+/// contiguous partitions that become ready (send side) or are consumed
+/// (receive side) independently. The wire schedule is frozen once by
+/// Comm::psend_init / Comm::precv_init; each round is
+/// start() → pready(i)/arrived(i) per partition → wait().
+///
+/// Each pready(i) injects that partition into the fabric immediately, so
+/// boundary data computed early starts flowing while the rest of the
+/// message is still being produced; each arrived(i) consumes exactly that
+/// partition as soon as it lands, advancing the virtual clock only as far
+/// as that partition's arrival. The round still counts as ONE logical
+/// message in CommCounters (the partitioning changes when bytes move, not
+/// how many messages the application posts), keeping counter invariants
+/// identical to the bulk path.
+///
+/// Handles are movable and shareable (shared_ptr semantics); destruction
+/// while a round is in flight abandons it safely, but free() on an active
+/// handle is a typed error, mirroring Persistent.
+class Partitioned {
+ public:
+  Partitioned() = default;
+
+  /// Initialized by psend_init/precv_init (may still be inactive).
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  /// A round is in flight: started but not yet waited.
+  [[nodiscard]] bool active() const;
+  /// Number of partitions frozen at init (0 on an empty handle).
+  [[nodiscard]] int partitions() const;
+
+  /// Begin one round. Charges the per-message posting overhead; no bytes
+  /// move until partitions are readied. PartitionedError if uninitialized
+  /// or already active.
+  void start();
+  /// Send side: partition i's source data is complete — copy it out and
+  /// inject it. PartitionedError if uninitialized, inactive, on a receive
+  /// request, out of range, or already readied this round.
+  void pready(int i);
+  /// Receive side: consume partition i, blocking (in wall time) until the
+  /// sender has delivered it, then advance this rank's virtual clock no
+  /// further than that partition's arrival. Returns true when the data had
+  /// already arrived (the wait was fully hidden), false when the clock had
+  /// to advance. PartitionedError if uninitialized, inactive, on a send
+  /// request, out of range, or already consumed this round.
+  bool arrived(int i);
+  /// Complete the round. Send side: every partition must have been readied
+  /// (typed error otherwise); advances to the last injection's completion.
+  /// Receive side: consumes any partitions arrived(i) has not, in index
+  /// order. PartitionedError if uninitialized or no round is active.
+  void wait();
+  /// Release the frozen parameters. No-op on an empty handle;
+  /// PartitionedError while a round is in flight (wait() first).
+  void free();
+
+ private:
+  friend class Comm;
+  struct State;
+  bool consume(int i);  ///< shared arrived()/wait() per-partition path
+  std::shared_ptr<State> state_;
+};
+
 /// Communication statistics counted per rank; benches use them to report
 /// message counts, byte volumes and pack traffic (Table 2, Figs. 4/18).
 struct CommCounters {
@@ -166,6 +237,11 @@ struct Envelope {
   /// Receiver-side aggregation unpack seconds inside `arrival` (0 unless
   /// the message rode in a node-leader frame).
   double agg_unpack = 0.0;
+  /// Partition index when this envelope carries one partition of a
+  /// partitioned request (Comm::psend_init); -1 for whole-message traffic.
+  /// Matching requires equality, so bulk receives never consume partition
+  /// envelopes and vice versa even on a shared (src, tag).
+  int part = -1;
 };
 
 /// An MPI_Comm-like communicator bound to the calling rank. Each rank
@@ -206,6 +282,25 @@ class Comm {
   [[nodiscard]] Persistent recv_init(void* buf, const Datatype& type, int src,
                                      int tag);
 
+  /// --- partitioned persistent requests (MPI_Psend_init-style) -------------
+  ///
+  /// Freeze a contiguous message split into partitions given by
+  /// `part_bytes` (each > 0, summing to `bytes`); replay rounds with
+  /// Partitioned::start / pready / arrived / wait. The convenience
+  /// overloads split `bytes` into `nparts` equal partitions (typed error
+  /// unless nparts divides bytes evenly). Init charges nothing.
+
+  [[nodiscard]] Partitioned psend_init(const void* buf, std::size_t bytes,
+                                       int dest, int tag,
+                                       std::vector<std::size_t> part_bytes);
+  [[nodiscard]] Partitioned precv_init(void* buf, std::size_t bytes, int src,
+                                       int tag,
+                                       std::vector<std::size_t> part_bytes);
+  [[nodiscard]] Partitioned psend_init(const void* buf, std::size_t bytes,
+                                       int dest, int tag, int nparts);
+  [[nodiscard]] Partitioned precv_init(void* buf, std::size_t bytes, int src,
+                                       int tag, int nparts);
+
   /// Blocking convenience wrappers.
   void send(const void* buf, std::size_t bytes, int dest, int tag);
   void recv(void* buf, std::size_t bytes, int src, int tag);
@@ -231,6 +326,7 @@ class Comm {
  private:
   friend class Runtime;
   friend class Persistent;
+  friend class Partitioned;
   Comm(Runtime* rt, int rank, int size) : rt_(rt), rank_(rank), size_(size) {}
 
   Request isend_impl(const void* buf, std::size_t bytes,
@@ -240,16 +336,21 @@ class Comm {
   Persistent init_impl(bool is_send, const void* buf, std::size_t bytes,
                        std::shared_ptr<const FlatType> flat, int peer,
                        int tag);
+  Partitioned pinit_impl(bool is_send, const void* buf, std::size_t bytes,
+                         int peer, int tag,
+                         std::vector<std::size_t> part_bytes);
 
   // Fault-injection support (all no-ops unless the Runtime has an injector
   // installed; see simmpi/fault.h). The sequence maps are per-edge message
-  // ordinals of the integrity layer; held_ parks envelopes a Reorder fault
-  // displaced until the next send to the same peer (or the next wait /
-  // collective — flush points that keep the simulation deadlock-free).
+  // ordinals of the integrity layer — partitioned traffic keeps a separate
+  // per-(peer, tag, partition) stream so faults land on individual
+  // partitions; held_ parks envelopes a Reorder fault displaced until the
+  // next send to the same peer (or the next wait / collective — flush
+  // points that keep the simulation deadlock-free).
   void flush_held();
   void flush_held_to(int dest);
   void verify_envelope(const Envelope& env, std::size_t want_bytes, int src,
-                       int tag);
+                       int tag, std::uint64_t& last);
 
   Runtime* rt_;
   int rank_;
@@ -259,6 +360,11 @@ class Comm {
   int inflight_ = 0;  ///< currently pending Requests (send + recv)
   std::map<std::pair<int, int>, std::uint64_t> send_seq_;  ///< (dest, tag)
   std::map<std::pair<int, int>, std::uint64_t> recv_seq_;  ///< (src, tag)
+  /// Partition-stream ordinals: (peer, tag, partition) — one integrity
+  /// stream per partition so reorder/delay faults on one partition cannot
+  /// trip the sequence check of another.
+  std::map<std::tuple<int, int, int>, std::uint64_t> psend_seq_;
+  std::map<std::tuple<int, int, int>, std::uint64_t> precv_seq_;
   std::vector<std::pair<int, Envelope>> held_;  ///< (dest, reordered env)
 };
 
@@ -355,6 +461,7 @@ class Runtime {
 
  private:
   friend class Comm;
+  friend class Partitioned;
 
   struct Mailbox {
     std::mutex mu;
@@ -363,7 +470,7 @@ class Runtime {
   };
 
   void deliver(int dest, Envelope env);
-  Envelope match(int self, int src, int tag);
+  Envelope match(int self, int src, int tag, int part = -1);
 
   // Transport tier internals (comm.cc). AggState owns the node-leader
   // aggregator; it is rebuilt at the start of every ShmAgg run so aborted

@@ -31,6 +31,10 @@ struct LinkParams {
 struct NetModel {
   double send_overhead = 0.5e-6;  ///< CPU time to post a send
   double recv_overhead = 0.2e-6;  ///< CPU time to post/complete a receive
+  /// CPU time to mark one partition of a partitioned send ready
+  /// (Partitioned::pready). Only the partitioned path reads it, so bulk
+  /// traffic — and every default-overlap golden — is unaffected.
+  double pready_overhead = 1.0e-7;
 
   LinkParams inter_node{};                  ///< network fabric
   LinkParams intra_node{0.6e-6, 5.0e10};    ///< same-node ranks (shmem/NVLink)

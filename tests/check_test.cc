@@ -44,6 +44,17 @@ TEST(FuzzConfigs, DrawIsDeterministicInTheSeed) {
   EXPECT_EQ(serialize_config(draw_config(a)), serialize_config(draw_config(b)));
 }
 
+TEST(FuzzConfigs, DrawCoversOverlapButNeverWithPersistent) {
+  int overlap_draws = 0;
+  for (std::uint64_t s = 1; s <= 200; ++s) {
+    Rng rng(s);
+    const FuzzConfig cfg = draw_config(rng);
+    if (cfg.overlap) ++overlap_draws;
+    EXPECT_FALSE(cfg.overlap && cfg.persistent) << serialize_config(cfg);
+  }
+  EXPECT_GT(overlap_draws, 20);  // the axis is actually exercised
+}
+
 TEST(FuzzConfigs, SerializeParseRoundTrips) {
   for (std::uint64_t s = 1; s <= 50; ++s) {
     Rng rng(s * 31);
@@ -66,6 +77,12 @@ TEST(FuzzConfigs, ParseRejectsMalformedAndInvalid) {
   EXPECT_FALSE(
       parse_config("seed=1,ranks=1x1x1,brick=4x4x4,ghost=4,sub=4x4x4,"
                    "rounds=1,page=0,rpn=1,fabric=flat,map=block")
+          .has_value());
+  // overlap and persistent are mutually exclusive replay mechanisms.
+  EXPECT_FALSE(
+      parse_config("seed=1,ranks=1x1x1,brick=4x4x4,ghost=4,sub=8x8x8,"
+                   "rounds=1,page=0,rpn=1,fabric=flat,map=block,persist=1,"
+                   "transport=flat,overlap=1")
           .has_value());
 }
 
@@ -167,6 +184,38 @@ TEST(Oracle, RunsOnContentionFabrics) {
   EXPECT_TRUE(rep.ok) << rep.diagnosis;
 }
 
+TEST(Oracle, PartitionedReplayConforms) {
+  // overlap=1 reruns the brick methods over partitioned requests (pready
+  // in order, arrived in reverse) and additionally diffs Layout against
+  // its own bulk replay inside the oracle.
+  FuzzConfig cfg = small_config();
+  cfg.overlap = true;
+  const OracleReport rep = run_oracle(cfg);
+  EXPECT_TRUE(rep.ok) << rep.diagnosis;
+  EXPECT_EQ(rep.layout_msgs, 42);
+  EXPECT_EQ(rep.memmap_msgs, 26);
+}
+
+TEST(Oracle, PartitionedReplayConformsOnDegenerateSubdomain) {
+  // Empty surface regions (subdomain == 2 * ghost) must simply not become
+  // partitions — zero-size entries are rejected at init.
+  FuzzConfig cfg = small_config();
+  cfg.subdomain = {8, 8, 8};
+  cfg.overlap = true;
+  const OracleReport rep = run_oracle(cfg);
+  EXPECT_TRUE(rep.ok) << rep.diagnosis;
+}
+
+TEST(Oracle, PartitionedReplayConformsWithPaddingAndTransports) {
+  FuzzConfig cfg = small_config();
+  cfg.overlap = true;
+  cfg.page_size = 16384;
+  cfg.ranks_per_node = 2;
+  cfg.transport = transport::Kind::ShmAgg;
+  const OracleReport rep = run_oracle(cfg);
+  EXPECT_TRUE(rep.ok) << rep.diagnosis;
+}
+
 // -------------------------------------------------------- fault oracle ----
 
 TEST(FaultOracle, InjectedCorruptionIsDetectedAndReported) {
@@ -222,6 +271,36 @@ TEST(FaultOracle, ReorderOnlyScheduleIsBenign) {
   const FaultOracleReport rep = run_fault_oracle(small_config(), spec);
   EXPECT_TRUE(rep.ok) << rep.diagnosis;
   EXPECT_FALSE(rep.error_raised);
+}
+
+TEST(FaultOracle, BenignFaultsOnIndividualPartitionsStayBenign) {
+  // Under overlap the fault streams are per partition: reorder holds one
+  // partition's envelope back, delay shifts another's arrival — data must
+  // still assemble bitwise-identically to the fault-free partitioned run.
+  mpi::FaultSpec spec;
+  spec.reorder = 0.3;
+  spec.delay = 0.5;
+  spec.seed = 31;
+  FuzzConfig cfg = small_config();
+  cfg.overlap = true;
+  cfg.rounds = 3;
+  const FaultOracleReport rep = run_fault_oracle(cfg, spec);
+  EXPECT_TRUE(rep.ok) << rep.diagnosis;
+  EXPECT_FALSE(rep.error_raised);
+  EXPECT_EQ(rep.counts.detected, 0);
+  EXPECT_GT(rep.counts.injected(), 0);
+}
+
+TEST(FaultOracle, CorruptedPartitionIsDetectedNotSilent) {
+  mpi::FaultSpec spec;
+  spec.corrupt = 0.2;
+  spec.seed = 17;
+  FuzzConfig cfg = small_config();
+  cfg.overlap = true;
+  const FaultOracleReport rep = run_fault_oracle(cfg, spec);
+  EXPECT_TRUE(rep.ok) << rep.diagnosis;
+  EXPECT_TRUE(rep.error_raised);
+  EXPECT_TRUE(rep.fault_diagnosed);
 }
 
 TEST(FaultOracle, LowProbabilityCorruptionStillNeverSlipsThrough) {

@@ -208,6 +208,129 @@ TEST(Analyze, CollectiveSegmentBilledToLatestEntry) {
   EXPECT_EQ(a.waits.coll_skew_s, 3.0);  // rank 0 entered 3s early
 }
 
+// Partition-granularity message edges (the overlap scheduler's traffic):
+// each partition of a partitioned exchange is its own RecvEvent, so the
+// analyzer judges each independently. A partition the interior compute hid
+// is a late-receiver record and stays off the path; a partition that landed
+// late is a binding edge that routes the path through its sender timeline.
+TEST(Analyze, HiddenPartitionOffPathLatePartitionRoutesThroughSender) {
+  obs::Session::Run run;
+  run.label = "hand/partitions";
+  run.nranks = 2;
+  run.logs.resize(2);
+
+  // Sender: boundary compute until t=4 (partition 0 was readied early at
+  // t=0.5; partition 1 only at t=4, after the last boundary brick).
+  obs::RankLog& r0 = run.logs[0];
+  const std::size_t c0 = r0.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r0.close_span(c0, 4.0);
+
+  // Receiver: interior compute [0,5] (the hiding window), a binding wait
+  // [5,6.5] on the late partition, then the dependent shell [6.5,8].
+  obs::RankLog& r1 = run.logs[1];
+  const std::size_t c1 = r1.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r1.close_span(c1, 5.0);
+  const std::size_t w1 = r1.open_span(obs::Cat::Wait, nullptr, 0, 5.0);
+  r1.close_span(w1, 6.5);
+  const std::size_t c2 = r1.open_span(obs::Cat::Calc, nullptr, 0, 6.5);
+  r1.close_span(c2, 8.0);
+
+  obs::RecvEvent hidden;  // partition 0: long since available when asked
+  hidden.src = 0;
+  hidden.part = 0;
+  hidden.post = 0.5;
+  hidden.inject_start = 0.5;
+  hidden.inject_nominal = 0.5;
+  hidden.depart = 1.0;
+  hidden.arrive = 2.0;
+  hidden.avail = 2.0;
+  hidden.wait_start = 5.0;
+  r1.recv(hidden);
+
+  obs::RecvEvent late;  // partition 1: readied at t=4, lands at t=6.5
+  late.src = 0;
+  late.part = 1;
+  late.post = 4.0;
+  late.inject_start = 4.0;
+  late.inject_nominal = 0.5;
+  late.depart = 4.5;
+  late.arrive = 6.5;
+  late.avail = 6.5;
+  late.wait_start = 5.0;
+  r1.recv(late);
+
+  const obs::RunAnalysis a = obs::analyze_run(run);
+  EXPECT_TRUE(a.identity_ok);
+  EXPECT_EQ(a.makespan, 8.0);
+
+  // calc(r0)[0,4] → inject[4,4.5] → wire[4.5,6.5] → shell calc(r1)[6.5,8]:
+  // only partition 1's timeline is on the path; partition 0 never appears.
+  ASSERT_EQ(a.segments.size(), 4u);
+  EXPECT_EQ(a.segments[0].rank, 0);
+  EXPECT_EQ(a.segments[0].kind, obs::SegKind::Local);
+  EXPECT_EQ(a.segments[0].t1, 4.0);
+  EXPECT_EQ(a.segments[1].rank, 0);
+  EXPECT_EQ(a.segments[1].kind, obs::SegKind::MsgInject);
+  EXPECT_EQ(a.segments[1].t0, 4.0);
+  EXPECT_EQ(a.segments[1].t1, 4.5);
+  EXPECT_EQ(a.segments[2].rank, 0);
+  EXPECT_EQ(a.segments[2].kind, obs::SegKind::MsgWire);
+  EXPECT_EQ(a.segments[2].t1, 6.5);
+  EXPECT_EQ(a.segments[3].rank, 1);
+  EXPECT_EQ(a.segments[3].kind, obs::SegKind::Local);
+  EXPECT_EQ(a.segments[3].t0, 6.5);
+  EXPECT_EQ(a.segments[3].t1, 8.0);
+
+  // Taxonomy: one hidden partition, one binding wait — all of it transfer
+  // time (the sender had posted long before the receiver asked).
+  EXPECT_EQ(a.waits.late_receiver_msgs, 1);
+  EXPECT_EQ(a.waits.binding_waits, 1);
+  EXPECT_EQ(a.waits.late_sender_waits, 0);
+  EXPECT_EQ(a.waits.transfer_s, 1.5);
+  EXPECT_EQ(a.waits.late_sender_s, 0.0);
+}
+
+// When every partition beats the consumer (full overlap), the path never
+// leaves the receiver and the whole exchange is late-receiver traffic —
+// the trace-level signature of a perfectly hidden exchange.
+TEST(Analyze, FullyHiddenPartitionsKeepThePathLocal) {
+  obs::Session::Run run;
+  run.label = "hand/partitions-hidden";
+  run.nranks = 2;
+  run.logs.resize(2);
+
+  obs::RankLog& r0 = run.logs[0];
+  const std::size_t c0 = r0.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r0.close_span(c0, 2.0);
+
+  obs::RankLog& r1 = run.logs[1];
+  const std::size_t c1 = r1.open_span(obs::Cat::Calc, nullptr, 0, 0.0);
+  r1.close_span(c1, 7.0);
+
+  for (int p = 0; p < 3; ++p) {
+    obs::RecvEvent rv;
+    rv.src = 0;
+    rv.part = p;
+    rv.post = 0.5 * (p + 1);
+    rv.inject_start = rv.post;
+    rv.inject_nominal = 0.25;
+    rv.depart = rv.post + 0.25;
+    rv.arrive = rv.depart + 1.0;
+    rv.avail = rv.arrive;
+    rv.wait_start = 6.0;  // interior compute outlasted every arrival
+    r1.recv(rv);
+  }
+
+  const obs::RunAnalysis a = obs::analyze_run(run);
+  EXPECT_TRUE(a.identity_ok);
+  EXPECT_EQ(a.makespan, 7.0);
+  ASSERT_EQ(a.segments.size(), 1u);
+  EXPECT_EQ(a.segments[0].rank, 1);
+  EXPECT_EQ(a.segments[0].kind, obs::SegKind::Local);
+  EXPECT_EQ(a.waits.binding_waits, 0);
+  EXPECT_EQ(a.waits.late_receiver_msgs, 3);
+}
+
 namespace {
 
 harness::Config fuzz_config(harness::Method m, brickx::netsim::FabricKind f,
