@@ -7,6 +7,7 @@
 // time the contention fabric charges for it.
 
 #include "bench_common.h"
+#include "netsim/fabric.h"
 #include "netsim/mapping.h"
 
 using namespace brickx;
@@ -24,10 +25,11 @@ int main(int argc, char** argv) {
 
   banner("Ablation: rank-to-node mapping",
          "Exchange time and inter-node volume for block / round-robin / "
-         "greedy mappings on a routed fabric (2x4x4 ranks, several per "
-         "node). Greedy keeps cartesian neighbors on-node: least cut "
-         "bytes, fewest fabric messages, cheapest exchange; round-robin "
-         "is the adversarial placement.");
+         "greedy / rcb / embed mappings on a routed fabric (2x4x4 ranks, "
+         "several per node). The volume-aware maps keep cartesian "
+         "neighbors on-node: least cut bytes, fewest fabric messages, "
+         "cheapest exchange; round-robin is the adversarial placement. "
+         "rcb and embed are guarded to never cut more than block.");
 
   const std::int64_t dim = ap.get_int("-s");
   const int rpn = static_cast<int>(ap.get_int("--rpn"));
@@ -49,12 +51,26 @@ int main(int argc, char** argv) {
   for (Method meth : {Method::MpiTypes, Method::Layout, Method::MemMap}) {
     for (netsim::MapKind mk : {netsim::MapKind::Block,
                                netsim::MapKind::RoundRobin,
-                               netsim::MapKind::Greedy}) {
+                               netsim::MapKind::Greedy,
+                               netsim::MapKind::Rcb,
+                               netsim::MapKind::Embed}) {
       harness::Config cfg = base(meth);
       cfg.mapping = mk;
       const auto graph = harness::exchange_comm_graph(cfg);
-      const auto nodes = netsim::make_map(
-          mk, static_cast<int>(cfg.rank_dims.prod()), rpn, graph);
+      // Build the fabric exactly as harness::run will, and read the node
+      // assignment back from it, so the cut column describes the very
+      // placement the comm_ms column was charged for (embed weighs nodes
+      // by the built topology's hop distances — a hintless make_map here
+      // could disagree).
+      const mpi::LinkParams inter = cfg.machine.net.inter_node;
+      const auto fab = netsim::make_fabric(
+          cfg.fabric, mk, static_cast<int>(cfg.rank_dims.prod()), rpn,
+          inter.bw, inter.alpha / 2.0, inter.alpha, graph,
+          {static_cast<int>(cfg.rank_dims[0]),
+           static_cast<int>(cfg.rank_dims[1]),
+           static_cast<int>(cfg.rank_dims[2])});
+      const auto& nodes =
+          static_cast<const netsim::ContentionFabric&>(*fab).rank_node();
       const harness::Result r = run(cfg);
       t.row()
           .cell(harness::method_name(meth))
@@ -68,9 +84,9 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   std::printf(
-      "\nShape checks: greedy's cut volume is the smallest in every method "
-      "block (round-robin the largest), and exchange time tracks cut "
-      "volume — the mapping lever moves communication cost without "
-      "touching a byte of the application.\n");
+      "\nShape checks: the volume-aware mappings (greedy, rcb, embed) cut "
+      "no more than block in every method block (round-robin the largest), "
+      "and exchange time tracks cut volume — the mapping lever moves "
+      "communication cost without touching a byte of the application.\n");
   return 0;
 }

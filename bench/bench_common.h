@@ -19,6 +19,7 @@
 #include "obs/export.h"
 #include "obs/session.h"
 #include "simmpi/cart.h"
+#include "tune/artifact.h"
 
 namespace brickx::bench {
 
@@ -110,7 +111,7 @@ inline void add_fabric_flags(ArgParser& ap) {
          "flat");
   ap.add("--mapping",
          "process-to-node mapping for non-flat fabrics: block | "
-         "round-robin | greedy",
+         "round-robin | greedy | rcb | embed",
          "block");
 }
 
@@ -128,6 +129,43 @@ inline void apply_fabric(const ArgParser& ap, harness::Config& cfg) {
   const auto mapping = netsim::parse_mapping(ap.get("--mapping"));
   BX_CHECK(mapping.has_value(), "unknown --mapping (see --help)");
   cfg.mapping = *mapping;
+}
+
+/// Register the --tuned flag (tuned-config artifact consumption). Call
+/// before ap.parse().
+inline void add_tune_flags(ArgParser& ap) {
+  ap.add("--tuned",
+         "apply the (layout, mapping, brick, page) choice from a tuned-"
+         "config JSON artifact written by tools/brickx_tune (default: keep "
+         "the hand-picked configuration)",
+         "");
+}
+
+/// Apply --tuned to a Config: load the artifact and overwrite the four
+/// tuned levers. The problem section is NOT applied — the bench keeps its
+/// own problem; the artifact only contributes the choice. Returns true if
+/// an artifact was applied (callers print a provenance line so tuned
+/// output never masquerades as the hand-picked golden output).
+inline bool apply_tuned(const ArgParser& ap, harness::Config& cfg) {
+  const std::string path = ap.get("--tuned");
+  if (path.empty()) return false;
+  const auto art = tune::load_artifact(path);
+  BX_CHECK(art.has_value(), "cannot load --tuned artifact (missing file, "
+                            "malformed JSON, or schema mismatch)");
+  tune::apply_choice(*art, cfg);
+  return true;
+}
+
+/// Print where an applied --tuned choice came from (once per bench).
+inline void announce_tuned(const ArgParser& ap) {
+  const std::string path = ap.get("--tuned");
+  if (path.empty()) return;
+  const auto art = tune::load_artifact(path);
+  BX_CHECK(art.has_value(), "cannot load --tuned artifact");
+  std::printf("tuned config: %s (layout=%s mapping=%s brick=%lld page=%zu)\n\n",
+              path.c_str(), art->layout_name.c_str(),
+              netsim::map_name(art->mapping),
+              static_cast<long long>(art->brick), art->page_size);
 }
 
 /// Register the shared transport selection flags. Call before ap.parse().

@@ -18,6 +18,12 @@
 #                               overlap efficiency per method x fabric,
 #                               cross-checked against the analyzer's
 #                               headroom bound (virtual-time-exact)
+#   BENCH_autotune.json      -- abl_autotune: joint (layout x mapping x
+#                               brick x page) search over the fig11/fig16
+#                               strong-scaling problems — candidates
+#                               evaluated, search wall time and throughput
+#                               (the only wall-clock numbers here), and the
+#                               virtual-time tuned-vs-hand-picked speedup
 # Commit the refreshed JSON alongside any kernel / runtime / netsim change
 # so the trajectories stay honest.
 #
@@ -62,3 +68,12 @@ fi
 "$build/bench/abl_overlap" --json-out=BENCH_overlap.json
 
 echo "bench_perf.sh: wrote BENCH_overlap.json"
+
+if [[ ! -x "$build/bench/abl_autotune" ]]; then
+  echo "bench_perf.sh: $build/bench/abl_autotune not found -- build first" >&2
+  exit 1
+fi
+
+"$build/bench/abl_autotune" --json-out=BENCH_autotune.json
+
+echo "bench_perf.sh: wrote BENCH_autotune.json"

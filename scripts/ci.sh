@@ -44,11 +44,20 @@ echo "=== default preset: overlap tier gate ==="
 # headroom-bound self-checks (all also in the full suite above).
 ctest --preset default -L overlap
 
+echo "=== default preset: autotuner tier gate ==="
+# Joint-autotuner contract (DESIGN.md §15), named so a search, memo-cache
+# or artifact regression fails loudly: the mapping property tests, the
+# tuner unit tests (including replay of the committed artifact), the
+# tuned-config schema + CLI byte-determinism check, and the abl_autotune
+# golden with its tuned<=hand-picked and warm-cache self-checks (all also
+# in the full suite above).
+ctest --preset default -L tune
+
 echo "=== asan-ubsan preset: configure + build ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 
-echo "=== asan-ubsan preset: unit-, persistent-, analyze-, transport- and overlap-labeled tests ==="
-ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze|transport|overlap'
+echo "=== asan-ubsan preset: unit-, persistent-, analyze-, transport-, overlap- and tune-labeled tests ==="
+ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze|transport|overlap|tune'
 
 echo "ci.sh: all green"

@@ -19,6 +19,10 @@ std::int64_t ghost_for(const Vec3& brick) {
 
 }  // namespace
 
+LayoutSpec fuzz_layout(std::uint64_t tuned_layout) {
+  return tuned_layout == 0 ? surface3d() : optimize_layout(3, 200, tuned_layout);
+}
+
 bool config_valid(const FuzzConfig& cfg) {
   for (int a = 0; a < 3; ++a) {
     if (cfg.rank_dims[a] < 1 || cfg.brick[a] < 1) return false;
@@ -60,10 +64,10 @@ FuzzConfig draw_config(Rng& rng) {
       netsim::FabricKind::SingleSwitch, netsim::FabricKind::FatTree,
       netsim::FabricKind::Torus3d,      netsim::FabricKind::Dragonfly};
   cfg.fabric = kFabrics[rng.below(6)];
-  static const netsim::MapKind kMaps[] = {netsim::MapKind::Block,
-                                          netsim::MapKind::RoundRobin,
-                                          netsim::MapKind::Greedy};
-  cfg.mapping = kMaps[rng.below(3)];
+  static const netsim::MapKind kMaps[] = {
+      netsim::MapKind::Block, netsim::MapKind::RoundRobin,
+      netsim::MapKind::Greedy, netsim::MapKind::Rcb, netsim::MapKind::Embed};
+  cfg.mapping = kMaps[rng.below(5)];
   // Drawn last so earlier fields keep their historical draw sequence for a
   // given Rng seed (stable replays of archived configs).
   cfg.persistent = rng.below(2) == 1;
@@ -78,6 +82,11 @@ FuzzConfig draw_config(Rng& rng) {
   // Rng stream stable — and yields to `persistent` when both came up.
   const bool want_overlap = rng.below(2) == 1;
   cfg.overlap = want_overlap && !cfg.persistent;
+  // Drawn last (newest field): 3 in 4 configs keep the historical
+  // surface3d layout, the rest run under a seeded hill-climbed layout.
+  const bool want_tuned = rng.below(4) == 0;
+  const std::uint64_t layout_seed = rng.next() | 1;  // unconditional draw
+  cfg.tuned_layout = want_tuned ? layout_seed : 0;
   return cfg;
 }
 
@@ -87,7 +96,7 @@ std::string serialize_config(const FuzzConfig& cfg) {
       buf, sizeof buf,
       "seed=%llu,ranks=%lldx%lldx%lld,brick=%lldx%lldx%lld,ghost=%lld,"
       "sub=%lldx%lldx%lld,rounds=%d,page=%zu,rpn=%d,fabric=%s,map=%s,"
-      "persist=%d,transport=%s,overlap=%d",
+      "persist=%d,transport=%s,overlap=%d,tlayout=%llu",
       static_cast<unsigned long long>(cfg.seed),
       static_cast<long long>(cfg.rank_dims[0]),
       static_cast<long long>(cfg.rank_dims[1]),
@@ -101,7 +110,8 @@ std::string serialize_config(const FuzzConfig& cfg) {
       static_cast<long long>(cfg.subdomain[2]), cfg.rounds, cfg.page_size,
       cfg.ranks_per_node, netsim::fabric_name(cfg.fabric),
       netsim::map_name(cfg.mapping), cfg.persistent ? 1 : 0,
-      transport::kind_name(cfg.transport), cfg.overlap ? 1 : 0);
+      transport::kind_name(cfg.transport), cfg.overlap ? 1 : 0,
+      static_cast<unsigned long long>(cfg.tuned_layout));
   return buf;
 }
 
@@ -164,6 +174,8 @@ std::optional<FuzzConfig> parse_config(std::string_view s) {
         const int v = std::stoi(vs);
         if (v != 0 && v != 1) return std::nullopt;
         cfg.overlap = v == 1;
+      } else if (key == "tlayout") {
+        cfg.tuned_layout = std::stoull(vs);
       } else {
         return std::nullopt;
       }
@@ -201,6 +213,18 @@ std::vector<FuzzConfig> shrink_candidates(const FuzzConfig& cfg) {
   if (cfg.overlap) {
     FuzzConfig c = cfg;
     c.overlap = false;
+    push(c);
+  }
+  // Back to the historical surface3d region layout.
+  if (cfg.tuned_layout != 0) {
+    FuzzConfig c = cfg;
+    c.tuned_layout = 0;
+    push(c);
+  }
+  // Back to the trivial node placement.
+  if (cfg.mapping != netsim::MapKind::Block) {
+    FuzzConfig c = cfg;
+    c.mapping = netsim::MapKind::Block;
     push(c);
   }
   // Back to the always-on-fabric transport.

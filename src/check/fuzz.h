@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "common/vec.h"
+#include "core/layout.h"
 #include "netsim/fabric.h"
 #include "netsim/mapping.h"
 #include "transport/transport.h"
@@ -55,9 +56,21 @@ struct FuzzConfig {
   /// individual partitions. Mutually exclusive with `persistent` (an
   /// exchanger binds to one replay mechanism).
   bool overlap = false;
+  /// Tuned region-layout seed (the autotuner's layout lever, DESIGN.md
+  /// §15). 0 (the common case) keeps the historical surface3d order; any
+  /// other value runs the brick methods under the hill-climbed layout
+  /// fuzz_layout(tuned_layout) — the oracle proves delivered ghosts are
+  /// bitwise layout-invariant.
+  std::uint64_t tuned_layout = 0;
 
   [[nodiscard]] int nranks() const { return static_cast<int>(rank_dims.prod()); }
 };
+
+/// The region layout a config's brick methods run under: surface3d() when
+/// `tuned_layout` is 0, otherwise optimize_layout(3, 200, tuned_layout) —
+/// one shared helper so the fuzz driver and the oracle agree on the exact
+/// hill-climb budget.
+LayoutSpec fuzz_layout(std::uint64_t tuned_layout);
 
 /// Draw a valid random config. Every choice comes from `rng`, so the
 /// sequence of configs is fully determined by the Rng seed.

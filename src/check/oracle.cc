@@ -87,7 +87,10 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
     const mpi::LinkParams inter = model.inter_node;
     rt.set_fabric(netsim::make_fabric(cfg.fabric, cfg.mapping, nranks,
                                       cfg.ranks_per_node, inter.bw,
-                                      inter.alpha / 2.0, inter.alpha, {}));
+                                      inter.alpha / 2.0, inter.alpha, {},
+                                      {static_cast<int>(cfg.rank_dims[0]),
+                                       static_cast<int>(cfg.rank_dims[1]),
+                                       static_cast<int>(cfg.rank_dims[2])}));
   }
   if (fi != nullptr) rt.set_fault_injector(fi);
   rt.set_transport(cfg.transport);
@@ -150,7 +153,7 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
       return;
     }
 
-    BrickDecomp<3> dec(N, g, cfg.brick, surface3d());
+    BrickDecomp<3> dec(N, g, cfg.brick, fuzz_layout(cfg.tuned_layout));
     BrickStorage store = m == M::MemMap ? dec.mmap_alloc(1, cfg.page_size)
                                         : dec.allocate(1);
     const auto ranks_tbl = populate(cart, dec);
@@ -275,10 +278,11 @@ OracleReport run_oracle(const FuzzConfig& cfg) {
       fail("Basic sends " + std::to_string(basic.msgs_per_exchange) +
            " messages per rank, expected " +
            std::to_string(basic_message_count(3)));
-    if (layout.msgs_per_exchange != message_count(surface3d(), 3))
+    const LayoutSpec lay = fuzz_layout(cfg.tuned_layout);
+    if (layout.msgs_per_exchange != message_count(lay, 3))
       fail("Layout sends " + std::to_string(layout.msgs_per_exchange) +
            " messages per rank, expected " +
-           std::to_string(message_count(surface3d(), 3)));
+           std::to_string(message_count(lay, 3)));
     if (layout.msgs_per_exchange < layout_message_lower_bound(3))
       fail("Layout beats the Eq. 1 lower bound — the count model is broken");
   } else if (basic.msgs_per_exchange > basic_message_count(3)) {
@@ -469,6 +473,46 @@ OracleReport run_oracle(const FuzzConfig& cfg) {
           fail(std::string("comm counters differ between transport=") +
                transport::kind_name(cfg.transport) + " and transport=" +
                transport::kind_name(k) + " at rank " + std::to_string(r));
+      }
+    }
+  }
+
+  // --- mapping invariance ----------------------------------------------------
+  // Rank-to-node placement (block / round-robin / greedy / rcb / embed) is
+  // a pure timing lever: it decides which messages cross the fabric and
+  // what contention they see, but the delivered ghost frames and the
+  // send/receive totals must be bitwise identical under every mapping.
+  // (The intra/inter locality *split* legitimately moves — that is the
+  // point of the lever — so it is exempt.)
+  if (cfg.fabric != netsim::FabricKind::Flat) {
+    for (netsim::MapKind k :
+         {netsim::MapKind::Block, netsim::MapKind::RoundRobin,
+          netsim::MapKind::Greedy, netsim::MapKind::Rcb,
+          netsim::MapKind::Embed}) {
+      if (k == cfg.mapping) continue;
+      FuzzConfig alt = cfg;
+      alt.mapping = k;
+      const MethodRun other = run_method(M::Layout, alt, nullptr);
+      for (int r = 0; r < cfg.nranks(); ++r) {
+        const auto& ref = layout.frames[static_cast<std::size_t>(r)];
+        const auto& got = other.frames[static_cast<std::size_t>(r)];
+        if (got.size() != ref.size() ||
+            std::memcmp(got.data(), ref.data(),
+                        ref.size() * sizeof(double)) != 0) {
+          fail(std::string("delivered frames differ between mapping=") +
+               netsim::map_name(cfg.mapping) + " and mapping=" +
+               netsim::map_name(k) + " at rank " + std::to_string(r));
+          break;
+        }
+        const mpi::CommCounters& a =
+            layout.counters[static_cast<std::size_t>(r)];
+        const mpi::CommCounters& b =
+            other.counters[static_cast<std::size_t>(r)];
+        if (a.msgs_sent != b.msgs_sent || a.bytes_sent != b.bytes_sent ||
+            a.msgs_recv != b.msgs_recv || a.bytes_recv != b.bytes_recv)
+          fail(std::string("comm totals differ between mapping=") +
+               netsim::map_name(cfg.mapping) + " and mapping=" +
+               netsim::map_name(k) + " at rank " + std::to_string(r));
       }
     }
   }

@@ -81,6 +81,17 @@ class BitSet {
   /// Raw bit pattern; stable across runs, usable as a hash/map key.
   [[nodiscard]] std::uint64_t raw() const { return bits_; }
 
+  /// Inverse of raw(): rebuild a set from its stable bit pattern (bits
+  /// outside the signed-axis range are rejected). The tuned-config
+  /// artifact serializes layouts this way.
+  static BitSet from_raw(std::uint64_t bits) {
+    BX_CHECK((bits & ~(kPosMask | kNegMask)) == 0,
+             "BitSet::from_raw: bits outside the signed-axis range");
+    BitSet r;
+    r.bits_ = bits;
+    return r;
+  }
+
   /// Render as e.g. "{1,-2}"; empty set renders "{}".
   [[nodiscard]] std::string str() const;
 

@@ -153,6 +153,9 @@ Result run(const Config& cfg) {
                         cfg.method == Method::MemMap ||
                         cfg.method == Method::Shift ||
                         cfg.method == Method::Network;
+  BX_CHECK(cfg.layout.order.empty() || cfg.layout.valid(3),
+           "Config::layout must be a valid 3-D region layout (every "
+           "3-D surface signature exactly once)");
   BX_CHECK(cfg.gpu == GpuMode::None || cfg.machine.is_gpu,
            "GPU modes require a GPU machine model");
   BX_CHECK(!(cfg.method == Method::MemMap && cfg.gpu == GpuMode::CudaAware &&
@@ -197,9 +200,11 @@ Result run(const Config& cfg) {
     // route has at minimum, so an uncongested single-switch path costs
     // exactly what the flat model charges.
     const mpi::LinkParams inter = cfg.machine.net.inter_node;
-    rt.set_fabric(netsim::make_fabric(cfg.fabric, cfg.mapping, nranks, rpn,
-                                      inter.bw, inter.alpha / 2.0, inter.alpha,
-                                      exchange_comm_graph(cfg)));
+    rt.set_fabric(netsim::make_fabric(
+        cfg.fabric, cfg.mapping, nranks, rpn, inter.bw, inter.alpha / 2.0,
+        inter.alpha, exchange_comm_graph(cfg),
+        {static_cast<int>(cfg.rank_dims[0]), static_cast<int>(cfg.rank_dims[1]),
+         static_cast<int>(cfg.rank_dims[2])}));
   }
   // Seeded message-fault schedule (off by default: no injector installed,
   // so the runtime skips the integrity layer entirely and behavior is
@@ -285,8 +290,10 @@ Result run(const Config& cfg) {
 
     if (is_brick) {
       dec.emplace(N, g, Vec3::fill(cfg.brick),
-                  cfg.lexicographic_layout ? lexicographic_layout(3)
-                                           : surface3d());
+                  !cfg.layout.order.empty()
+                      ? cfg.layout
+                      : (cfg.lexicographic_layout ? lexicographic_layout(3)
+                                                  : surface3d()));
       info.emplace(dec->brick_info());
       // MemMap over unified memory must align chunks to the *UM* page size
       // (64 KiB on Power9/ATS) — that alignment is what spares its compute

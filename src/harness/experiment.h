@@ -5,6 +5,7 @@
 
 #include "common/stats.h"
 #include "common/vec.h"
+#include "core/layout.h"
 #include "model/machine.h"
 #include "netsim/fabric.h"
 #include "netsim/mapping.h"
@@ -76,6 +77,12 @@ struct Config {
   /// order instead of the optimized surface3d (compute is unaffected —
   /// that is the point of the figure).
   bool lexicographic_layout = false;
+  /// Explicit brick-region layout override — the autotuner's layout lever
+  /// (src/tune, DESIGN.md §15). An empty order (the default) keeps the
+  /// historical choice: surface3d(), or lexicographic_layout(3) under the
+  /// flag above. When set it must be a valid 3-D layout and it wins over
+  /// the flag.
+  LayoutSpec layout{};
   /// Replace MemMap's real mmap views with a byte-identical per-neighbor
   /// scratch exchange. Needed when ranks*segments would exceed the
   /// kernel's vm.max_map_count in a single-process simulation; timing- and

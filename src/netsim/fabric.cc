@@ -304,7 +304,8 @@ std::unique_ptr<Fabric> make_fabric(FabricKind kind, MapKind mapping,
                                     int nranks, int ranks_per_node,
                                     double link_bw, double hop_latency,
                                     double base_alpha,
-                                    const std::vector<CommEdge>& comm_graph) {
+                                    const std::vector<CommEdge>& comm_graph,
+                                    std::array<int, 3> rank_grid) {
   BX_CHECK(kind != FabricKind::Flat,
            "make_fabric builds contention fabrics; the flat model needs no "
            "topology");
@@ -341,7 +342,13 @@ std::unique_ptr<Fabric> make_fabric(FabricKind kind, MapKind mapping,
     case FabricKind::Flat:
       break;  // unreachable (checked above)
   }
-  std::vector<int> map = make_map(mapping, nranks, ranks_per_node, comm_graph);
+  MapHints hints;
+  hints.grid[0] = rank_grid[0];
+  hints.grid[1] = rank_grid[1];
+  hints.grid[2] = rank_grid[2];
+  hints.topo = &topo;
+  std::vector<int> map =
+      make_map(mapping, nranks, ranks_per_node, comm_graph, hints);
   return std::make_unique<ContentionFabric>(kind, std::move(topo),
                                             std::move(map), base_alpha);
 }

@@ -29,6 +29,7 @@
 // (each rank only for src == its own rank); epoch() and reset() are called
 // at globally quiescent points; stats() after run() returns.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -224,13 +225,17 @@ class ContentionFabric final : public Fabric {
 /// Build a contention fabric sized for `nranks` over ceil(nranks /
 /// ranks_per_node) nodes, with auto-chosen topology shape, the given
 /// per-link rate constants, and the mapping strategy applied to
-/// `comm_graph` (only Greedy reads it). `kind` must not be Flat — use
-/// make_flat_fabric / the Runtime default for that.
+/// `comm_graph` (Greedy/Rcb/Embed read it). `rank_grid` is the Cartesian
+/// rank-grid shape when known ({0,0,0} otherwise) — Rcb bisects on it,
+/// and Embed weighs candidate nodes by the built topology's hop
+/// distances. `kind` must not be Flat — use make_flat_fabric / the
+/// Runtime default for that.
 std::unique_ptr<Fabric> make_fabric(FabricKind kind, MapKind mapping,
                                     int nranks, int ranks_per_node,
                                     double link_bw, double hop_latency,
                                     double base_alpha,
-                                    const std::vector<CommEdge>& comm_graph);
+                                    const std::vector<CommEdge>& comm_graph,
+                                    std::array<int, 3> rank_grid = {0, 0, 0});
 
 std::unique_ptr<Fabric> make_flat_fabric(int nranks, int ranks_per_node);
 

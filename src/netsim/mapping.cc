@@ -1,8 +1,10 @@
 #include "netsim/mapping.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/error.h"
+#include "netsim/topology.h"
 
 namespace brickx::netsim {
 
@@ -14,6 +16,10 @@ const char* map_name(MapKind k) {
       return "round-robin";
     case MapKind::Greedy:
       return "greedy";
+    case MapKind::Rcb:
+      return "rcb";
+    case MapKind::Embed:
+      return "embed";
   }
   return "?";
 }
@@ -22,6 +28,8 @@ std::optional<MapKind> parse_mapping(std::string_view s) {
   if (s == "block") return MapKind::Block;
   if (s == "round-robin" || s == "rr") return MapKind::RoundRobin;
   if (s == "greedy") return MapKind::Greedy;
+  if (s == "rcb") return MapKind::Rcb;
+  if (s == "embed") return MapKind::Embed;
   return std::nullopt;
 }
 
@@ -98,8 +106,174 @@ std::vector<int> greedy_map(int nranks, int ranks_per_node,
   return m;
 }
 
+namespace {
+
+/// Shared guard for the geometry/topology strategies: the candidate wins
+/// on ties, block wins only when it strictly cuts fewer bytes. Makes the
+/// "never worse than block" property structural instead of statistical.
+std::vector<int> guard_against_block(std::vector<int> candidate, int nranks,
+                                     int ranks_per_node,
+                                     const std::vector<CommEdge>& graph) {
+  std::vector<int> block = block_map(nranks, ranks_per_node);
+  if (cut_bytes(block, graph) < cut_bytes(candidate, graph)) return block;
+  return candidate;
+}
+
+/// One bisection step: ranks[lo, hi) split across nodes [node_lo,
+/// node_lo + nodes). Capacity invariant: hi - lo <= nodes * rpn.
+void rcb_recurse(std::vector<int>& ranks, std::size_t lo, std::size_t hi,
+                 int node_lo, int nodes, int rpn, const int grid[3],
+                 std::vector<int>& out) {
+  if (nodes == 1) {
+    for (std::size_t i = lo; i < hi; ++i)
+      out[static_cast<std::size_t>(ranks[i])] = node_lo;
+    return;
+  }
+  auto coord = [&](int r, int axis) {
+    int c[3] = {r % grid[0], (r / grid[0]) % grid[1],
+                r / (grid[0] * grid[1])};
+    return c[axis];
+  };
+  // Widest extent of the sub-box decides the cut axis (ties -> lowest
+  // axis, so a given problem always bisects the same way).
+  int axis = 0, widest = -1;
+  for (int a = 0; a < 3; ++a) {
+    int mn = coord(ranks[lo], a), mx = mn;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      mn = std::min(mn, coord(ranks[i], a));
+      mx = std::max(mx, coord(ranks[i], a));
+    }
+    if (mx - mn > widest) {
+      widest = mx - mn;
+      axis = a;
+    }
+  }
+  std::sort(ranks.begin() + static_cast<std::ptrdiff_t>(lo),
+            ranks.begin() + static_cast<std::ptrdiff_t>(hi),
+            [&](int a, int b) {
+              const int ca = coord(a, axis), cb = coord(b, axis);
+              return ca != cb ? ca < cb : a < b;
+            });
+  const int left_nodes = nodes / 2;
+  const std::size_t take =
+      std::min(static_cast<std::size_t>(left_nodes) *
+                   static_cast<std::size_t>(rpn),
+               hi - lo);
+  rcb_recurse(ranks, lo, lo + take, node_lo, left_nodes, rpn, grid, out);
+  rcb_recurse(ranks, lo + take, hi, node_lo + left_nodes, nodes - left_nodes,
+              rpn, grid, out);
+}
+
+}  // namespace
+
+std::vector<int> rcb_map(int nranks, int ranks_per_node,
+                         const std::vector<CommEdge>& graph,
+                         const MapHints& hints) {
+  const int nodes = node_count(nranks, ranks_per_node);
+  const long long cells = static_cast<long long>(hints.grid[0]) *
+                          hints.grid[1] * hints.grid[2];
+  if (hints.grid[0] < 1 || hints.grid[1] < 1 || hints.grid[2] < 1 ||
+      cells != nranks)
+    return block_map(nranks, ranks_per_node);  // no geometry to bisect
+  std::vector<int> ranks(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) ranks[static_cast<std::size_t>(r)] = r;
+  std::vector<int> out(static_cast<std::size_t>(nranks), -1);
+  rcb_recurse(ranks, 0, ranks.size(), 0, nodes, ranks_per_node, hints.grid,
+              out);
+  return guard_against_block(std::move(out), nranks, ranks_per_node, graph);
+}
+
+std::vector<int> embed_map(int nranks, int ranks_per_node,
+                           const std::vector<CommEdge>& graph,
+                           const MapHints& hints) {
+  const int nodes = node_count(nranks, ranks_per_node);
+  const std::size_t un = static_cast<std::size_t>(nranks);
+  // Node-to-node distance: topology hop counts when available, linear
+  // index distance otherwise (block-like locality still falls out).
+  auto dist = [&](int i, int j) -> double {
+    if (hints.topo) return static_cast<double>(hints.topo->hop_count(i, j));
+    return static_cast<double>(i > j ? i - j : j - i);
+  };
+  std::vector<std::vector<std::pair<int, double>>> adj(un);
+  std::vector<double> volume(un, 0.0);
+  for (const CommEdge& e : graph) {
+    BX_CHECK(e.a >= 0 && e.a < nranks && e.b >= 0 && e.b < nranks,
+             "embed_map: edge endpoint out of range");
+    if (e.a == e.b) continue;
+    adj[static_cast<std::size_t>(e.a)].push_back({e.b, e.bytes});
+    adj[static_cast<std::size_t>(e.b)].push_back({e.a, e.bytes});
+    volume[static_cast<std::size_t>(e.a)] += e.bytes;
+    volume[static_cast<std::size_t>(e.b)] += e.bytes;
+  }
+  std::vector<int> out(un, -1);
+  std::vector<int> load(static_cast<std::size_t>(nodes), 0);
+  // placed_w[r] = traffic between r and the already-placed set.
+  std::vector<double> placed_w(un, 0.0);
+  // Seed: the heaviest-communicating rank onto the most central node
+  // (min total distance to every other node); ties -> lowest ids.
+  int seed = 0;
+  for (int r = 1; r < nranks; ++r)
+    if (volume[static_cast<std::size_t>(r)] >
+        volume[static_cast<std::size_t>(seed)])
+      seed = r;
+  int center = 0;
+  double center_d = 0.0;
+  for (int n = 0; n < nodes; ++n) {
+    double d = 0.0;
+    for (int q = 0; q < nodes; ++q) d += dist(n, q);
+    if (n == 0 || d < center_d) {
+      center = n;
+      center_d = d;
+    }
+  }
+  int pick = seed;
+  for (int placed = 0; placed < nranks; ++placed) {
+    // Best open node for `pick`: min Σ bytes × distance to its placed
+    // partners; an isolated rank (no placed partners) lands on the
+    // lowest-id open node, the seed on the central one.
+    int best_node = -1;
+    double best_cost = 0.0;
+    if (placed == 0 && load[static_cast<std::size_t>(center)] <
+                           ranks_per_node) {
+      best_node = center;
+    } else {
+      for (int n = 0; n < nodes; ++n) {
+        if (load[static_cast<std::size_t>(n)] >= ranks_per_node) continue;
+        double cost = 0.0;
+        for (const auto& [nbr, w] : adj[static_cast<std::size_t>(pick)])
+          if (out[static_cast<std::size_t>(nbr)] >= 0)
+            cost += w * dist(n, out[static_cast<std::size_t>(nbr)]);
+        if (best_node < 0 || cost < best_cost) {
+          best_node = n;
+          best_cost = cost;
+        }
+      }
+    }
+    BX_CHECK(best_node >= 0, "embed_map: no open node left");
+    out[static_cast<std::size_t>(pick)] = best_node;
+    ++load[static_cast<std::size_t>(best_node)];
+    for (const auto& [nbr, w] : adj[static_cast<std::size_t>(pick)])
+      if (out[static_cast<std::size_t>(nbr)] < 0)
+        placed_w[static_cast<std::size_t>(nbr)] += w;
+    // Next rank: max traffic into the placed set (ties -> lowest id;
+    // isolated ranks fall back to the lowest unplaced id).
+    pick = -1;
+    double best_w = -1.0;
+    for (int r = 0; r < nranks; ++r) {
+      if (out[static_cast<std::size_t>(r)] >= 0) continue;
+      if (placed_w[static_cast<std::size_t>(r)] > best_w) {
+        best_w = placed_w[static_cast<std::size_t>(r)];
+        pick = r;
+      }
+    }
+    if (pick < 0) break;  // everything placed
+  }
+  return guard_against_block(std::move(out), nranks, ranks_per_node, graph);
+}
+
 std::vector<int> make_map(MapKind kind, int nranks, int ranks_per_node,
-                          const std::vector<CommEdge>& graph) {
+                          const std::vector<CommEdge>& graph,
+                          const MapHints& hints) {
   switch (kind) {
     case MapKind::Block:
       return block_map(nranks, ranks_per_node);
@@ -107,6 +281,10 @@ std::vector<int> make_map(MapKind kind, int nranks, int ranks_per_node,
       return round_robin_map(nranks, ranks_per_node);
     case MapKind::Greedy:
       return greedy_map(nranks, ranks_per_node, graph);
+    case MapKind::Rcb:
+      return rcb_map(nranks, ranks_per_node, graph, hints);
+    case MapKind::Embed:
+      return embed_map(nranks, ranks_per_node, graph, hints);
   }
   return block_map(nranks, ranks_per_node);
 }

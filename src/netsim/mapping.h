@@ -14,10 +14,13 @@
 
 namespace brickx::netsim {
 
-enum class MapKind : std::uint8_t { Block, RoundRobin, Greedy };
+class Topology;
+
+enum class MapKind : std::uint8_t { Block, RoundRobin, Greedy, Rcb, Embed };
 
 const char* map_name(MapKind k);
-/// Parse "block" / "round-robin" / "greedy" (nullopt on anything else).
+/// Parse "block" / "round-robin" / "greedy" / "rcb" / "embed" (nullopt on
+/// anything else).
 std::optional<MapKind> parse_mapping(std::string_view s);
 
 /// One undirected edge of the application's communication graph, weighted
@@ -43,8 +46,41 @@ std::vector<int> round_robin_map(int nranks, int ranks_per_node);
 std::vector<int> greedy_map(int nranks, int ranks_per_node,
                             const std::vector<CommEdge>& graph);
 
+/// Optional placement context for the geometry/topology-aware strategies.
+/// Everything degrades gracefully: an unknown grid or a missing topology
+/// only removes information, never validity.
+struct MapHints {
+  /// Cartesian rank-grid dims, axis 0 fastest (the harness's rank_dims);
+  /// all zero = unknown. rcb_map needs grid[0]*grid[1]*grid[2] == nranks
+  /// to bisect on coordinates and falls back to block otherwise.
+  int grid[3] = {0, 0, 0};
+  /// Node topology; embed_map weighs candidate nodes by hop distance to
+  /// already-placed communication partners. nullptr = linear node
+  /// distance |i - j|.
+  const Topology* topo = nullptr;
+};
+
+/// Recursive coordinate bisection (Hunold et al.): split the rank grid on
+/// its widest axis into two node groups of proportional capacity,
+/// recursing until one node remains, so each node holds a compact
+/// sub-box of the Cartesian grid. Guarded: if (degenerate geometry makes)
+/// the bisection cut worse than block's, returns the block map — the
+/// result never cuts more bytes of `graph` than block_map.
+std::vector<int> rcb_map(int nranks, int ranks_per_node,
+                         const std::vector<CommEdge>& graph,
+                         const MapHints& hints);
+
+/// Greedy communication-graph embedding (Hunold et al.): ranks are placed
+/// one at a time in order of traffic to the already-placed set, each onto
+/// the open node minimizing Σ bytes × hop-distance to its placed
+/// partners. Same guard as rcb_map: never a worse cut than block_map.
+std::vector<int> embed_map(int nranks, int ranks_per_node,
+                           const std::vector<CommEdge>& graph,
+                           const MapHints& hints);
+
 std::vector<int> make_map(MapKind kind, int nranks, int ranks_per_node,
-                          const std::vector<CommEdge>& graph);
+                          const std::vector<CommEdge>& graph,
+                          const MapHints& hints = {});
 
 /// Bytes of `graph` cut by the assignment (endpoints on different nodes);
 /// the objective greedy_map minimizes.

@@ -5,7 +5,12 @@ namespace brickx::obs {
 #if BRICKX_OBS
 
 namespace {
-Session* g_active = nullptr;
+// Thread-local: a Scope activates the session for the thread that opened
+// it only. Benches drive everything from main, so they see no change; the
+// autotuner's candidate evaluations on worker threads (src/tune) find no
+// active session there and skip absorb — which would otherwise race on
+// the session's unlocked run list.
+thread_local Session* g_active = nullptr;
 }  // namespace
 
 Session* Session::active() { return g_active; }
