@@ -40,6 +40,20 @@
 #ifndef BRICKX_BUILD_TYPE
 #define BRICKX_BUILD_TYPE "unknown"
 #endif
+#ifndef BRICKX_CXX_FLAGS
+#define BRICKX_CXX_FLAGS "unknown"
+#endif
+#ifndef BRICKX_NATIVE_FLAG
+#define BRICKX_NATIVE_FLAG 0
+#endif
+
+#if defined(__clang__)
+#define BRICKX_COMPILER_ID "clang"
+#elif defined(__GNUC__)
+#define BRICKX_COMPILER_ID "gcc"
+#else
+#define BRICKX_COMPILER_ID "unknown"
+#endif
 
 namespace brickx {
 namespace {
@@ -210,13 +224,25 @@ bool check_brick_paths(bool use125, std::uint64_t seed) {
       {{0, 0, 0}, {0, 0, 0}}};
   for (const Box<3>& box : boxes) {
     BrickStorage fast = dec.allocate(1), naive = dec.allocate(1);
+    BrickStorage vec = dec.allocate(1);
     Brick<B, B, B> bf(&info, &fast, 0), bn(&info, &naive, 0);
+    Brick<B, B, B> bv(&info, &vec, 0);
     if (use125) {
       stencil::apply125_bricks<B, B, B>(dec, bf, bin, box);
       stencil::apply125_bricks_naive<B, B, B>(dec, bn, bin, box);
+      stencil::engine_apply125_simd<B, B, B, simd::kActiveWidth>(dec, bv, bin,
+                                                                 box);
     } else {
       stencil::apply7_bricks<B, B, B>(dec, bf, bin, box);
       stencil::apply7_bricks_naive<B, B, B>(dec, bn, bin, box);
+      stencil::engine_apply7_simd<B, B, B, simd::kActiveWidth>(dec, bv, bin,
+                                                               box);
+    }
+    if (std::memcmp(vec.data(), naive.data(), vec.bytes()) != 0) {
+      std::fprintf(stderr,
+                   "self-check FAILED (simd W=%d): brick=%d use125=%d\n",
+                   simd::kActiveWidth, B, use125 ? 1 : 0);
+      return false;
     }
     if (std::memcmp(fast.data(), naive.data(), fast.bytes()) != 0) {
       std::fprintf(stderr,
@@ -277,10 +303,15 @@ struct KernelPoint {
   const char* kernel;   ///< "7pt" | "125pt"
   const char* storage;  ///< "brick" | "array"
   int brick;            ///< brick extent, 0 for array storage
-  const char* path;     ///< "naive" | "fast"
+  const char* path;     ///< "naive" | "fast" | "simd"
   double cells_per_s = 0;
   std::int64_t iters = 0;
   double seconds = 0;
+  /// Vector lanes of the measured path: 0 for naive (per-access), 1 for
+  /// the scalar fast tiles, simd::kActiveWidth for the explicit-SIMD tier.
+  int width = 0;
+  /// Coupled AoSoA fields evolved per application (cells scales with it).
+  int fields = 1;
 };
 
 /// Time `fn` (one full-domain kernel application over `cells` cells),
@@ -315,21 +346,72 @@ void measure_bricks(std::vector<KernelPoint>& out, std::int64_t n) {
   Brick<B, B, B> bin(&s.info, &s.in, 0), bout(&s.info, &s.out, 0);
   const Box<3> box{{0, 0, 0}, {n, n, n}};
   const std::int64_t cells = n * n * n;
+  // Three paths per kernel: naive per-access, the scalar fast tiles
+  // (forced W=1), and the explicit-SIMD tier at the build's active width.
+  // All three are bit-identical; only throughput differs.
   for (bool use125 : {false, true}) {
-    for (bool naive : {true, false}) {
-      KernelPoint pt{use125 ? "125pt" : "7pt", "brick", B,
-                     naive ? "naive" : "fast", 0, 0, 0};
+    for (const char* path : {"naive", "fast", "simd"}) {
+      KernelPoint pt{use125 ? "125pt" : "7pt", "brick", B, path, 0, 0, 0,
+                     0,     1};
+      const bool naive = std::strcmp(path, "naive") == 0;
+      const bool vec = std::strcmp(path, "simd") == 0;
+      pt.width = naive ? 0 : (vec ? simd::kActiveWidth : 1);
       measure(pt, cells, [&] {
         if (use125) {
           if (naive) {
             stencil::apply125_bricks_naive<B, B, B>(s.dec, bout, bin, box);
+          } else if (vec) {
+            stencil::engine_apply125_simd<B, B, B, simd::kActiveWidth>(
+                s.dec, bout, bin, box);
           } else {
-            stencil::apply125_bricks<B, B, B>(s.dec, bout, bin, box);
+            stencil::engine_apply125_simd<B, B, B, 1>(s.dec, bout, bin, box);
           }
         } else if (naive) {
           stencil::apply7_bricks_naive<B, B, B>(s.dec, bout, bin, box);
+        } else if (vec) {
+          stencil::engine_apply7_simd<B, B, B, simd::kActiveWidth>(s.dec, bout,
+                                                                   bin, box);
         } else {
-          stencil::apply7_bricks<B, B, B>(s.dec, bout, bin, box);
+          stencil::engine_apply7_simd<B, B, B, 1>(s.dec, bout, bin, box);
+        }
+        benchmark::ClobberMemory();
+      });
+      out.push_back(pt);
+    }
+  }
+}
+
+/// The field-count axis: evolve F coupled AoSoA fields per application
+/// (brick 8, SIMD path). Cells processed scales with F, so cells/s staying
+/// flat means the AoSoA offsets cost nothing over the single-field layout.
+void measure_fields(std::vector<KernelPoint>& out, std::int64_t n) {
+  constexpr int B = 8;
+  // F = 1 is the plain simd row from measure_bricks; only F > 1 is new.
+  for (int F : {2, 4}) {
+    BrickDecomp<3> dec({n, n, n}, B, {B, B, B}, surface3d());
+    BrickInfo<3> info = dec.brick_info();
+    BrickStorage in = dec.allocate(F), o = dec.allocate(F);
+    Rng rng(0xf1e1d5);
+    for (std::int64_t i = 0; i < dec.total_brick_count(); ++i) {
+      double* p = in.brick(i);
+      for (std::int64_t e = 0; e < dec.elements_per_brick() * F; ++e)
+        p[e] = rng.uniform() * 2.0 - 1.0;
+    }
+    const Box<3> box{{0, 0, 0}, {n, n, n}};
+    for (bool use125 : {false, true}) {
+      KernelPoint pt{use125 ? "125pt" : "7pt", "brick", B, "simd", 0, 0, 0,
+                     simd::kActiveWidth, F};
+      measure(pt, n * n * n * F, [&] {
+        for (int f = 0; f < F; ++f) {
+          const std::int64_t off = f * dec.elements_per_brick();
+          Brick<B, B, B> bin(&info, &in, off), bout(&info, &o, off);
+          if (use125) {
+            stencil::engine_apply125_simd<B, B, B, simd::kActiveWidth>(
+                dec, bout, bin, box);
+          } else {
+            stencil::engine_apply7_simd<B, B, B, simd::kActiveWidth>(dec, bout,
+                                                                     bin, box);
+          }
         }
         benchmark::ClobberMemory();
       });
@@ -348,7 +430,7 @@ void measure_arrays(std::vector<KernelPoint>& out, std::int64_t n) {
   for (bool use125 : {false, true}) {
     for (bool naive : {true, false}) {
       KernelPoint pt{use125 ? "125pt" : "7pt", "array", 0,
-                     naive ? "naive" : "fast", 0, 0, 0};
+                     naive ? "naive" : "fast", 0, 0, 0, naive ? 0 : 1, 1};
       measure(pt, cells, [&] {
         if (use125) {
           if (naive) {
@@ -370,11 +452,11 @@ void measure_arrays(std::vector<KernelPoint>& out, std::int64_t n) {
 
 double find_cells_per_s(const std::vector<KernelPoint>& pts,
                         const char* kernel, const char* storage, int brick,
-                        const char* path) {
+                        const char* path, int fields = 1) {
   for (const auto& p : pts)
     if (std::strcmp(p.kernel, kernel) == 0 &&
         std::strcmp(p.storage, storage) == 0 && p.brick == brick &&
-        std::strcmp(p.path, path) == 0)
+        std::strcmp(p.path, path) == 0 && p.fields == fields)
       return p.cells_per_s;
   return 0;
 }
@@ -385,6 +467,7 @@ int write_json(const std::string& file, bool self_check_passed) {
   measure_bricks<4>(pts, n);
   measure_bricks<8>(pts, n);
   measure_arrays(pts, n);
+  measure_fields(pts, n);
 
   FILE* f = std::fopen(file.c_str(), "w");
   if (!f) {
@@ -393,8 +476,22 @@ int write_json(const std::string& file, bool self_check_passed) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"micro_kernels\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  // v2: build provenance block, per-result width/fields axes, the "simd"
+  // path, and simd-vs-fast speedup ratios (DESIGN.md §16).
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"build_type\": \"%s\",\n", BRICKX_BUILD_TYPE);
+  // Provenance: trajectory points are only comparable when the toolchain
+  // and vector configuration match — stamp everything that moves cells/s.
+  std::fprintf(f, "  \"provenance\": {\n");
+  std::fprintf(f, "    \"compiler\": \"%s\",\n", BRICKX_COMPILER_ID);
+  std::fprintf(f, "    \"compiler_version\": \"%s\",\n", __VERSION__);
+  std::fprintf(f, "    \"cxx_flags\": \"%s\",\n", BRICKX_CXX_FLAGS);
+  std::fprintf(f, "    \"march_native\": %s,\n",
+               BRICKX_NATIVE_FLAG ? "true" : "false");
+  std::fprintf(f, "    \"simd_isa\": \"%s\",\n", simd::isa_name());
+  std::fprintf(f, "    \"simd_detected_width\": %d,\n", simd::kDetectedWidth);
+  std::fprintf(f, "    \"simd_active_width\": %d\n", simd::kActiveWidth);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"domain\": %lld,\n", static_cast<long long>(n));
   std::fprintf(f, "  \"self_check\": \"%s\",\n",
                self_check_passed ? "pass" : "not-run");
@@ -403,15 +500,17 @@ int write_json(const std::string& file, bool self_check_passed) {
     const KernelPoint& p = pts[i];
     std::fprintf(f,
                  "    {\"kernel\": \"%s\", \"storage\": \"%s\", \"brick\": "
-                 "%d, \"path\": \"%s\", \"cells_per_s\": %.6e, \"iters\": "
-                 "%lld, \"seconds\": %.4f}%s\n",
-                 p.kernel, p.storage, p.brick, p.path, p.cells_per_s,
-                 static_cast<long long>(p.iters), p.seconds,
+                 "%d, \"path\": \"%s\", \"width\": %d, \"fields\": %d, "
+                 "\"cells_per_s\": %.6e, \"iters\": %lld, \"seconds\": "
+                 "%.4f}%s\n",
+                 p.kernel, p.storage, p.brick, p.path, p.width, p.fields,
+                 p.cells_per_s, static_cast<long long>(p.iters), p.seconds,
                  i + 1 < pts.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   // Headline ratios of the perf trajectory (ISSUE 5 acceptance: the 8^3
-  // 125-point interior fast path must be >= 3x the naive kernel).
+  // 125-point interior fast path must be >= 3x the naive kernel; ISSUE 10:
+  // the explicit-SIMD interior must beat the scalar fast path).
   std::fprintf(f, "  \"speedups\": {\n");
   const struct {
     const char* name;
@@ -424,27 +523,50 @@ int write_json(const std::string& file, bool self_check_passed) {
                {"brick4_7pt", "7pt", "brick", 4},
                {"array_125pt", "125pt", "array", 0},
                {"array_7pt", "7pt", "array", 0}};
-  for (std::size_t i = 0; i < std::size(pairs); ++i) {
-    const auto& pr = pairs[i];
+  for (const auto& pr : pairs) {
     const double fast =
         find_cells_per_s(pts, pr.kernel, pr.storage, pr.brick, "fast");
     const double naive =
         find_cells_per_s(pts, pr.kernel, pr.storage, pr.brick, "naive");
+    std::fprintf(f, "    \"%s\": %.2f,\n", pr.name,
+                 naive > 0 ? fast / naive : 0);
+  }
+  const struct {
+    const char* name;
+    const char* kernel;
+    int brick;
+  } simd_pairs[] = {{"simd_vs_fast_brick8_125pt", "125pt", 8},
+                    {"simd_vs_fast_brick8_7pt", "7pt", 8},
+                    {"simd_vs_fast_brick4_125pt", "125pt", 4},
+                    {"simd_vs_fast_brick4_7pt", "7pt", 4}};
+  for (std::size_t i = 0; i < std::size(simd_pairs); ++i) {
+    const auto& pr = simd_pairs[i];
+    const double vec = find_cells_per_s(pts, pr.kernel, "brick", pr.brick,
+                                        "simd");
+    const double fast = find_cells_per_s(pts, pr.kernel, "brick", pr.brick,
+                                         "fast");
     std::fprintf(f, "    \"%s\": %.2f%s\n", pr.name,
-                 naive > 0 ? fast / naive : 0,
-                 i + 1 < std::size(pairs) ? "," : "");
+                 fast > 0 ? vec / fast : 0,
+                 i + 1 < std::size(simd_pairs) ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
 
   for (const auto& p : pts)
-    std::printf("%-6s %-5s b=%d %-5s : %10.3e cells/s  (%lld iters, %.2fs)\n",
-                p.kernel, p.storage, p.brick, p.path, p.cells_per_s,
-                static_cast<long long>(p.iters), p.seconds);
+    std::printf(
+        "%-6s %-5s b=%d %-5s W=%d F=%d : %10.3e cells/s  (%lld iters, "
+        "%.2fs)\n",
+        p.kernel, p.storage, p.brick, p.path, p.width, p.fields,
+        p.cells_per_s, static_cast<long long>(p.iters), p.seconds);
   const double headline =
       find_cells_per_s(pts, "125pt", "brick", 8, "fast") /
       find_cells_per_s(pts, "125pt", "brick", 8, "naive");
   std::printf("8^3 125-point fast-path speedup: %.2fx\n", headline);
+  const double simd_headline =
+      find_cells_per_s(pts, "125pt", "brick", 8, "simd") /
+      find_cells_per_s(pts, "125pt", "brick", 8, "fast");
+  std::printf("8^3 125-point simd-vs-fast speedup (W=%d): %.2fx\n",
+              simd::kActiveWidth, simd_headline);
   std::printf("micro_kernels: wrote %s\n", file.c_str());
   return 0;
 }

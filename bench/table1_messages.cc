@@ -15,6 +15,10 @@ using harness::Method;
 int main(int argc, char** argv) {
   ArgParser ap("table1_messages", "Table 1: messages vs dimensionality");
   ap.add("-s", "subdomain dim for the measured-counters table", "32");
+  ap.add("--fields",
+         "coupled fields exchanged together (AoSoA bricks / field-major "
+         "array slabs); > 1 appends a message-invariance table",
+         "1");
   add_fabric_flags(ap);
   add_transport_flags(ap);
   add_fault_flags(ap);
@@ -120,5 +124,49 @@ int main(int argc, char** argv) {
       "batch); at the default 32^3 Layout hits the 42-message Eq. 1 bound "
       "(thinner subdomains merge further runs), MemMap reaches the "
       "26-neighbor floor, and Basic pays the region-count multiple.\n");
+
+  // Multi-field invariance (DESIGN.md §16): rerun every method with the
+  // requested field count and assert — not just print — that the message
+  // counters do not move while bytes scale exactly linearly. Only emitted
+  // when --fields > 1 so the default stdout stays byte-identical.
+  const int fields = static_cast<int>(ap.get_int("--fields"));
+  BX_CHECK(fields >= 1, "--fields must be >= 1");
+  if (fields > 1) {
+    std::printf(
+        "\nmulti-field invariance (--fields %d): one message per (neighbor, "
+        "round) regardless of field count; bytes scale linearly:\n\n",
+        fields);
+    Table f({"method", "msgs(F=1)", "msgs(F=N)", "bytes(F=1)", "bytes(F=N)",
+             "bytes ratio"});
+    for (Method meth : {Method::Yask, Method::MpiTypes, Method::Basic,
+                        Method::Layout, Method::MemMap}) {
+      harness::Config cfg = k1_config(dim, meth);
+      apply_fabric(ap, cfg);
+      apply_transport(ap, cfg);
+      apply_faults(ap, cfg);
+      const harness::Result one = run(cfg);
+      cfg.fields = fields;
+      const harness::Result multi_r = run(cfg);
+      BX_CHECK(multi_r.msgs_per_rank == one.msgs_per_rank,
+               "multi-field run changed the per-exchange message count");
+      BX_CHECK(multi_r.wire_bytes_per_rank == fields * one.wire_bytes_per_rank,
+               "multi-field wire bytes are not exactly linear in the field "
+               "count");
+      f.row()
+          .cell(harness::method_name(meth))
+          .cell(one.msgs_per_rank)
+          .cell(multi_r.msgs_per_rank)
+          .cell(one.wire_bytes_per_rank)
+          .cell(multi_r.wire_bytes_per_rank)
+          .cell(static_cast<double>(multi_r.wire_bytes_per_rank) /
+                    static_cast<double>(one.wire_bytes_per_rank),
+                2);
+    }
+    f.print(std::cout);
+    std::printf(
+        "\nall %d-field counters verified equal to the single-field run "
+        "(BX_CHECK-enforced), bytes exactly x%d.\n",
+        fields, fields);
+  }
   return 0;
 }

@@ -2,7 +2,13 @@
 # Perf trajectories committed at the repo root:
 #   BENCH_kernels.json       -- micro_kernels with its built-in bit-exactness
 #                               self-check (cells/s per kernel x brick size
-#                               x path, naive vs fast)
+#                               x path — naive vs scalar-fast vs explicit
+#                               SIMD at the build's active width — plus the
+#                               AoSoA field-count axis and a build
+#                               provenance block: compiler, flags,
+#                               -march=native, detected/active vector
+#                               width). The micro_simd differential width
+#                               self-check runs first as a gate.
 #   BENCH_critical_path.json -- trace_analyze --suite: critical-path
 #                               composition, wait states and overlap headroom
 #                               for a fixed roster of method x fabric x fault
@@ -36,6 +42,10 @@ if [[ ! -x "$build/bench/micro_kernels" ]]; then
   echo "bench_perf.sh: $build/bench/micro_kernels not found -- build first:" >&2
   echo "  cmake --preset default && cmake --build --preset default" >&2
   exit 1
+fi
+
+if [[ -x "$build/bench/micro_simd" ]]; then
+  "$build/bench/micro_simd" --self-check
 fi
 
 "$build/bench/micro_kernels" --json-out=BENCH_kernels.json --self-check

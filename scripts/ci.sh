@@ -53,11 +53,29 @@ echo "=== default preset: autotuner tier gate ==="
 # in the full suite above).
 ctest --preset default -L tune
 
+echo "=== default preset: explicit-SIMD tier gate ==="
+# Explicit-SIMD kernel contract (DESIGN.md §16), named so a vectorization
+# or AoSoA regression fails loudly: the differential width sweeps and
+# alignment-guard unit tests, the multi-field FieldSet/ArrayFields
+# invariance suite, and micro_simd's forced-width differential self-check
+# (all also in the full suite above).
+ctest --preset default -L simd
+
 echo "=== asan-ubsan preset: configure + build ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 
-echo "=== asan-ubsan preset: unit-, persistent-, analyze-, transport-, overlap- and tune-labeled tests ==="
-ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze|transport|overlap|tune'
+echo "=== asan-ubsan preset: unit-, persistent-, analyze-, transport-, overlap-, tune- and simd-labeled tests ==="
+ctest --preset asan-ubsan -j "$jobs" -L 'unit|persistent|analyze|transport|overlap|tune|simd'
+
+echo "=== forced-scalar build (BRICKX_SIMD_WIDTH=1): simd + perf gates ==="
+# The width-1 override must stay a first-class build: every SIMD dispatch
+# degenerates to the scalar fast tiles and all bit-exactness gates still
+# hold. This is the configuration the `fast` rows of BENCH_kernels.json
+# model and the fallback the alignment guard selects at runtime.
+cmake -S . -B build-scalar -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBRICKX_SIMD_WIDTH=1
+cmake --build build-scalar -j "$jobs"
+ctest --test-dir build-scalar -j "$jobs" --output-on-failure -L 'simd|perf'
 
 echo "ci.sh: all green"

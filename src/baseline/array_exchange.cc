@@ -54,9 +54,12 @@ int ordinal_of(const std::vector<BitSet>& dirs, const BitSet& d) {
 
 PackExchanger::PackExchanger(const Vec3& domain, std::int64_t ghost,
                              const std::vector<BitSet>& dirs,
-                             const std::vector<int>& neighbor_ranks) {
+                             const std::vector<int>& neighbor_ranks,
+                             int fields)
+    : fields_(fields) {
   BX_CHECK(dirs.size() == neighbor_ranks.size(),
            "direction and rank tables disagree");
+  BX_CHECK(fields >= 1, "need at least one field");
   for (std::size_t v = 0; v < dirs.size(); ++v) {
     NMsg m;
     m.rank = neighbor_ranks[v];
@@ -66,17 +69,34 @@ PackExchanger::PackExchanger(const Vec3& domain, std::int64_t ghost,
     m.rbox = recv_box(dirs[v], domain, ghost);
     BX_CHECK(m.sbox.volume() == m.rbox.volume(),
              "send/recv volumes must match");
-    m.sbuf.resize(static_cast<std::size_t>(m.sbox.volume()));
-    m.rbuf.resize(static_cast<std::size_t>(m.rbox.volume()));
+    // One buffer (one message) per neighbor regardless of field count.
+    m.sbuf.resize(static_cast<std::size_t>(m.sbox.volume() * fields));
+    m.rbuf.resize(static_cast<std::size_t>(m.rbox.volume() * fields));
     msgs_.push_back(std::move(m));
   }
 }
 
 std::size_t PackExchanger::pack(const CellArray3& field) {
+  BX_CHECK(fields_ == 1,
+           "single-field pack on a multi-field exchanger; pass ArrayFields");
   std::size_t bytes = 0;
   for (NMsg& m : msgs_) {
     std::size_t at = 0;
     for_each(m.sbox, [&](const Vec3& p) { m.sbuf[at++] = field.at(p); });
+    bytes += at * sizeof(double);
+  }
+  return bytes;
+}
+
+std::size_t PackExchanger::pack(const ArrayFields& fields) {
+  BX_CHECK(fields.fields() == fields_,
+           "field count does not match the exchanger's");
+  std::size_t bytes = 0;
+  for (NMsg& m : msgs_) {
+    std::size_t at = 0;
+    for (int f = 0; f < fields_; ++f)
+      for_each(m.sbox,
+               [&](const Vec3& p) { m.sbuf[at++] = fields.at(f, p); });
     bytes += at * sizeof(double);
   }
   return bytes;
@@ -128,10 +148,26 @@ void PackExchanger::finish(mpi::Comm& comm) {
 }
 
 std::size_t PackExchanger::unpack(CellArray3& field) {
+  BX_CHECK(fields_ == 1,
+           "single-field unpack on a multi-field exchanger; pass ArrayFields");
   std::size_t bytes = 0;
   for (NMsg& m : msgs_) {
     std::size_t at = 0;
     for_each(m.rbox, [&](const Vec3& p) { field.at(p) = m.rbuf[at++]; });
+    bytes += at * sizeof(double);
+  }
+  return bytes;
+}
+
+std::size_t PackExchanger::unpack(ArrayFields& fields) {
+  BX_CHECK(fields.fields() == fields_,
+           "field count does not match the exchanger's");
+  std::size_t bytes = 0;
+  for (NMsg& m : msgs_) {
+    std::size_t at = 0;
+    for (int f = 0; f < fields_; ++f)
+      for_each(m.rbox,
+               [&](const Vec3& p) { fields.at(f, p) = m.rbuf[at++]; });
     bytes += at * sizeof(double);
   }
   return bytes;
@@ -142,6 +178,13 @@ void PackExchanger::exchange(mpi::Comm& comm, CellArray3& field) {
   start(comm);
   finish(comm);
   unpack(field);
+}
+
+void PackExchanger::exchange(mpi::Comm& comm, ArrayFields& fields) {
+  pack(fields);
+  start(comm);
+  finish(comm);
+  unpack(fields);
 }
 
 std::int64_t PackExchanger::send_byte_count() const {
@@ -174,17 +217,66 @@ MpiTypesExchanger::MpiTypesExchanger(const Vec3& domain, std::int64_t ghost,
   }
 }
 
-void MpiTypesExchanger::make_persistent(mpi::Comm& comm, CellArray3& field) {
+MpiTypesExchanger::MpiTypesExchanger(const Vec3& domain, std::int64_t ghost,
+                                     const std::vector<BitSet>& dirs,
+                                     const std::vector<int>& neighbor_ranks,
+                                     const ArrayFields& fields_shape)
+    : fields_(fields_shape.fields()) {
+  BX_CHECK(dirs.size() == neighbor_ranks.size(),
+           "direction and rank tables disagree");
+  const Box<3>& fb = fields_shape.box();
+  const Vec3 sizes = fb.extent();
+  const std::size_t slab_bytes =
+      static_cast<std::size_t>(fields_shape.field_elems()) * sizeof(double);
+  for (std::size_t v = 0; v < dirs.size(); ++v) {
+    NMsg m;
+    m.rank = neighbor_ranks[v];
+    m.send_tag = static_cast<int>(v);
+    m.recv_tag = ordinal_of(dirs, dirs[v].flipped());
+    const Box<3> sb = send_box(dirs[v], domain, ghost);
+    const Box<3> rb = recv_box(dirs[v], domain, ghost);
+    // One committed type per side: the per-field subarrays concatenated at
+    // the field-slab displacements (MPI_Type_create_struct).
+    std::vector<std::pair<std::size_t, mpi::Datatype>> sparts, rparts;
+    for (int f = 0; f < fields_; ++f) {
+      const std::size_t disp = static_cast<std::size_t>(f) * slab_bytes;
+      sparts.emplace_back(disp,
+                          mpi::Datatype::subarray<3>(sizes, sb.extent(),
+                                                     sb.lo - fb.lo,
+                                                     sizeof(double)));
+      rparts.emplace_back(disp,
+                          mpi::Datatype::subarray<3>(sizes, rb.extent(),
+                                                     rb.lo - fb.lo,
+                                                     sizeof(double)));
+    }
+    m.stype = mpi::Datatype::concat(sparts);
+    m.rtype = mpi::Datatype::concat(rparts);
+    msgs_.push_back(std::move(m));
+  }
+}
+
+void MpiTypesExchanger::bind_raw(mpi::Comm& comm, double* base) {
   BX_CHECK(!pset_.bound(), "types exchanger already bound");
   BX_CHECK(pending_.empty(), "cannot bind while an exchange is in flight");
-  bound_field_ = field.raw().data();
+  bound_field_ = base;
   for (NMsg& m : msgs_)
-    pset_.add_recv(
-        comm.recv_init(field.raw().data(), m.rtype, m.rank, m.recv_tag));
+    pset_.add_recv(comm.recv_init(base, m.rtype, m.rank, m.recv_tag));
   for (NMsg& m : msgs_)
-    pset_.add_send(
-        comm.send_init(field.raw().data(), m.stype, m.rank, m.send_tag));
+    pset_.add_send(comm.send_init(base, m.stype, m.rank, m.send_tag));
   pset_.mark_bound();
+}
+
+void MpiTypesExchanger::make_persistent(mpi::Comm& comm, CellArray3& field) {
+  BX_CHECK(fields_ == 1,
+           "single-field bind on a multi-field exchanger; pass ArrayFields");
+  bind_raw(comm, field.raw().data());
+}
+
+void MpiTypesExchanger::make_persistent(mpi::Comm& comm,
+                                        ArrayFields& fields) {
+  BX_CHECK(fields.fields() == fields_,
+           "field count does not match the exchanger's");
+  bind_raw(comm, fields.raw().data());
 }
 
 PlanCost MpiTypesExchanger::setup_cost() const {
@@ -195,23 +287,33 @@ PlanCost MpiTypesExchanger::setup_cost() const {
   return c;
 }
 
-void MpiTypesExchanger::start(mpi::Comm& comm, CellArray3& field) {
+void MpiTypesExchanger::start_raw(mpi::Comm& comm, double* base) {
   BX_CHECK(pending_.empty(), "previous exchange still in flight");
   if (pset_.bound()) {
     // Persistent MPI freezes the buffer address at init; replaying against
     // a different field would silently exchange the wrong data.
-    BX_CHECK(field.raw().data() == bound_field_,
+    BX_CHECK(base == bound_field_,
              "persistent MPI_Types exchange started on a different field "
              "than the one bound by make_persistent");
     pset_.start_all();
     return;
   }
   for (NMsg& m : msgs_)
-    pending_.push_back(
-        comm.irecv(field.raw().data(), m.rtype, m.rank, m.recv_tag));
+    pending_.push_back(comm.irecv(base, m.rtype, m.rank, m.recv_tag));
   for (NMsg& m : msgs_)
-    pending_.push_back(
-        comm.isend(field.raw().data(), m.stype, m.rank, m.send_tag));
+    pending_.push_back(comm.isend(base, m.stype, m.rank, m.send_tag));
+}
+
+void MpiTypesExchanger::start(mpi::Comm& comm, CellArray3& field) {
+  BX_CHECK(fields_ == 1,
+           "single-field start on a multi-field exchanger; pass ArrayFields");
+  start_raw(comm, field.raw().data());
+}
+
+void MpiTypesExchanger::start(mpi::Comm& comm, ArrayFields& fields) {
+  BX_CHECK(fields.fields() == fields_,
+           "field count does not match the exchanger's");
+  start_raw(comm, fields.raw().data());
 }
 
 void MpiTypesExchanger::finish(mpi::Comm& comm) {
@@ -224,6 +326,11 @@ void MpiTypesExchanger::finish(mpi::Comm& comm) {
 
 void MpiTypesExchanger::exchange(mpi::Comm& comm, CellArray3& field) {
   start(comm, field);
+  finish(comm);
+}
+
+void MpiTypesExchanger::exchange(mpi::Comm& comm, ArrayFields& fields) {
+  start(comm, fields);
   finish(comm);
 }
 

@@ -34,6 +34,7 @@ bool config_valid(const FuzzConfig& cfg) {
     return false;  // nothing to aggregate; the harness rejects it too
   if (cfg.overlap && cfg.persistent)
     return false;  // one replay mechanism per exchanger binding
+  if (cfg.fields < 1 || cfg.fields > 8) return false;
   return cfg.ghost >= 1 && cfg.rounds >= 1 && cfg.ranks_per_node >= 1;
 }
 
@@ -87,16 +88,20 @@ FuzzConfig draw_config(Rng& rng) {
   const bool want_tuned = rng.below(4) == 0;
   const std::uint64_t layout_seed = rng.next() | 1;  // unconditional draw
   cfg.tuned_layout = want_tuned ? layout_seed : 0;
+  // Drawn last (newest field, unconditional draw): 3 in 4 configs stay
+  // single-field; the rest run 2 or 3 coupled fields through every method.
+  const std::uint64_t fdraw = rng.below(8);
+  cfg.fields = fdraw == 6 ? 2 : (fdraw == 7 ? 3 : 1);
   return cfg;
 }
 
 std::string serialize_config(const FuzzConfig& cfg) {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof buf,
       "seed=%llu,ranks=%lldx%lldx%lld,brick=%lldx%lldx%lld,ghost=%lld,"
       "sub=%lldx%lldx%lld,rounds=%d,page=%zu,rpn=%d,fabric=%s,map=%s,"
-      "persist=%d,transport=%s,overlap=%d,tlayout=%llu",
+      "persist=%d,transport=%s,overlap=%d,tlayout=%llu,fields=%d",
       static_cast<unsigned long long>(cfg.seed),
       static_cast<long long>(cfg.rank_dims[0]),
       static_cast<long long>(cfg.rank_dims[1]),
@@ -111,7 +116,7 @@ std::string serialize_config(const FuzzConfig& cfg) {
       cfg.ranks_per_node, netsim::fabric_name(cfg.fabric),
       netsim::map_name(cfg.mapping), cfg.persistent ? 1 : 0,
       transport::kind_name(cfg.transport), cfg.overlap ? 1 : 0,
-      static_cast<unsigned long long>(cfg.tuned_layout));
+      static_cast<unsigned long long>(cfg.tuned_layout), cfg.fields);
   return buf;
 }
 
@@ -176,6 +181,8 @@ std::optional<FuzzConfig> parse_config(std::string_view s) {
         cfg.overlap = v == 1;
       } else if (key == "tlayout") {
         cfg.tuned_layout = std::stoull(vs);
+      } else if (key == "fields") {
+        cfg.fields = std::stoi(vs);
       } else {
         return std::nullopt;
       }
@@ -219,6 +226,12 @@ std::vector<FuzzConfig> shrink_candidates(const FuzzConfig& cfg) {
   if (cfg.tuned_layout != 0) {
     FuzzConfig c = cfg;
     c.tuned_layout = 0;
+    push(c);
+  }
+  // Back to a single field.
+  if (cfg.fields > 1) {
+    FuzzConfig c = cfg;
+    c.fields = 1;
     push(c);
   }
   // Back to the trivial node placement.

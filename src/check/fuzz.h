@@ -62,6 +62,13 @@ struct FuzzConfig {
   /// fuzz_layout(tuned_layout) — the oracle proves delivered ghosts are
   /// bitwise layout-invariant.
   std::uint64_t tuned_layout = 0;
+  /// Coupled fields exchanged together (DESIGN.md §16): bricks store them
+  /// AoSoA per chunk, the array baselines as contiguous field-major slabs.
+  /// The oracle proves every per-field ghost frame bit-identical across
+  /// all five implementations AND that the per-round message counts stay
+  /// exactly the single-field 98/42/26/26 — one message per (neighbor,
+  /// round) regardless of field count.
+  int fields = 1;
 
   [[nodiscard]] int nranks() const { return static_cast<int>(rank_dims.prod()); }
 };

@@ -65,6 +65,14 @@ double fill_value(std::uint64_t seed, int round, Vec3 g, const Vec3& ext) {
   return 1.0 + static_cast<double>(h >> 12) * 0x1.0p-52;
 }
 
+/// Per-field fill seed: field 0 keeps the historical single-field fill
+/// bit-exactly; higher fields carry distinct salted data so a cross-field
+/// routing error (wrong slab, wrong AoSoA offset) cannot hide.
+std::uint64_t field_seed(std::uint64_t seed, int f) {
+  return f == 0 ? seed
+                : mix64(seed ^ (0x8badf00dull + static_cast<std::uint64_t>(f)));
+}
+
 /// Everything one method run produces: the serialized post-exchange ghost
 /// frames (per rank, rounds concatenated), per-rank comm counters and
 /// virtual times, and the exchanger's own accounting from rank 0.
@@ -109,14 +117,58 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
     const Vec3 off = cart.coords() * N;
     auto& frames = out.frames[static_cast<std::size_t>(comm.rank())];
 
-    auto fill_own = [&](CellArray3& arr, int round) {
+    auto fill_own = [&](CellArray3& arr, int round, int f) {
       for_each(Box<3>{{0, 0, 0}, N}, [&](const Vec3& p) {
-        arr.at(p) = fill_value(cfg.seed, round, p + off, ext);
+        arr.at(p) = fill_value(field_seed(cfg.seed, f), round, p + off, ext);
       });
     };
     auto record_frame = [&](const CellArray3& fr) {
       for_each(fr.box(), [&](const Vec3& p) { frames.push_back(fr.at(p)); });
     };
+
+    if ((m == M::Pack || m == M::Types) && cfg.fields > 1) {
+      // Multi-field array baselines: one ArrayFields allocation, one
+      // message per neighbor carrying every field slab.
+      ArrayFields field(frame_box, cfg.fields);
+      const auto dirs = Cart<3>::all_directions();
+      std::vector<int> nbrs;
+      nbrs.reserve(dirs.size());
+      for (const auto& d : dirs) nbrs.push_back(cart.neighbor(d));
+      std::optional<baseline::PackExchanger> pack;
+      std::optional<baseline::MpiTypesExchanger> types;
+      if (m == M::Pack)
+        pack.emplace(N, g, dirs, nbrs, cfg.fields);
+      else
+        types.emplace(N, g, dirs, nbrs, field);
+      if (cfg.persistent) {
+        if (pack) pack->make_persistent(comm);
+        if (types) types->make_persistent(comm, field);
+      }
+      for (int round = 0; round < cfg.rounds; ++round) {
+        for (int f = 0; f < cfg.fields; ++f)
+          for_each(Box<3>{{0, 0, 0}, N}, [&](const Vec3& p) {
+            field.at(f, p) =
+                fill_value(field_seed(cfg.seed, f), round, p + off, ext);
+          });
+        if (pack)
+          pack->exchange(comm, field);
+        else
+          types->exchange(comm, field);
+        // Field slabs are frame-ordered (axis 0 fastest), matching
+        // record_frame's for_each order over the frame box.
+        for (int f = 0; f < cfg.fields; ++f)
+          frames.insert(frames.end(), field.field_base(f),
+                        field.field_base(f) + field.field_elems());
+      }
+      if (comm.rank() == 0) {
+        out.msgs_per_exchange =
+            pack ? pack->send_message_count() : types->send_message_count();
+        out.wire_bytes =
+            pack ? pack->send_byte_count() : types->send_byte_count();
+        out.payload_bytes = out.wire_bytes;
+      }
+      return;
+    }
 
     if (m == M::Pack || m == M::Types) {
       CellArray3 field(frame_box);
@@ -136,7 +188,7 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
         if (types) types->make_persistent(comm, field);
       }
       for (int round = 0; round < cfg.rounds; ++round) {
-        fill_own(field, round);
+        fill_own(field, round, 0);
         if (pack)
           pack->exchange(comm, field);
         else
@@ -154,8 +206,9 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
     }
 
     BrickDecomp<3> dec(N, g, cfg.brick, fuzz_layout(cfg.tuned_layout));
-    BrickStorage store = m == M::MemMap ? dec.mmap_alloc(1, cfg.page_size)
-                                        : dec.allocate(1);
+    BrickStorage store = m == M::MemMap
+                             ? dec.mmap_alloc(cfg.fields, cfg.page_size)
+                             : dec.allocate(cfg.fields);
     const auto ranks_tbl = populate(cart, dec);
     std::optional<Exchanger<3>> ex;
     std::optional<ExchangeView<3>> ev;
@@ -193,8 +246,13 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
     CellArray3 own(Box<3>{{0, 0, 0}, N});
     CellArray3 fr(frame_box);
     for (int round = 0; round < cfg.rounds; ++round) {
-      fill_own(own, round);
-      cells_to_bricks(dec, own, store, 0);
+      // AoSoA: every field lives inside the same brick chunk, so ONE
+      // exchange per round moves all of them — the message count below is
+      // asserted field-count-invariant by run_oracle.
+      for (int f = 0; f < cfg.fields; ++f) {
+        fill_own(own, round, f);
+        cells_to_bricks(dec, own, store, f);
+      }
       if (cfg.overlap) {
         if (ev)
           overlap_round(*ev);
@@ -205,8 +263,10 @@ MethodRun run_method(M m, const FuzzConfig& cfg, mpi::FaultInjector* fi) {
       } else {
         ex->exchange(comm);
       }
-      bricks_to_cells(dec, store, 0, fr);
-      record_frame(fr);
+      for (int f = 0; f < cfg.fields; ++f) {
+        bricks_to_cells(dec, store, f, fr);
+        record_frame(fr);
+      }
     }
     if (comm.rank() == 0) {
       if (ev) {
@@ -305,7 +365,7 @@ OracleReport run_oracle(const FuzzConfig& cfg) {
   const std::int64_t ghost_cells =
       (N[0] + g2) * (N[1] + g2) * (N[2] + g2) - N.prod();
   const std::int64_t expect_payload =
-      ghost_cells * static_cast<std::int64_t>(sizeof(double));
+      ghost_cells * static_cast<std::int64_t>(sizeof(double)) * cfg.fields;
   for (std::size_t i = 0; i < runs.size(); ++i)
     if (runs[i].payload_bytes != expect_payload)
       fail(std::string(mname(kAllMethods[i])) + " moves " +
@@ -366,9 +426,9 @@ OracleReport run_oracle(const FuzzConfig& cfg) {
   }
 
   // --- bit-identical post-exchange frames ----------------------------------
-  const std::size_t want =
-      static_cast<std::size_t>(frame_cells(cfg)) *
-      static_cast<std::size_t>(cfg.rounds);
+  const std::size_t want = static_cast<std::size_t>(frame_cells(cfg)) *
+                           static_cast<std::size_t>(cfg.rounds) *
+                           static_cast<std::size_t>(cfg.fields);
   const Vec3 G = Vec3::fill(cfg.ghost);
   const Vec3 ext = cfg.rank_dims * N;
   for (int r = 0; r < cfg.nranks(); ++r) {
@@ -384,14 +444,18 @@ OracleReport run_oracle(const FuzzConfig& cfg) {
       const Vec3 off = delinearize<3>(r, cfg.rank_dims) * N;
       std::size_t at = 0;
       for (int round = 0; round < cfg.rounds && rep.ok; ++round) {
-        std::int64_t bad = 0;
-        for_each(Box<3>{Vec3{0, 0, 0} - G, N + G}, [&](const Vec3& p) {
-          if (ref[at++] != fill_value(cfg.seed, round, p + off, ext)) ++bad;
-        });
-        if (bad != 0)
-          fail("Basic frame disagrees with the analytic fill at " +
-               std::to_string(bad) + " cells (rank " + std::to_string(r) +
-               ", round " + std::to_string(round) + ")");
+        for (int f = 0; f < cfg.fields && rep.ok; ++f) {
+          const std::uint64_t fseed = field_seed(cfg.seed, f);
+          std::int64_t bad = 0;
+          for_each(Box<3>{Vec3{0, 0, 0} - G, N + G}, [&](const Vec3& p) {
+            if (ref[at++] != fill_value(fseed, round, p + off, ext)) ++bad;
+          });
+          if (bad != 0)
+            fail("Basic frame disagrees with the analytic fill at " +
+                 std::to_string(bad) + " cells (rank " + std::to_string(r) +
+                 ", round " + std::to_string(round) + ", field " +
+                 std::to_string(f) + ")");
+        }
       }
     }
     for (std::size_t i = 1; i < runs.size(); ++i) {

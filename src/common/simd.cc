@@ -1,0 +1,21 @@
+#include "common/simd.h"
+
+namespace brickx::simd {
+
+const char* isa_name() {
+#if defined(__AVX512F__)
+  return "avx512f";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__AVX__)
+  return "avx";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "sse2";
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+  return "neon";
+#else
+  return "generic";
+#endif
+}
+
+}  // namespace brickx::simd

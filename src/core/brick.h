@@ -105,6 +105,7 @@ class Brick {
 
   [[nodiscard]] const BrickInfo<3>& info() const { return *info_; }
   [[nodiscard]] BrickStorage& storage() const { return *storage_; }
+  [[nodiscard]] std::int64_t elem_offset() const { return elem_offset_; }
 
  private:
   const BrickInfo<3>* info_;

@@ -51,7 +51,8 @@ BrickStorage BrickStorage::heap(const std::vector<std::int64_t>& chunk_bricks,
                                 std::int64_t elems_per_brick, int fields) {
   BrickStorage s;
   s.layout_chunks(chunk_bricks, elems_per_brick, fields, /*page_size=*/0);
-  s.heap_ = std::make_unique<std::byte[]>(s.total_bytes_ ? s.total_bytes_ : 1);
+  s.heap_.reset(static_cast<std::byte*>(::operator new[](
+      s.total_bytes_ ? s.total_bytes_ : 1, std::align_val_t{kAlignment})));
   s.base_ = s.heap_.get();
   std::memset(s.base_, 0, s.total_bytes_);
   return s;

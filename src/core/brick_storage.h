@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "memmap/mem_file.h"
@@ -25,8 +26,21 @@ namespace brickx {
 /// Multiple fields interleave within a brick (array-of-structure-of-array):
 /// a brick's chunk holds field 0's elements, then field 1's, ...; a whole
 /// brick — all fields — is the unit of exchange.
+///
+/// Alignment rule (the explicit-SIMD tier, DESIGN.md §16): both backings
+/// place the buffer base on a `kAlignment`-byte boundary (heap via aligned
+/// operator new, MemFd via page-aligned mmap). Brick strides are NOT padded
+/// — padding would change the exchange byte accounting — so a brick base is
+/// vector-aligned only when `brick_bytes()` happens to be a multiple of the
+/// lane size. For 3-D stencil geometries it always is (every brick extent
+/// is >= 2, so elements_per_brick is a multiple of 8 and brick_bytes a
+/// multiple of 64); degenerate 1-/2-D test geometries may fall short, which
+/// the kernel tier's `simd_storage_ok` guard detects at dispatch time.
 class BrickStorage {
  public:
+  /// Buffer base alignment both backings guarantee (= simd::kAlign).
+  static constexpr std::size_t kAlignment = 64;
+
   /// Bytes from the start of one brick to the next within a chunk.
   [[nodiscard]] std::size_t brick_bytes() const { return brick_bytes_; }
   /// Doubles per brick per field.
@@ -104,8 +118,14 @@ class BrickStorage {
   std::vector<Chunk> chunks_;
   std::vector<std::size_t> brick_offsets_;
 
-  // Backing (exactly one active).
-  std::unique_ptr<std::byte[]> heap_;
+  // Backing (exactly one active). The heap backing over-aligns to
+  // kAlignment, which unique_ptr's default delete[] would get wrong.
+  struct AlignedDelete {
+    void operator()(std::byte* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+  std::unique_ptr<std::byte[], AlignedDelete> heap_;
   std::unique_ptr<mm::MemFile> file_;
   std::unique_ptr<mm::Mapping> mapping_;
   std::byte* base_ = nullptr;

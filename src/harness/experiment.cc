@@ -28,11 +28,14 @@ using mpi::Cart;
 using mpi::Comm;
 
 /// Deterministic initial condition shared by every method and the
-/// reference, keyed on *global* cell coordinates.
-double init_val(const Vec3& g) {
+/// reference, keyed on *global* cell coordinates. Field f > 0 salts the
+/// hash so coupled fields carry distinct data; f == 0 reproduces the
+/// historical single-field value bit-exactly.
+double init_val(const Vec3& g, int f = 0) {
   const std::uint64_t h = static_cast<std::uint64_t>(g[0]) * 73856093u ^
                           static_cast<std::uint64_t>(g[1]) * 19349663u ^
-                          static_cast<std::uint64_t>(g[2]) * 83492791u;
+                          static_cast<std::uint64_t>(g[2]) * 83492791u ^
+                          static_cast<std::uint64_t>(f) * 2654435761u;
   return static_cast<double>(h % 4096) / 4096.0;
 }
 
@@ -74,18 +77,23 @@ void compute_bricks(const Config& cfg, const BrickDecomp<3>& dec,
                     BrickStorage& out, const Box<3>& box) {
   auto go = [&](auto tag) {
     constexpr int B = decltype(tag)::value;
-    Brick<B, B, B> bin(&info, &in, 0);
-    Brick<B, B, B> bout(&info, &out, 0);
-    if (cfg.use125) {
-      if (cfg.naive_kernels) {
-        stencil::apply125_bricks_naive<B, B, B>(dec, bout, bin, box);
+    // AoSoA: field f lives at element offset f * B^3 within every brick
+    // chunk; each field runs the same kernel over the same adjacency.
+    for (int f = 0; f < in.fields(); ++f) {
+      const std::int64_t off = f * dec.elements_per_brick();
+      Brick<B, B, B> bin(&info, &in, off);
+      Brick<B, B, B> bout(&info, &out, off);
+      if (cfg.use125) {
+        if (cfg.naive_kernels) {
+          stencil::apply125_bricks_naive<B, B, B>(dec, bout, bin, box);
+        } else {
+          stencil::apply125_bricks<B, B, B>(dec, bout, bin, box);
+        }
+      } else if (cfg.naive_kernels) {
+        stencil::apply7_bricks_naive<B, B, B>(dec, bout, bin, box);
       } else {
-        stencil::apply125_bricks<B, B, B>(dec, bout, bin, box);
+        stencil::apply7_bricks<B, B, B>(dec, bout, bin, box);
       }
-    } else if (cfg.naive_kernels) {
-      stencil::apply7_bricks_naive<B, B, B>(dec, bout, bin, box);
-    } else {
-      stencil::apply7_bricks<B, B, B>(dec, bout, bin, box);
     }
   };
   if (cfg.brick == 8) {
@@ -156,6 +164,10 @@ Result run(const Config& cfg) {
   BX_CHECK(cfg.layout.order.empty() || cfg.layout.valid(3),
            "Config::layout must be a valid 3-D region layout (every "
            "3-D surface signature exactly once)");
+  BX_CHECK(cfg.fields >= 1, "Config::fields must be positive");
+  BX_CHECK(cfg.fields == 1 || cfg.gpu == GpuMode::None,
+           "multi-field runs are CPU-only (GPU range accounting assumes one "
+           "field per storage)");
   BX_CHECK(cfg.gpu == GpuMode::None || cfg.machine.is_gpu,
            "GPU modes require a GPU machine model");
   BX_CHECK(!(cfg.method == Method::MemMap && cfg.gpu == GpuMode::CudaAware &&
@@ -283,8 +295,9 @@ Result run(const Config& cfg) {
     std::vector<ExchangeView<3>> evs;
     std::vector<ShiftExchanger<3>> shs;
     std::optional<NetworkFloorExchanger<3>> floor;
-    // Array family state.
+    // Array family state (afields replaces fields when cfg.fields > 1).
     std::vector<CellArray3> fields;
+    std::vector<ArrayFields> afields;
     std::optional<baseline::PackExchanger> packer;
     std::optional<baseline::MpiTypesExchanger> typer;
 
@@ -303,8 +316,8 @@ Result run(const Config& cfg) {
         ps = cfg.machine.gpu.page_size;
       for (int f = 0; f < 2; ++f)
         stores.push_back(cfg.method == Method::MemMap
-                             ? dec->mmap_alloc(1, ps)
-                             : dec->allocate(1));
+                             ? dec->mmap_alloc(cfg.fields, ps)
+                             : dec->allocate(cfg.fields));
       const auto ranks = populate(cart, *dec);
       for (auto& s : stores) {
         if (cfg.gpu != GpuMode::None)
@@ -488,11 +501,14 @@ Result run(const Config& cfg) {
         plan_copies = 2;
       }
 
-      // Initialize the input field from global coordinates.
+      // Initialize the input fields from global coordinates.
       CellArray3 seed(Box<3>{{0, 0, 0}, N});
-      for_each(seed.box(),
-               [&](const Vec3& p) { seed.at(p) = init_val(p + offset); });
-      cells_to_bricks(*dec, seed, stores[0], 0);
+      for (int f = 0; f < cfg.fields; ++f) {
+        for_each(seed.box(), [&](const Vec3& p) {
+          seed.at(p) = init_val(p + offset, f);
+        });
+        cells_to_bricks(*dec, seed, stores[0], f);
+      }
 
       compute_fn = [&](const Box<3>& box) {
         if (execute)
@@ -511,7 +527,8 @@ Result run(const Config& cfg) {
               secs += device->touch_device(s.data() + c.offset, c.bytes);
           }
         } else {
-          secs = model::cpu_stencil_seconds(cfg.machine, box.volume(), flops,
+          secs = model::cpu_stencil_seconds(cfg.machine,
+                                            box.volume() * cfg.fields, flops,
                                             kBytesPerCell,
                                             cfg.method == Method::Yask);
         }
@@ -540,7 +557,8 @@ Result run(const Config& cfg) {
             }
           }
         } else {
-          secs = model::cpu_stencil_seconds(cfg.machine, box.volume(), flops,
+          secs = model::cpu_stencil_seconds(cfg.machine,
+                                            box.volume() * cfg.fields, flops,
                                             kBytesPerCell, false);
           if (!first) secs -= cfg.machine.sweep_overhead;
         }
@@ -548,24 +566,37 @@ Result run(const Config& cfg) {
       };
 
       validate_fn = [&]() -> bool {
-        CellArray3 got(Box<3>{{0, 0, 0}, N});
-        bricks_to_cells(*dec, stores[static_cast<std::size_t>(input)], 0, got);
-        CellArray3 ref(Box<3>{{0, 0, 0}, global_ext});
-        for_each(ref.box(), [&](const Vec3& p) { ref.at(p) = init_val(p); });
         const int total_steps =
             cfg.warmup_exchanges * static_cast<int>(k) + cfg.timesteps;
-        stencil::evolve_reference(ref, total_steps, cfg.use125);
-        std::int64_t bad = 0;
-        for_each(got.box(), [&](const Vec3& p) {
-          if (got.at(p) != ref.at(p + offset)) ++bad;
-        });
-        return bad == 0;
+        for (int f = 0; f < cfg.fields; ++f) {
+          CellArray3 got(Box<3>{{0, 0, 0}, N});
+          bricks_to_cells(*dec, stores[static_cast<std::size_t>(input)], f,
+                          got);
+          CellArray3 ref(Box<3>{{0, 0, 0}, global_ext});
+          for_each(ref.box(),
+                   [&](const Vec3& p) { ref.at(p) = init_val(p, f); });
+          stencil::evolve_reference(ref, total_steps, cfg.use125);
+          std::int64_t bad = 0;
+          for_each(got.box(), [&](const Vec3& p) {
+            if (got.at(p) != ref.at(p + offset)) ++bad;
+          });
+          if (bad != 0) return false;
+        }
+        return true;
       };
     } else {
-      // Array family (YASK / MPI_Types baselines).
+      // Array family (YASK / MPI_Types baselines). Multi-field runs use
+      // contiguous field-major ArrayFields slabs so one message per
+      // neighbor carries every field; fields == 1 keeps the historical
+      // CellArray3 path byte-identical.
       const Box<3> frame{Vec3{0, 0, 0} - Vec3::fill(g), N + Vec3::fill(g)};
-      fields.emplace_back(frame);
-      fields.emplace_back(frame);
+      if (cfg.fields > 1) {
+        afields.emplace_back(frame, cfg.fields);
+        afields.emplace_back(frame, cfg.fields);
+      } else {
+        fields.emplace_back(frame);
+        fields.emplace_back(frame);
+      }
       if (cfg.gpu != GpuMode::None && !staged) {
         for (auto& f : fields)
           regs.range(f.raw().data(), f.raw().size() * sizeof(double), space);
@@ -574,7 +605,7 @@ Result run(const Config& cfg) {
       std::vector<int> ranks;
       for (const auto& d : dirs) ranks.push_back(cart.neighbor(d));
       if (cfg.method == Method::Yask) {
-        packer.emplace(N, g, dirs, ranks);
+        packer.emplace(N, g, dirs, ranks, cfg.fields);
         out.msgs = packer->send_message_count();
         out.wire = out.payload = packer->send_byte_count();
         // On-node cost per half-exchange: CPU runs price the strided
@@ -592,53 +623,101 @@ Result run(const Config& cfg) {
         };
         // onnode_seconds is captured by value: it must outlive this block.
         pack_fn = [&, onnode_seconds] {
-          comm.compute(onnode_seconds(
-              packer->pack(fields[static_cast<std::size_t>(input)])));
+          const std::size_t b =
+              cfg.fields > 1
+                  ? packer->pack(afields[static_cast<std::size_t>(input)])
+                  : packer->pack(fields[static_cast<std::size_t>(input)]);
+          comm.compute(onnode_seconds(b));
         };
         start_fn = [&] { packer->start(comm); };
         finish_fn = [&] { packer->finish(comm); };
         unpack_fn = [&, onnode_seconds] {
-          comm.compute(onnode_seconds(
-              packer->unpack(fields[static_cast<std::size_t>(input)])));
+          const std::size_t b =
+              cfg.fields > 1
+                  ? packer->unpack(afields[static_cast<std::size_t>(input)])
+                  : packer->unpack(fields[static_cast<std::size_t>(input)]);
+          comm.compute(onnode_seconds(b));
         };
         bind_fn = [&] { packer->make_persistent(comm); };
         // dirs/ranks are block-local; the rebuild closure outlives them.
-        rebuild_fn = [&, dirs, ranks] { packer.emplace(N, g, dirs, ranks); };
+        rebuild_fn = [&, dirs, ranks] {
+          packer.emplace(N, g, dirs, ranks, cfg.fields);
+        };
         plan_cost_fn = [&] { return packer->setup_cost(); };
       } else if (cfg.method == Method::MpiTypes) {
-        typer.emplace(N, g, dirs, ranks, fields[0]);
+        if (cfg.fields > 1) {
+          typer.emplace(N, g, dirs, ranks, afields[0]);
+        } else {
+          typer.emplace(N, g, dirs, ranks, fields[0]);
+        }
         out.msgs = typer->send_message_count();
         out.wire = out.payload = typer->send_byte_count();
         start_fn = [&] {
-          typer->start(comm, fields[static_cast<std::size_t>(input)]);
+          if (cfg.fields > 1) {
+            typer->start(comm, afields[static_cast<std::size_t>(input)]);
+          } else {
+            typer->start(comm, fields[static_cast<std::size_t>(input)]);
+          }
         };
         finish_fn = [&] { typer->finish(comm); };
         // Persistent MPI freezes the buffer address; binding to fields[0]
         // is safe because steps_per_exchange is always even, so every
         // exchange round lands on input == 0 (checked in start()).
-        bind_fn = [&] { typer->make_persistent(comm, fields[0]); };
+        bind_fn = [&] {
+          if (cfg.fields > 1) {
+            typer->make_persistent(comm, afields[0]);
+          } else {
+            typer->make_persistent(comm, fields[0]);
+          }
+        };
         rebuild_fn = [&, dirs, ranks] {
-          typer.emplace(N, g, dirs, ranks, fields[0]);
+          if (cfg.fields > 1) {
+            typer.emplace(N, g, dirs, ranks, afields[0]);
+          } else {
+            typer.emplace(N, g, dirs, ranks, fields[0]);
+          }
         };
         plan_cost_fn = [&] { return typer->setup_cost(); };
       } else {
         brickx::fail("unsupported array-family method");
       }
 
-      for_each(fields[0].box(), [&](const Vec3& p) {
-        Vec3 q = p + offset;  // ghost seeds are overwritten by exchange
-        fields[0].at(p) = init_val(q);
-      });
+      if (cfg.fields > 1) {
+        for (int f = 0; f < cfg.fields; ++f)
+          for_each(afields[0].box(), [&](const Vec3& p) {
+            // ghost seeds are overwritten by exchange
+            afields[0].at(f, p) = init_val(p + offset, f);
+          });
+      } else {
+        for_each(fields[0].box(), [&](const Vec3& p) {
+          Vec3 q = p + offset;  // ghost seeds are overwritten by exchange
+          fields[0].at(p) = init_val(q);
+        });
+      }
 
       compute_fn = [&](const Box<3>& box) {
         if (execute) {
-          auto* a125 = cfg.naive_kernels ? &stencil::apply125_array_naive
-                                         : &stencil::apply125_array;
-          auto* a7 = cfg.naive_kernels ? &stencil::apply7_array_naive
-                                       : &stencil::apply7_array;
-          (cfg.use125 ? a125 : a7)(
-              fields[static_cast<std::size_t>(input)],
-              fields[static_cast<std::size_t>(1 - input)], box);
+          if (cfg.fields > 1) {
+            // Field slabs are laid out exactly like a frame-shaped
+            // CellArray3, so the span kernels run each field in place.
+            auto* s125 = cfg.naive_kernels ? &stencil::apply125_span_naive
+                                           : &stencil::apply125_span;
+            auto* s7 = cfg.naive_kernels ? &stencil::apply7_span_naive
+                                         : &stencil::apply7_span;
+            ArrayFields& src = afields[static_cast<std::size_t>(input)];
+            ArrayFields& dst = afields[static_cast<std::size_t>(1 - input)];
+            for (int f = 0; f < cfg.fields; ++f)
+              (cfg.use125 ? s125 : s7)(src.box(), src.field_base(f),
+                                       dst.field_base(f), box);
+          } else {
+            auto* a125 = cfg.naive_kernels ? &stencil::apply125_array_naive
+                                           : &stencil::apply125_array;
+            auto* a7 = cfg.naive_kernels ? &stencil::apply7_array_naive
+                                         : &stencil::apply7_array;
+            (cfg.use125 ? a125 : a7)(
+                fields[static_cast<std::size_t>(input)],
+                fields[static_cast<std::size_t>(1 - input)], box);
+          }
         }
         double secs;
         if (cfg.gpu != GpuMode::None) {
@@ -649,7 +728,8 @@ Result run(const Config& cfg) {
             secs += device->touch_device(f.raw().data(),
                                          f.raw().size() * sizeof(double));
         } else {
-          secs = model::cpu_stencil_seconds(cfg.machine, box.volume(), flops,
+          secs = model::cpu_stencil_seconds(cfg.machine,
+                                            box.volume() * cfg.fields, flops,
                                             kBytesPerCell,
                                             cfg.method == Method::Yask);
         }
@@ -657,17 +737,24 @@ Result run(const Config& cfg) {
       };
 
       validate_fn = [&]() -> bool {
-        CellArray3 ref(Box<3>{{0, 0, 0}, global_ext});
-        for_each(ref.box(), [&](const Vec3& p) { ref.at(p) = init_val(p); });
         const int total_steps =
             cfg.warmup_exchanges * static_cast<int>(k) + cfg.timesteps;
-        stencil::evolve_reference(ref, total_steps, cfg.use125);
-        std::int64_t bad = 0;
-        const CellArray3& got = fields[static_cast<std::size_t>(input)];
-        for_each(Box<3>{{0, 0, 0}, N}, [&](const Vec3& p) {
-          if (got.at(p) != ref.at(p + offset)) ++bad;
-        });
-        return bad == 0;
+        for (int f = 0; f < cfg.fields; ++f) {
+          CellArray3 ref(Box<3>{{0, 0, 0}, global_ext});
+          for_each(ref.box(),
+                   [&](const Vec3& p) { ref.at(p) = init_val(p, f); });
+          stencil::evolve_reference(ref, total_steps, cfg.use125);
+          std::int64_t bad = 0;
+          for_each(Box<3>{{0, 0, 0}, N}, [&](const Vec3& p) {
+            const double got =
+                cfg.fields > 1
+                    ? afields[static_cast<std::size_t>(input)].at(f, p)
+                    : fields[static_cast<std::size_t>(input)].at(p);
+            if (got != ref.at(p + offset)) ++bad;
+          });
+          if (bad != 0) return false;
+        }
+        return true;
       };
     }
 

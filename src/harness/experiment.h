@@ -61,6 +61,15 @@ struct Config {
   std::int64_t brick = 8;      ///< cubic brick extent (4 or 8)
   std::int64_t ghost = 8;      ///< ghost width in cells (multiple of brick)
   bool use125 = false;         ///< 125-point instead of 7-point stencil
+  /// Coupled fields evolved together (DESIGN.md §16). Brick methods store
+  /// them AoSoA inside each brick chunk and the array baselines as
+  /// contiguous field-major slabs (ArrayFields), so EVERY exchanger moves
+  /// all fields per neighbor in a single message — the per-round message
+  /// count is field-count-invariant (bytes scale linearly). Each field
+  /// evolves under the same stencil from a field-salted initial condition;
+  /// field 0 reproduces the single-field run bit-exactly. CPU-only for
+  /// fields > 1.
+  int fields = 1;
   Method method = Method::MemMap;
   GpuMode gpu = GpuMode::None;
   int timesteps = 8;           ///< measured timesteps

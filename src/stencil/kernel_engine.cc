@@ -1,6 +1,8 @@
 #include "stencil/kernel_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -162,6 +164,113 @@ void compute125_tile(const double* __restrict tile,
     }
 }
 
+/// Explicit-vector interior compute, 7-point: one output cell per lane,
+/// W cells per step. The per-lane expression is the scalar fast path's
+/// 7-term expression verbatim, so every lane accumulates in the naive FP
+/// order and the results are bit-identical at any width. Tile rows are
+/// read with unaligned loads (row stride BI + 2 is not a lane multiple);
+/// output rows are stored aligned — the dispatch guard proved it safe.
+template <int BK, int BJ, int BI, int W>
+void compute7_tile_simd(const double* __restrict tile, double* __restrict o) {
+  static_assert(BI % W == 0, "guarded by the dispatcher");
+  using V = simd::DVec<W>;
+  constexpr int SJ = BJ + 2, SI = BI + 2;
+  const auto& c = Stencil7::c;
+  const V c0 = V::broadcast(c[0]), c1 = V::broadcast(c[1]),
+          c2 = V::broadcast(c[2]), c3 = V::broadcast(c[3]),
+          c4 = V::broadcast(c[4]), c5 = V::broadcast(c[5]),
+          c6 = V::broadcast(c[6]);
+  for (int k = 0; k < BK; ++k)
+    for (int j = 0; j < BJ; ++j) {
+      const double* __restrict r0 = tile + ((k + 1) * SJ + (j + 1)) * SI + 1;
+      const double* __restrict ym = tile + ((k + 1) * SJ + j) * SI + 1;
+      const double* __restrict yp = tile + ((k + 1) * SJ + (j + 2)) * SI + 1;
+      const double* __restrict zm = tile + (k * SJ + (j + 1)) * SI + 1;
+      const double* __restrict zp = tile + ((k + 2) * SJ + (j + 1)) * SI + 1;
+      double* __restrict orow = o + (k * BJ + j) * BI;
+      for (int x = 0; x < BI; x += W) {
+        const V r = c0 * V::loadu(r0 + x) + c1 * V::loadu(r0 + x - 1) +
+                    c2 * V::loadu(r0 + x + 1) + c3 * V::loadu(ym + x) +
+                    c4 * V::loadu(yp + x) + c5 * V::loadu(zm + x) +
+                    c6 * V::loadu(zp + x);
+        r.store(orow + x);
+      }
+    }
+}
+
+/// Explicit-vector interior compute, 125-point: taps outer, lanes inner,
+/// with TWO output rows (j, j+1) in flight per pass. The vector
+/// accumulators live in registers across all 125 taps, and the row pair
+/// doubles the number of independent add chains — each accumulator's adds
+/// form a 125-deep latency chain the scalar path serializes per row, so
+/// the pairing is what buys the >= 1.5x over the autovectorized fast path
+/// (the BENCH_kernels.json simd-vs-fast axis). Lanes are cells and rows
+/// are independent, so each cell's partial sums still arrive in ascending
+/// dz-dy-dx tap order: bit-identical to the naive kernel at every width.
+template <int BK, int BJ, int BI, int W>
+void compute125_tile_simd(const double* __restrict tile,
+                          const double* __restrict w, double* __restrict o) {
+  static_assert(BI % W == 0, "guarded by the dispatcher");
+  using V = simd::DVec<W>;
+  constexpr int SJ = BJ + 4, SI = BI + 4;
+  constexpr int NV = BI / W;
+  static_assert(BJ % 2 == 0, "row pairing needs an even j extent");
+  for (int k = 0; k < BK; ++k)
+    for (int j = 0; j < BJ; j += 2) {
+      V a0[NV], a1[NV];
+      for (int u = 0; u < NV; ++u) {
+        a0[u] = V::zero();
+        a1[u] = V::zero();
+      }
+      int t = 0;
+      for (int dz = 0; dz < 5; ++dz)
+        for (int dy = 0; dy < 5; ++dy) {
+          const double* __restrict r0 =
+              tile + ((k + dz) * SJ + (j + dy)) * SI;
+          const double* __restrict r1 = r0 + SI;
+          for (int dx = 0; dx < 5; ++dx) {
+            const V wt = V::broadcast(w[t++]);
+            for (int u = 0; u < NV; ++u) {
+              a0[u] += wt * V::loadu(r0 + dx + u * W);
+              a1[u] += wt * V::loadu(r1 + dx + u * W);
+            }
+          }
+        }
+      double* __restrict o0 = o + (k * BJ + j) * BI;
+      double* __restrict o1 = o0 + BI;
+      for (int u = 0; u < NV; ++u) {
+        a0[u].store(o0 + u * W);
+        a1[u].store(o1 + u * W);
+      }
+    }
+}
+
+/// One-line diagnostic the first time a width-W dispatch degrades to the
+/// scalar fast path (alignment guard, DESIGN.md §16). Results are
+/// unaffected — only the vector stores are.
+void note_scalar_fallback(int w, const char* why) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "brickx: simd: width-%d vector path unavailable (%s); "
+                 "using the scalar fast path\n",
+                 w, why);
+}
+
+/// Decide once per apply call whether the width-W vector tiles may run
+/// over this output brick accessor; diagnoses the first degradation.
+template <int BK, int BJ, int BI, int W>
+bool simd_dispatch(const Brick<BK, BJ, BI>& out) {
+  if constexpr (W == 1) {
+    return false;  // scalar fast path IS width 1; nothing to guard
+  } else {
+    const char* why = simd_brick_reason<BK, BJ, BI>(out, W);
+    if (why == nullptr) return true;
+    note_scalar_fallback(W, why);
+    return false;
+  }
+}
+
 /// Clip the cell box of the brick at grid coordinate `g` against
 /// `out_cells`. Non-empty for every brick inside brick_grid_range().
 template <int BK, int BJ, int BI>
@@ -189,14 +298,30 @@ Box<3> brick_grid_range(const BrickDecomp<3>& dec, const Box<3>& out_cells) {
   return r;
 }
 
-template <int BK, int BJ, int BI>
-void engine_apply7(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
-                   const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
+const char* simd_storage_reason(const void* base, std::size_t brick_bytes,
+                                std::size_t page_bytes,
+                                std::int64_t row_elems,
+                                std::int64_t elem_offset, int w) {
+  if (w == 1) return nullptr;
+  const std::size_t lane = static_cast<std::size_t>(w) * sizeof(double);
+  if (row_elems % w != 0) return "brick row not a whole number of lanes";
+  if (!simd::lane_aligned(base, w)) return "storage base not lane-aligned";
+  if (brick_bytes % lane != 0) return "brick stride not a lane multiple";
+  if (page_bytes % lane != 0) return "chunk padding not a lane multiple";
+  if (elem_offset % w != 0) return "field offset not a lane multiple";
+  return nullptr;
+}
+
+template <int BK, int BJ, int BI, int W>
+void engine_apply7_simd(const BrickDecomp<3>& dec,
+                        const Brick<BK, BJ, BI>& out,
+                        const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
   const auto& c = Stencil7::c;
   const Vec3 B{BI, BJ, BK};
   const Box<3> gr = brick_grid_range(dec, out_cells);
   if (gr.empty()) return;
-  alignas(64) double tile[(BK + 2) * (BJ + 2) * (BI + 2)];
+  const bool vec = simd_dispatch<BK, BJ, BI, W>(out);
+  alignas(simd::kAlign) double tile[(BK + 2) * (BJ + 2) * (BI + 2)];
   for (std::int64_t gz = gr.lo[2]; gz < gr.hi[2]; ++gz)
     for (std::int64_t gy = gr.lo[1]; gy < gr.hi[1]; ++gy)
       for (std::int64_t gx = gr.lo[0]; gx < gr.hi[0]; ++gx) {
@@ -207,6 +332,12 @@ void engine_apply7(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
         const bool full = clip.lo == base && clip.hi == base + B;
         if (full &&
             gather_star1<BK, BJ, BI>(in, in.info().adjacent(b), tile)) {
+          if constexpr (W > 1 && BI % W == 0) {
+            if (vec) {
+              compute7_tile_simd<BK, BJ, BI, W>(tile, out.field_data(b));
+              continue;
+            }
+          }
           compute7_tile<BK, BJ, BI>(tile, out.field_data(b));
           continue;
         }
@@ -229,16 +360,19 @@ void engine_apply7(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
       }
 }
 
-template <int BK, int BJ, int BI>
-void engine_apply125(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
-                     const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
+template <int BK, int BJ, int BI, int W>
+void engine_apply125_simd(const BrickDecomp<3>& dec,
+                          const Brick<BK, BJ, BI>& out,
+                          const Brick<BK, BJ, BI>& in,
+                          const Box<3>& out_cells) {
   static_assert(BK >= 2 && BJ >= 2 && BI >= 2,
                 "brick extents must cover the radius-2 neighborhood");
   const Vec3 B{BI, BJ, BK};
   const auto& w = Stencil125::taps();
   const Box<3> gr = brick_grid_range(dec, out_cells);
   if (gr.empty()) return;
-  alignas(64) double tile[(BK + 4) * (BJ + 4) * (BI + 4)];
+  const bool vec = simd_dispatch<BK, BJ, BI, W>(out);
+  alignas(simd::kAlign) double tile[(BK + 4) * (BJ + 4) * (BI + 4)];
   for (std::int64_t gz = gr.lo[2]; gz < gr.hi[2]; ++gz)
     for (std::int64_t gy = gr.lo[1]; gy < gr.hi[1]; ++gy)
       for (std::int64_t gx = gr.lo[0]; gx < gr.hi[0]; ++gx) {
@@ -249,6 +383,13 @@ void engine_apply125(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
         const bool full = clip.lo == base && clip.hi == base + B;
         if (full &&
             gather_cube<BK, BJ, BI, 2>(in, in.info().adjacent(b), tile)) {
+          if constexpr (W > 1 && BI % W == 0) {
+            if (vec) {
+              compute125_tile_simd<BK, BJ, BI, W>(tile, w.data(),
+                                                  out.field_data(b));
+              continue;
+            }
+          }
           compute125_tile<BK, BJ, BI>(tile, w.data(), out.field_data(b));
           continue;
         }
@@ -270,6 +411,41 @@ void engine_apply125(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
       }
 }
 
+template <int BK, int BJ, int BI>
+void engine_apply7(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
+                   const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
+  engine_apply7_simd<BK, BJ, BI, simd::kActiveWidth>(dec, out, in, out_cells);
+}
+
+template <int BK, int BJ, int BI>
+void engine_apply125(const BrickDecomp<3>& dec, const Brick<BK, BJ, BI>& out,
+                     const Brick<BK, BJ, BI>& in, const Box<3>& out_cells) {
+  engine_apply125_simd<BK, BJ, BI, simd::kActiveWidth>(dec, out, in,
+                                                       out_cells);
+}
+
+// Every supported width is instantiated for both brick sizes so one build
+// can differentially test widths the dispatch default would never pick.
+#define BRICKX_INSTANTIATE_SIMD_W(B, W)                                     \
+  template void engine_apply7_simd<B, B, B, W>(                             \
+      const BrickDecomp<3>&, const Brick<B, B, B>&, const Brick<B, B, B>&,  \
+      const Box<3>&);                                                       \
+  template void engine_apply125_simd<B, B, B, W>(                           \
+      const BrickDecomp<3>&, const Brick<B, B, B>&, const Brick<B, B, B>&,  \
+      const Box<3>&);
+
+#define BRICKX_INSTANTIATE_SIMD(B) \
+  BRICKX_INSTANTIATE_SIMD_W(B, 1)  \
+  BRICKX_INSTANTIATE_SIMD_W(B, 2)  \
+  BRICKX_INSTANTIATE_SIMD_W(B, 4)  \
+  BRICKX_INSTANTIATE_SIMD_W(B, 8)
+
+BRICKX_INSTANTIATE_SIMD(4)
+BRICKX_INSTANTIATE_SIMD(8)
+
+#undef BRICKX_INSTANTIATE_SIMD
+#undef BRICKX_INSTANTIATE_SIMD_W
+
 template void engine_apply7<4, 4, 4>(const BrickDecomp<3>&,
                                      const Brick<4, 4, 4>&,
                                      const Brick<4, 4, 4>&, const Box<3>&);
@@ -283,12 +459,16 @@ template void engine_apply125<8, 8, 8>(const BrickDecomp<3>&,
                                        const Brick<8, 8, 8>&,
                                        const Brick<8, 8, 8>&, const Box<3>&);
 
-void engine_apply7_array(const CellArray3& in, CellArray3& out,
-                         const Box<3>& out_cells) {
+namespace {
+
+/// Pointer-core 7-point row kernel shared by the CellArray3 and the
+/// multi-field span entry points: `ibase`/`obase` are frame-shaped
+/// lexicographic slabs over `ib`/`ob`.
+void apply7_rows(const Box<3>& ib, const double* __restrict ibase,
+                 const Box<3>& ob, double* __restrict obase,
+                 const Box<3>& out_cells) {
   if (out_cells.empty()) return;
   const auto& c = Stencil7::c;
-  const Box<3>& ib = in.box();
-  const Box<3>& ob = out.box();
   for (int a = 0; a < 3; ++a) {
     BX_CHECK(ib.lo[a] <= out_cells.lo[a] - 1 &&
                  out_cells.hi[a] + 1 <= ib.hi[a],
@@ -297,8 +477,6 @@ void engine_apply7_array(const CellArray3& in, CellArray3& out,
              "output array does not cover out_cells");
   }
   const Vec3 ie = ib.extent(), oe = ob.extent();
-  const double* __restrict ibase = in.raw().data();
-  double* __restrict obase = out.raw().data();
   const std::int64_t x0 = out_cells.lo[0];
   const std::int64_t nx = out_cells.hi[0] - x0;
   for (std::int64_t z = out_cells.lo[2]; z < out_cells.hi[2]; ++z)
@@ -322,12 +500,12 @@ void engine_apply7_array(const CellArray3& in, CellArray3& out,
     }
 }
 
-void engine_apply125_array(const CellArray3& in, CellArray3& out,
-                           const Box<3>& out_cells) {
+/// Pointer-core 125-point row kernel (same sharing).
+void apply125_rows(const Box<3>& ib, const double* __restrict ibase,
+                   const Box<3>& ob, double* __restrict obase,
+                   const Box<3>& out_cells) {
   if (out_cells.empty()) return;
   const auto& w = Stencil125::taps();
-  const Box<3>& ib = in.box();
-  const Box<3>& ob = out.box();
   for (int a = 0; a < 3; ++a) {
     BX_CHECK(ib.lo[a] <= out_cells.lo[a] - 2 &&
                  out_cells.hi[a] + 2 <= ib.hi[a],
@@ -336,8 +514,6 @@ void engine_apply125_array(const CellArray3& in, CellArray3& out,
              "output array does not cover out_cells");
   }
   const Vec3 ie = ib.extent(), oe = ob.extent();
-  const double* __restrict ibase = in.raw().data();
-  double* __restrict obase = out.raw().data();
   const std::int64_t x0 = out_cells.lo[0];
   const std::int64_t nx = out_cells.hi[0] - x0;
   std::vector<double> acc;
@@ -371,6 +547,30 @@ void engine_apply125_array(const CellArray3& in, CellArray3& out,
         }
       for (std::int64_t x = 0; x < nx; ++x) orow[x] = a[x];
     }
+}
+
+}  // namespace
+
+void engine_apply7_array(const CellArray3& in, CellArray3& out,
+                         const Box<3>& out_cells) {
+  apply7_rows(in.box(), in.raw().data(), out.box(), out.raw().data(),
+              out_cells);
+}
+
+void engine_apply125_array(const CellArray3& in, CellArray3& out,
+                           const Box<3>& out_cells) {
+  apply125_rows(in.box(), in.raw().data(), out.box(), out.raw().data(),
+                out_cells);
+}
+
+void engine_apply7_span(const Box<3>& frame, const double* in, double* out,
+                        const Box<3>& out_cells) {
+  apply7_rows(frame, in, frame, out, out_cells);
+}
+
+void engine_apply125_span(const Box<3>& frame, const double* in, double* out,
+                          const Box<3>& out_cells) {
+  apply125_rows(frame, in, frame, out, out_cells);
 }
 
 }  // namespace brickx::stencil

@@ -215,6 +215,46 @@ void apply125_array_naive(const CellArray3& in, CellArray3& out,
   });
 }
 
+void apply7_span(const Box<3>& frame, const double* in, double* out,
+                 const Box<3>& out_cells) {
+  engine_apply7_span(frame, in, out, out_cells);
+}
+
+void apply125_span(const Box<3>& frame, const double* in, double* out,
+                   const Box<3>& out_cells) {
+  engine_apply125_span(frame, in, out, out_cells);
+}
+
+void apply7_span_naive(const Box<3>& frame, const double* in, double* out,
+                       const Box<3>& out_cells) {
+  const auto& c = Stencil7::c;
+  const Vec3 ext = frame.extent();
+  auto rd = [&](const Vec3& p) { return in[linearize(p - frame.lo, ext)]; };
+  for_each(out_cells, [&](const Vec3& p) {
+    out[linearize(p - frame.lo, ext)] =
+        c[0] * rd(p) + c[1] * rd(p - Vec3{1, 0, 0}) +
+        c[2] * rd(p + Vec3{1, 0, 0}) + c[3] * rd(p - Vec3{0, 1, 0}) +
+        c[4] * rd(p + Vec3{0, 1, 0}) + c[5] * rd(p - Vec3{0, 0, 1}) +
+        c[6] * rd(p + Vec3{0, 0, 1});
+  });
+}
+
+void apply125_span_naive(const Box<3>& frame, const double* in, double* out,
+                         const Box<3>& out_cells) {
+  const auto& w = Stencil125::taps();
+  const Vec3 ext = frame.extent();
+  auto rd = [&](const Vec3& p) { return in[linearize(p - frame.lo, ext)]; };
+  for_each(out_cells, [&](const Vec3& p) {
+    double acc = 0.0;
+    int at = 0;
+    for (int dz = -2; dz <= 2; ++dz)
+      for (int dy = -2; dy <= 2; ++dy)
+        for (int dx = -2; dx <= 2; ++dx)
+          acc += w[static_cast<std::size_t>(at++)] * rd(p + Vec3{dx, dy, dz});
+    out[linearize(p - frame.lo, ext)] = acc;
+  });
+}
+
 void evolve_reference(CellArray3& field, int steps, bool use125) {
   const Box<3>& box = field.box();
   const Vec3 ext = box.extent();

@@ -90,6 +90,22 @@ void apply7_array_naive(const CellArray3& in, CellArray3& out,
 void apply125_array_naive(const CellArray3& in, CellArray3& out,
                           const Box<3>& out_cells);
 
+/// Span variants over non-owning `frame`-shaped buffers (one field slab of
+/// an ArrayFields allocation): same fast row-pointer cores as apply7_array
+/// / apply125_array, so bit-identical to them. `in` and `out` are both laid
+/// out like a CellArray3 over `frame` (axis 0 fastest).
+void apply7_span(const Box<3>& frame, const double* in, double* out,
+                 const Box<3>& out_cells);
+void apply125_span(const Box<3>& frame, const double* in, double* out,
+                   const Box<3>& out_cells);
+
+/// Per-cell reference versions of the span kernels (expressions identical
+/// to the *_array_naive kernels; differential side for the span paths).
+void apply7_span_naive(const Box<3>& frame, const double* in, double* out,
+                       const Box<3>& out_cells);
+void apply125_span_naive(const Box<3>& frame, const double* in, double* out,
+                         const Box<3>& out_cells);
+
 /// Evolve a fully periodic global domain `steps` times with the 7-point
 /// (radius 1) or 125-point kernel — the ground truth distributed runs are
 /// validated against. `field` is wrapped at the box edges.
